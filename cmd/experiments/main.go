@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's tables and figures from the
+// synthetic workload substrate.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig9
+//	experiments -run all -seed 3 -user-duration 8h
+//
+// Output is text: tables whose rows correspond to the bars/points of the
+// paper's figures. EXPERIMENTS.md records a reference run next to the
+// paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment id (e.g. fig9) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		appDur  = flag.Duration("app-duration", 2*time.Hour, "per-application trace length")
+		userDur = flag.Duration("user-duration", 4*time.Hour, "per-user trace length")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, AppDuration: *appDur, UserDuration: *userDur}
+
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		out, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

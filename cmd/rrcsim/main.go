@@ -1,0 +1,173 @@
+// Command rrcsim replays a packet trace against a carrier profile under a
+// chosen radio-control policy and prints the energy/signaling report.
+//
+// Usage:
+//
+//	tracegen -app Email -o email.trc
+//	rrcsim -trace email.trc -carrier "Verizon 3G" -policy makeidle -active learn
+//	rrcsim -trace email.trc -policy all        # compare every scheme
+//
+// Policies: statusquo, 4.5s, 95iat, oracle, makeidle, all.
+// Active (batching): none, learn, fix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (text or binary; required)")
+		carrier   = flag.String("carrier", "Verizon 3G", "carrier profile name (see Table 2)")
+		polName   = flag.String("policy", "makeidle", "statusquo | 4.5s | 95iat | oracle | makeidle | all")
+		actName   = flag.String("active", "none", "none | learn | fix (MakeActive batching)")
+		burstGap  = flag.Duration("burstgap", time.Second, "session segmentation gap")
+	)
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	tr, err := readTrace(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	prof, ok := power.ByName(*carrier)
+	if !ok {
+		fatal(fmt.Errorf("unknown carrier %q", *carrier))
+	}
+	opts := &sim.Options{BurstGap: *burstGap}
+
+	if *polName == "all" {
+		if err := compareAll(tr, prof, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	demote, err := makeDemote(*polName, tr, prof)
+	if err != nil {
+		fatal(err)
+	}
+	active, err := makeActive(*actName, tr, prof, *burstGap)
+	if err != nil {
+		fatal(err)
+	}
+
+	sq, err := sim.Run(tr, prof, policy.StatusQuo{}, nil, opts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(tr, prof, demote, active, opts)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(sq, res)
+}
+
+// readTrace auto-detects the trace format: the binary container, a pcap
+// capture (e.g. straight from tcpdump), or the line-oriented text form.
+func readTrace(path string) (trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if tr, err := trace.ReadBinary(f); err == nil {
+		return tr, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	if tr, err := trace.ReadPcap(f, nil); err == nil {
+		return tr, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return trace.ReadText(f)
+}
+
+func makeDemote(name string, tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
+	switch name {
+	case "statusquo":
+		return policy.StatusQuo{}, nil
+	case "4.5s":
+		return policy.NewFourPointFive(), nil
+	case "95iat":
+		return policy.NewPercentileIAT(tr, 0.95), nil
+	case "oracle":
+		return policy.NewOracle(energy.Threshold(&prof)), nil
+	case "makeidle":
+		return policy.NewMakeIdle(prof)
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func makeActive(name string, tr trace.Trace, prof power.Profile, burstGap time.Duration) (policy.ActivePolicy, error) {
+	switch name {
+	case "none":
+		return nil, nil
+	case "learn":
+		return policy.NewLearnedDelay(), nil
+	case "fix":
+		return policy.NewFixedDelay(tr, &prof, burstGap), nil
+	default:
+		return nil, fmt.Errorf("unknown active policy %q", name)
+	}
+}
+
+func printResult(sq, res *sim.Result) {
+	t := report.NewTable(fmt.Sprintf("%s on %s", res.Policy, res.Profile),
+		"Metric", "Value")
+	t.AddRowf("total energy (J)", res.TotalJ())
+	t.AddRowf("  data (J)", res.Breakdown.DataJ)
+	t.AddRowf("  DCH tail (J)", res.Breakdown.T1TailJ)
+	t.AddRowf("  FACH tail (J)", res.Breakdown.T2TailJ)
+	t.AddRowf("  switches (J)", res.Breakdown.SwitchJ)
+	t.AddRowf("status quo energy (J)", sq.TotalJ())
+	t.AddRowf("energy saved (%)", metrics.SavingsPercent(sq, res))
+	t.AddRowf("promotions", res.Promotions)
+	t.AddRowf("switches / status quo", metrics.SwitchRatio(sq, res))
+	if res.Active != "" {
+		d := metrics.Delays(res.BurstDelays)
+		t.AddRowf("batching policy", res.Active)
+		t.AddRowf("bursts delayed", d.Count)
+		t.AddRowf("mean delay (s)", d.Mean.Seconds())
+		t.AddRowf("median delay (s)", d.Median.Seconds())
+	}
+	fmt.Print(t.String())
+}
+
+func compareAll(tr trace.Trace, prof power.Profile, opts *sim.Options) error {
+	sq, schemes, err := experiments.RunSchemes(tr, prof, opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("All schemes on %s (status quo: %.1f J, %d switches)",
+		prof.Name, sq.TotalJ(), sq.Promotions),
+		"Scheme", "Energy(J)", "Saved(%)", "Switches/statusquo", "Saved per switch(J)")
+	for _, s := range schemes {
+		t.AddRowf(s.Scheme, s.Result.TotalJ(), s.SavingsPct, s.SwitchRatio, s.SavedPerSwitchJ)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrcsim:", err)
+	os.Exit(1)
+}

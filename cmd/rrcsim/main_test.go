@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func writeTempTrace(t *testing.T, write func(f *os.File) error) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadTraceAllFormats(t *testing.T) {
+	tr := workload.Generate(workload.Game(), 1, 30*time.Minute)
+	writers := map[string]func(f *os.File) error{
+		"text":   func(f *os.File) error { return trace.WriteText(f, tr) },
+		"binary": func(f *os.File) error { return trace.WriteBinary(f, tr) },
+		"pcap":   func(f *os.File) error { return trace.WritePcap(f, tr) },
+	}
+	for name, w := range writers {
+		path := writeTempTrace(t, w)
+		got, err := readTrace(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(tr) {
+			t.Fatalf("%s: %d packets, want %d", name, len(got), len(tr))
+		}
+	}
+}
+
+func TestReadTraceMissing(t *testing.T) {
+	if _, err := readTrace("/nonexistent/file"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMakeDemoteAll(t *testing.T) {
+	tr := workload.Generate(workload.Email(), 1, time.Hour)
+	prof := power.Verizon3G
+	for _, name := range []string{"statusquo", "4.5s", "95iat", "oracle", "makeidle"} {
+		d, err := makeDemote(name, tr, prof)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d == nil {
+			t.Fatalf("%s: nil policy", name)
+		}
+	}
+	if _, err := makeDemote("nonsense", tr, prof); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestMakeActiveAll(t *testing.T) {
+	tr := workload.Generate(workload.Email(), 1, time.Hour)
+	prof := power.Verizon3G
+	if a, err := makeActive("none", tr, prof, time.Second); err != nil || a != nil {
+		t.Fatalf("none: %v %v", a, err)
+	}
+	for _, name := range []string{"learn", "fix"} {
+		a, err := makeActive(name, tr, prof, time.Second)
+		if err != nil || a == nil {
+			t.Fatalf("%s: %v %v", name, a, err)
+		}
+	}
+	if _, err := makeActive("nonsense", tr, prof, time.Second); err == nil {
+		t.Fatal("unknown active policy accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command tracegen generates synthetic packet traces: one of the paper's
+// seven application categories, or a multi-application user mix.
+//
+// Usage:
+//
+//	tracegen -app Email -seed 1 -duration 2h -o email.trc
+//	tracegen -user user3 -cohort 3g -seed 1 -duration 24h -format bin -o user3.trc
+//	tracegen -list
+//
+// The text format is one "<seconds> <in|out> <bytes>" line per packet; the
+// binary format is the compact rrcbin container. Both are read back by
+// cmd/rrcsim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "", "application category (News, IM, MicroBlog, Game, Email, Social, Finance)")
+		user     = flag.String("user", "", "user mix name (user1..user6)")
+		cohort   = flag.String("cohort", "3g", "user cohort: 3g or lte")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		duration = flag.Duration("duration", 2*time.Hour, "trace duration")
+		diurnal  = flag.Bool("diurnal", false, "apply a day/night activity mask (for multi-day traces)")
+		format   = flag.String("format", "text", "output format: text, bin or pcap")
+		out      = flag.String("o", "-", "output file (- for stdout)")
+		list     = flag.Bool("list", false, "list available apps and users")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("applications:")
+		for _, a := range workload.Apps() {
+			fmt.Printf("  %s\n", a.Name())
+		}
+		fmt.Println("users (3g):")
+		for _, u := range workload.Verizon3GUsers() {
+			fmt.Printf("  %s\n", u)
+		}
+		fmt.Println("users (lte):")
+		for _, u := range workload.VerizonLTEUsers() {
+			fmt.Printf("  %s\n", u)
+		}
+		return
+	}
+
+	tr, err := generate(*app, *user, *cohort, *seed, *duration, *diurnal)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	switch *format {
+	case "text":
+		err = trace.WriteText(w, tr)
+	case "bin":
+		err = trace.WriteBinary(w, tr)
+	case "pcap":
+		err = trace.WritePcap(w, tr)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d packets spanning %v\n", len(tr), tr.Duration())
+}
+
+func generate(app, user, cohort string, seed int64, d time.Duration, diurnal bool) (trace.Trace, error) {
+	switch {
+	case app != "" && user != "":
+		return nil, fmt.Errorf("specify -app or -user, not both")
+	case app != "":
+		m, ok := workload.AppByName(app)
+		if !ok {
+			return nil, fmt.Errorf("unknown app %q (try -list)", app)
+		}
+		if diurnal {
+			m = workload.Diurnal{Model: m, WakeHour: 8, SleepHour: 23, NightFraction: 0.15, JitterMinutes: 45}
+		}
+		return workload.Generate(m, seed, d), nil
+	case user != "":
+		var users []workload.User
+		switch cohort {
+		case "3g":
+			users = workload.Verizon3GUsers()
+		case "lte":
+			users = workload.VerizonLTEUsers()
+		default:
+			return nil, fmt.Errorf("unknown cohort %q (want 3g or lte)", cohort)
+		}
+		u, ok := workload.UserByName(users, user)
+		if !ok {
+			return nil, fmt.Errorf("unknown user %q in cohort %s (try -list)", user, cohort)
+		}
+		if diurnal {
+			u = workload.DayUser(u)
+		}
+		return u.Generate(seed, d), nil
+	default:
+		return nil, fmt.Errorf("specify -app or -user (try -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

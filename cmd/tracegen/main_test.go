@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateApp(t *testing.T) {
+	tr, err := generate("Email", "", "3g", 1, time.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestGenerateUserCohorts(t *testing.T) {
+	for _, cohort := range []string{"3g", "lte"} {
+		tr, err := generate("", "user1", cohort, 1, time.Hour, false)
+		if err != nil {
+			t.Fatalf("%s: %v", cohort, err)
+		}
+		if len(tr) == 0 {
+			t.Fatalf("%s: empty trace", cohort)
+		}
+	}
+}
+
+func TestGenerateDiurnal(t *testing.T) {
+	raw, err := generate("IM", "", "3g", 1, 24*time.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := generate("IM", "", "3g", 1, 24*time.Hour, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(masked) >= len(raw) {
+		t.Fatalf("diurnal mask did not reduce traffic: %d vs %d", len(masked), len(raw))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []struct {
+		app, user, cohort string
+	}{
+		{"Email", "user1", "3g"}, // both
+		{"", "", "3g"},           // neither
+		{"Torrent", "", "3g"},    // unknown app
+		{"", "user99", "3g"},     // unknown user
+		{"", "user1", "5g"},      // unknown cohort
+	}
+	for _, c := range cases {
+		if _, err := generate(c.app, c.user, c.cohort, 1, time.Hour, false); err == nil {
+			t.Errorf("generate(%q,%q,%q) accepted", c.app, c.user, c.cohort)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Background-sync: the scenario that motivates MakeActive (§5). A phone
+// runs several background applications (IM heartbeats, email sync, news
+// polls). MakeIdle alone saves energy but multiplies Idle->Active state
+// switches; adding MakeActive batches session starts so several apps share
+// one promotion, trading a few seconds of delay (fine for background
+// traffic) for status-quo-level signaling.
+//
+//	go run ./examples/background-sync
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	user := repro.User{
+		Name: "background-phone",
+		Apps: []repro.AppModel{repro.IM(), repro.Email(), repro.News()},
+	}
+	tr := user.Generate(7, 4*time.Hour)
+	prof := repro.Verizon3G()
+
+	statusQuo, err := repro.Simulate(tr, prof, repro.StatusQuo(), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string, active repro.ActivePolicy) {
+		makeIdle, err := repro.NewMakeIdle(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.Simulate(tr, prof, makeIdle, active, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%-28s saved %5.1f%%  switches x%.2f",
+			label, repro.SavingsPercent(statusQuo, res), repro.SwitchRatio(statusQuo, res))
+		if active != nil {
+			d := repro.Delays(res.BurstDelays)
+			line += fmt.Sprintf("  mean delay %.1fs median %.1fs",
+				d.Mean.Seconds(), d.Median.Seconds())
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Printf("%d packets over %v; status quo: %.1f J, %d switches\n\n",
+		len(tr), tr.Duration().Round(time.Minute), statusQuo.TotalJ(), statusQuo.Promotions)
+	show("MakeIdle alone", nil)
+	show("MakeIdle + MakeActive-Fix", repro.NewFixedDelay(tr, prof, time.Second))
+	show("MakeIdle + MakeActive-Learn", repro.NewLearnedDelay())
+}

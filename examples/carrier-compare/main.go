@@ -1,0 +1,42 @@
+// Carrier-compare: replay one user's traffic against all four measured
+// carrier profiles (Table 2) and compare how much MakeIdle saves on each —
+// the §6.5 cross-carrier analysis in miniature. Carriers with long
+// inactivity timers (Verizon 3G's 9.8 s t1) leave the most tail energy on
+// the table.
+//
+//	go run ./examples/carrier-compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	user := repro.Verizon3GUsers()[0]
+	tr := user.Generate(11, 4*time.Hour)
+
+	fmt.Printf("user %s: %d packets over %v\n\n", user.Name, len(tr), tr.Duration().Round(time.Minute))
+	fmt.Printf("%-14s %10s %10s %9s %12s\n", "carrier", "statusquo", "MakeIdle", "saved", "t_threshold")
+
+	for _, prof := range repro.Carriers() {
+		statusQuo, err := repro.Simulate(tr, prof, repro.StatusQuo(), nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		makeIdle, err := repro.NewMakeIdle(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.Simulate(tr, prof, makeIdle, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %9.1fJ %9.1fJ %8.1f%% %11.2fs\n",
+			prof.Name, statusQuo.TotalJ(), res.TotalJ(),
+			repro.SavingsPercent(statusQuo, res), repro.Threshold(prof).Seconds())
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: generate a synthetic email workload, run the paper's MakeIdle
+// algorithm against the deployed status quo on Verizon 3G, and print the
+// energy saved.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// Two hours of a background email client (sync every ~5 minutes).
+	tr := repro.GenerateApp(repro.Email(), 42, 2*time.Hour)
+	prof := repro.Verizon3G()
+
+	// Baseline: the carrier's inactivity timers as deployed.
+	statusQuo, err := repro.Simulate(tr, prof, repro.StatusQuo(), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// MakeIdle: predict burst ends, trigger fast dormancy early.
+	makeIdle, err := repro.NewMakeIdle(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Simulate(tr, prof, makeIdle, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:   %d packets over %v\n", len(tr), tr.Duration().Round(time.Minute))
+	fmt.Printf("status quo: %6.1f J  (%d promotions)\n", statusQuo.TotalJ(), statusQuo.Promotions)
+	fmt.Printf("MakeIdle:   %6.1f J  (%d promotions)\n", res.TotalJ(), res.Promotions)
+	fmt.Printf("saved:      %5.1f%%\n", repro.SavingsPercent(statusQuo, res))
+}

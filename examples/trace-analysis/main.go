@@ -1,0 +1,69 @@
+// Trace-analysis: the offline analysis the paper runs before designing its
+// algorithms (§2, §4.1). Given a packet trace — here generated, but the
+// same code reads tcpdump pcap files via internal/trace — print the
+// inter-arrival CDF around the interesting region, the burst structure,
+// the carrier's t_threshold, and the Oracle bound on what fast dormancy
+// could save without delaying anything.
+//
+//	go run ./examples/trace-analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	user := repro.Verizon3GUsers()[2]
+	tr := user.Generate(21, 4*time.Hour)
+	prof := repro.Verizon3G()
+	threshold := repro.Threshold(prof)
+
+	fmt.Printf("trace: %s, %d packets over %v\n", user.Name, len(tr), tr.Duration().Round(time.Minute))
+	out, in := tr.Bytes()
+	fmt.Printf("bytes: %d up / %d down\n\n", out, in)
+
+	// Inter-arrival CDF at the decision-relevant points.
+	fmt.Println("inter-arrival distribution:")
+	for _, q := range []float64{0.50, 0.75, 0.90, 0.95, 0.99} {
+		fmt.Printf("  p%-3.0f %12v\n", q*100, tr.QuantileGap(q).Round(time.Millisecond))
+	}
+	fmt.Printf("  t_threshold (%s): %v\n\n", prof.Name, threshold.Round(time.Millisecond))
+
+	// Burst structure: what MakeActive would operate on.
+	stats := tr.Summarize(time.Second)
+	fmt.Printf("bursts (1s segmentation): %d, mean %.1f packets/burst\n\n",
+		stats.Bursts, stats.MeanBurstLen)
+
+	// How many gaps exceed the threshold — each is a demotion opportunity.
+	opportunities := 0
+	var reclaimable time.Duration
+	for _, g := range tr.InterArrivals() {
+		if g > threshold {
+			opportunities++
+			tail := g
+			if tail > prof.Tail() {
+				tail = prof.Tail()
+			}
+			reclaimable += tail
+		}
+	}
+	fmt.Printf("gaps above t_threshold: %d (radio-tail time at stake: %v)\n\n",
+		opportunities, reclaimable.Round(time.Second))
+
+	// The Oracle bound: the ceiling for any no-delay policy.
+	statusQuo, err := repro.Simulate(tr, prof, repro.StatusQuo(), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := repro.Simulate(tr, prof, repro.NewOracle(prof), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status quo: %8.1f J\n", statusQuo.TotalJ())
+	fmt.Printf("oracle:     %8.1f J  (ceiling: %.1f%% could be saved without delaying traffic)\n",
+		oracle.TotalJ(), repro.SavingsPercent(statusQuo, oracle))
+}

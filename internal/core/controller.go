@@ -1,0 +1,208 @@
+// Package core implements the paper's control module (Fig. 4): the
+// component that, on a real device, sits between the socket layer and the
+// radio. It observes every socket send/receive, runs the MakeIdle decision
+// after each packet to schedule fast dormancy, and runs MakeActive when a
+// new session finds the radio Idle, buffering the session so that others
+// can share the same promotion.
+//
+// The Controller is deliberately I/O-free and clock-free: callers feed it
+// timestamped events (from a socket shim in deployment, from a trace replay
+// in tests and benchmarks) and poll Tick for due actions. That makes the
+// same code testable, benchmarkable (§6.6's overhead measurement), and
+// usable inside the simulator-driven examples.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/rrc"
+	"repro/internal/trace"
+)
+
+// Verdict tells the socket layer what to do with a packet it just handed
+// to the controller.
+type Verdict struct {
+	// Buffered is true when the packet starts a session that MakeActive
+	// is holding back; the socket layer should queue it (and everything
+	// after it in the same session) until ReleaseAt.
+	Buffered bool
+	// ReleaseAt is when the buffered session will be released (only
+	// meaningful when Buffered).
+	ReleaseAt time.Duration
+}
+
+// Config assembles a Controller.
+type Config struct {
+	// Profile is the carrier the device is attached to.
+	Profile power.Profile
+	// Demote decides fast dormancy; defaults to the status quo (never).
+	Demote policy.DemotePolicy
+	// Active batches sessions; nil disables MakeActive.
+	Active policy.ActivePolicy
+	// BurstGap separates sessions (default 1 s).
+	BurstGap time.Duration
+}
+
+// Controller is the control module. It is not safe for concurrent use; on
+// a device it would be driven from a single event loop, which is also how
+// the benchmarks drive it.
+type Controller struct {
+	machine  *rrc.Machine
+	demote   policy.DemotePolicy
+	active   policy.ActivePolicy
+	burstGap time.Duration
+
+	lastPacket   time.Duration
+	sawPacket    bool
+	dormancyAt   time.Duration // scheduled fast dormancy; Never when none
+	batchOpenAt  time.Duration // release time of the open batching window
+	batchOpen    bool
+	batchedCount int
+
+	dormancies int
+	episodes   int
+}
+
+// New builds a Controller. The profile must validate.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := rrc.New(cfg.Profile, false)
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.Demote
+	if d == nil {
+		d = policy.StatusQuo{}
+	}
+	gap := cfg.BurstGap
+	if gap <= 0 {
+		gap = time.Second
+	}
+	return &Controller{
+		machine:    m,
+		demote:     d,
+		active:     cfg.Active,
+		burstGap:   gap,
+		dormancyAt: policy.Never,
+	}, nil
+}
+
+// Machine exposes the underlying RRC machine (read-only use intended).
+func (c *Controller) Machine() *rrc.Machine { return c.machine }
+
+// Dormancies returns how many fast-dormancy requests the controller issued.
+func (c *Controller) Dormancies() int { return c.dormancies }
+
+// Episodes returns how many batching windows were opened.
+func (c *Controller) Episodes() int { return c.episodes }
+
+// Tick advances the controller's clock to now, firing any scheduled fast
+// dormancy that came due. Call it periodically (or just before OnPacket
+// with the packet's timestamp, which OnPacket does internally).
+func (c *Controller) Tick(now time.Duration) {
+	if c.dormancyAt != policy.Never && now >= c.dormancyAt {
+		at := c.dormancyAt
+		c.dormancyAt = policy.Never
+		c.machine.AdvanceTo(at)
+		if c.machine.State() != rrc.Idle {
+			c.machine.FastDormancy(at)
+			c.dormancies++
+		}
+	}
+	c.machine.AdvanceTo(now)
+	if c.batchOpen && now >= c.batchOpenAt {
+		c.batchOpen = false
+	}
+}
+
+// OnPacket reports one socket event to the controller. Events must arrive
+// in non-decreasing time order; it panics otherwise (programming error in
+// the shim, matching the trace invariants everywhere else).
+func (c *Controller) OnPacket(now time.Duration, dir trace.Direction, size int) Verdict {
+	if size < 0 || !dir.Valid() {
+		panic(fmt.Sprintf("core: bad packet (dir=%v size=%d)", dir, size))
+	}
+	if c.sawPacket && now < c.lastPacket {
+		panic(fmt.Sprintf("core: time running backwards: %v < %v", now, c.lastPacket))
+	}
+	c.Tick(now)
+
+	verdict := Verdict{}
+	newSession := !c.sawPacket || now-c.lastPacket > c.burstGap
+
+	if c.active != nil && newSession && c.machine.State() == rrc.Idle {
+		if c.batchOpen {
+			// Session joins the already-open window.
+			c.batchedCount++
+			verdict = Verdict{Buffered: true, ReleaseAt: c.batchOpenAt}
+		} else {
+			d := c.active.Delay(now)
+			if d < 0 {
+				d = 0
+			}
+			if d > 0 {
+				c.batchOpen = true
+				c.batchOpenAt = now + d
+				c.batchedCount = 1
+				c.episodes++
+				verdict = Verdict{Buffered: true, ReleaseAt: c.batchOpenAt}
+			}
+		}
+	}
+
+	if !verdict.Buffered {
+		// The packet goes out now: the radio must be (or become) Active.
+		c.observeAndDecide(now)
+	} else {
+		// The radio stays Idle; the release will be reported to the
+		// controller as ordinary traffic at ReleaseAt by the socket shim.
+		c.lastPacket = now
+		c.sawPacket = true
+	}
+	return verdict
+}
+
+// observeAndDecide passes the packet into the RRC machine, feeds the demote
+// policy and schedules the next dormancy.
+func (c *Controller) observeAndDecide(now time.Duration) {
+	if c.sawPacket {
+		c.demote.Observe(now - c.lastPacket)
+	}
+	c.machine.OnPacket(now)
+	c.lastPacket = now
+	c.sawPacket = true
+
+	w := c.demote.Decide(now)
+	if w == policy.Never {
+		c.dormancyAt = policy.Never
+		return
+	}
+	if w < 0 {
+		w = 0
+	}
+	c.dormancyAt = now + w
+}
+
+// ReleaseBatch tells the controller that the socket layer is releasing the
+// buffered batch at now (its packets follow as ordinary OnPacket events).
+// The release is what actually wakes the radio: the controller promotes it
+// here so the following packets pass straight through, and reports the
+// episode to the active policy with the observed session arrivals.
+func (c *Controller) ReleaseBatch(now time.Duration, arrivals []time.Duration) {
+	if c.active == nil {
+		return
+	}
+	c.active.ObserveEpisode(0, arrivals)
+	c.batchOpen = false
+	c.machine.AdvanceTo(now)
+	if c.machine.State() == rrc.Idle {
+		c.machine.OnPacket(now)
+		c.lastPacket = now
+		c.sawPacket = true
+	}
+}

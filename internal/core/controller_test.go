@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/rrc"
+	"repro/internal/trace"
+)
+
+func prof() power.Profile {
+	return power.Profile{
+		Name:             "test",
+		Tech:             power.Tech3G,
+		SendMW:           2000,
+		RecvMW:           1000,
+		T1MW:             1000,
+		T2MW:             500,
+		T1:               4 * time.Second,
+		T2:               8 * time.Second,
+		PromotionDelay:   time.Second,
+		PromotionMW:      1000,
+		RadioOffJ:        1.0,
+		DormancyFraction: 0.5,
+		UplinkMbps:       1,
+		DownlinkMbps:     8,
+	}
+}
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestDefaultsToStatusQuo(t *testing.T) {
+	c := mustNew(t, Config{Profile: prof()})
+	c.OnPacket(0, trace.In, 100)
+	c.Tick(sec(3))
+	if c.Dormancies() != 0 {
+		t.Fatal("status quo default should never trigger dormancy")
+	}
+	if c.Machine().State() != rrc.DCH {
+		t.Fatalf("state = %v", c.Machine().State())
+	}
+	// Timers still demote eventually.
+	c.Tick(sec(20))
+	if c.Machine().State() != rrc.Idle {
+		t.Fatalf("state = %v after tail", c.Machine().State())
+	}
+}
+
+func TestFastDormancyScheduled(t *testing.T) {
+	c := mustNew(t, Config{Profile: prof(), Demote: &policy.FixedTail{Wait: sec(2)}})
+	c.OnPacket(0, trace.Out, 100)
+	c.Tick(sec(1))
+	if c.Machine().State() != rrc.DCH {
+		t.Fatal("radio should still be up before the wait expires")
+	}
+	c.Tick(sec(2.5))
+	if c.Machine().State() != rrc.Idle {
+		t.Fatalf("state = %v, want Idle after fast dormancy", c.Machine().State())
+	}
+	if c.Dormancies() != 1 {
+		t.Fatalf("dormancies = %d", c.Dormancies())
+	}
+}
+
+func TestDormancyCanceledByTraffic(t *testing.T) {
+	c := mustNew(t, Config{Profile: prof(), Demote: &policy.FixedTail{Wait: sec(2)}})
+	c.OnPacket(0, trace.Out, 100)
+	c.OnPacket(sec(1), trace.In, 100) // re-schedules dormancy to t=3
+	c.Tick(sec(2.5))
+	if c.Machine().State() == rrc.Idle {
+		t.Fatal("dormancy fired despite fresh traffic")
+	}
+	c.Tick(sec(3.5))
+	if c.Machine().State() != rrc.Idle {
+		t.Fatal("rescheduled dormancy never fired")
+	}
+}
+
+func TestBatchingVerdict(t *testing.T) {
+	c := mustNew(t, Config{
+		Profile: prof(),
+		Demote:  &policy.FixedTail{Wait: sec(1)},
+		Active:  &policy.FixedDelay{Bound: sec(5)},
+	})
+	// First session: radio idle -> buffered.
+	v := c.OnPacket(0, trace.Out, 100)
+	if !v.Buffered || v.ReleaseAt != sec(5) {
+		t.Fatalf("first session verdict: %+v", v)
+	}
+	if c.Episodes() != 1 {
+		t.Fatalf("episodes = %d", c.Episodes())
+	}
+	// Another session inside the window joins it.
+	v2 := c.OnPacket(sec(3), trace.Out, 100)
+	if !v2.Buffered || v2.ReleaseAt != sec(5) {
+		t.Fatalf("second session verdict: %+v", v2)
+	}
+	// The release: socket layer reports the batch and replays packets.
+	c.ReleaseBatch(sec(5), []time.Duration{0, sec(3)})
+	v3 := c.OnPacket(sec(5), trace.Out, 100)
+	if v3.Buffered {
+		t.Fatal("release packet buffered again (gap below burstGap should pass through)")
+	}
+	if c.Machine().State() != rrc.DCH {
+		t.Fatalf("state after release = %v", c.Machine().State())
+	}
+}
+
+func TestNoBatchingWhenRadioActive(t *testing.T) {
+	c := mustNew(t, Config{
+		Profile: prof(),
+		Active:  &policy.FixedDelay{Bound: sec(5)},
+	})
+	c.OnPacket(0, trace.Out, 100) // idle -> buffered (episode 1)
+	c.ReleaseBatch(sec(5), []time.Duration{0})
+	c.OnPacket(sec(5), trace.Out, 100)
+	// New session 2 s later: radio in DCH (status quo timers), so the
+	// packet must pass through unbuffered.
+	v := c.OnPacket(sec(7.5), trace.Out, 100)
+	if v.Buffered {
+		t.Fatal("buffered a session while the radio was active")
+	}
+}
+
+func TestZeroDelayDoesNotBuffer(t *testing.T) {
+	c := mustNew(t, Config{Profile: prof(), Active: policy.NoBatching{}})
+	v := c.OnPacket(0, trace.Out, 100)
+	if v.Buffered {
+		t.Fatal("NoBatching must not buffer")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	c := mustNew(t, Config{Profile: prof()})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative size accepted")
+			}
+		}()
+		c.OnPacket(0, trace.In, -1)
+	}()
+	c.OnPacket(sec(1), trace.In, 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("backwards time accepted")
+			}
+		}()
+		c.OnPacket(0, trace.In, 10)
+	}()
+}
+
+func TestMakeIdleIntegration(t *testing.T) {
+	p := prof()
+	mi, err := policy.NewMakeIdle(p, policy.WithMinSample(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, Config{Profile: p, Demote: mi})
+	// Feed long-gap traffic; after warmup MakeIdle schedules dormancy and
+	// the radio should spend most time Idle.
+	now := time.Duration(0)
+	for i := 0; i < 20; i++ {
+		c.OnPacket(now, trace.In, 200)
+		now += sec(60)
+		c.Tick(now - sec(1))
+	}
+	if c.Dormancies() == 0 {
+		t.Fatal("MakeIdle never triggered dormancy through the controller")
+	}
+	idle := c.Machine().Residency(rrc.Idle)
+	total := now - sec(1)
+	if float64(idle)/float64(total) < 0.5 {
+		t.Fatalf("radio idle only %v of %v under MakeIdle", idle, total)
+	}
+}

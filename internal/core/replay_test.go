@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestReplayStatusQuoMatchesSim(t *testing.T) {
+	// The live controller and the analytic simulator implement the same
+	// model from opposite ends; under the status quo their promotion
+	// counts must agree exactly.
+	p := prof()
+	tr := workload.Generate(workload.Email(), 4, 2*time.Hour)
+
+	c := mustNew(t, Config{Profile: p})
+	got := Replay(c, tr)
+
+	want, err := sim.Run(tr, p, policy.StatusQuo{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Promotions != want.Promotions {
+		t.Fatalf("promotions: controller %d vs sim %d", got.Promotions, want.Promotions)
+	}
+	if got.FastDormancies != 0 {
+		t.Fatalf("status quo triggered %d dormancies", got.FastDormancies)
+	}
+}
+
+func TestReplayFixedTailMatchesSim(t *testing.T) {
+	p := prof()
+	tr := workload.Generate(workload.News(), 9, 2*time.Hour)
+
+	c := mustNew(t, Config{Profile: p, Demote: &policy.FixedTail{Wait: sec(2)}})
+	got := Replay(c, tr)
+
+	want, err := sim.Run(tr, p, &policy.FixedTail{Wait: sec(2)}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller fires dormancy timers only at Tick points (packet
+	// arrivals and the final settle), so a dormancy scheduled between two
+	// nearby packets can be pre-empted where the analytic engine charges
+	// it. Allow a small relative slack.
+	if d := math.Abs(float64(got.Promotions - want.Promotions)); d > 0.05*float64(want.Promotions)+2 {
+		t.Fatalf("promotions diverge: controller %d vs sim %d", got.Promotions, want.Promotions)
+	}
+}
+
+func TestReplayMakeIdleIdlesRadio(t *testing.T) {
+	p := prof()
+	tr := workload.Generate(workload.Email(), 4, 2*time.Hour)
+	mi, err := policy.NewMakeIdle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, Config{Profile: p, Demote: mi})
+	got := Replay(c, tr)
+	if got.FastDormancies == 0 {
+		t.Fatal("MakeIdle never triggered dormancy through Replay")
+	}
+	total := got.IdleTime + got.FACHTime + got.DCHTime
+	if got.IdleTime < total/2 {
+		t.Fatalf("radio idle only %v of %v under MakeIdle", got.IdleTime, total)
+	}
+}
+
+func TestReplayWithBatching(t *testing.T) {
+	p := prof()
+	u := workload.User{Name: "u", Apps: []workload.AppModel{workload.IM(), workload.Email()}}
+	tr := u.Generate(6, time.Hour)
+	mi, err := policy.NewMakeIdle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, Config{
+		Profile: p,
+		Demote:  mi,
+		Active:  &policy.FixedDelay{Bound: 5 * time.Second},
+	})
+	got := Replay(c, tr)
+	if got.Episodes == 0 || got.Buffered == 0 {
+		t.Fatalf("no batching through Replay: %+v", got)
+	}
+	if got.Promotions == 0 {
+		t.Fatal("no promotions at all")
+	}
+}
+
+func TestReplayResidencyConservation(t *testing.T) {
+	p := prof()
+	tr := workload.Generate(workload.Game(), 2, time.Hour)
+	c := mustNew(t, Config{Profile: p, Demote: &policy.FixedTail{Wait: sec(1)}})
+	got := Replay(c, tr)
+	total := got.IdleTime + got.FACHTime + got.DCHTime
+	want := tr.Duration() + p.Tail() + time.Minute
+	if total != want {
+		t.Fatalf("residency %v != elapsed %v", total, want)
+	}
+}

@@ -1,0 +1,225 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/power"
+)
+
+// testProfile is a round-number profile that makes the piecewise arithmetic
+// easy to verify by hand: Pt1 = 1000 mW = 1 W, Pt2 = 500 mW, t1 = 4 s,
+// t2 = 8 s.
+func testProfile() power.Profile {
+	return power.Profile{
+		Name:             "test",
+		Tech:             power.Tech3G,
+		SendMW:           2000,
+		RecvMW:           1000,
+		T1MW:             1000,
+		T2MW:             500,
+		T1:               4 * time.Second,
+		T2:               8 * time.Second,
+		PromotionDelay:   time.Second,
+		PromotionMW:      1000,
+		RadioOffJ:        1.0,
+		DormancyFraction: 0.5,
+		UplinkMbps:       1,
+		DownlinkMbps:     8,
+	}
+}
+
+func TestTailJPiecewise(t *testing.T) {
+	p := testProfile()
+	cases := []struct {
+		d    time.Duration
+		want float64
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{2 * time.Second, 2.0},        // inside t1 at 1 W
+		{4 * time.Second, 4.0},        // all of t1
+		{6 * time.Second, 4.0 + 1.0},  // t1 + 2 s at 0.5 W
+		{12 * time.Second, 4.0 + 4.0}, // full tail
+		{20 * time.Second, 4.0 + 4.0}, // saturated
+	}
+	for _, c := range cases {
+		if got := TailJ(&p, c.d); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TailJ(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestGapJ(t *testing.T) {
+	p := testProfile()
+	// Inside the tail: same as TailJ.
+	if got, want := GapJ(&p, 3*time.Second), 3.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("GapJ(3s) = %v, want %v", got, want)
+	}
+	// Beyond the tail: saturated tail + Eswitch.
+	want := 8.0 + p.SwitchJ()
+	if got := GapJ(&p, time.Minute); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("GapJ(1m) = %v, want %v", got, want)
+	}
+}
+
+func TestGapJMonotone(t *testing.T) {
+	p := testProfile()
+	prev := -1.0
+	for d := time.Duration(0); d <= 30*time.Second; d += 100 * time.Millisecond {
+		e := GapJ(&p, d)
+		if e < prev-1e-12 {
+			t.Fatalf("E(t) decreased at %v: %v < %v", d, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestThresholdInT1Region(t *testing.T) {
+	p := testProfile()
+	// Eswitch = 0.5*1.0 + 1.0 = 1.5 J; at 1 W in the T1 region the
+	// threshold is 1.5 s, inside t1 = 4 s.
+	want := 1500 * time.Millisecond
+	got := Threshold(&p)
+	if d := got - want; d > time.Millisecond || d < -time.Millisecond {
+		t.Fatalf("Threshold = %v, want %v", got, want)
+	}
+	// Defining property: E(t* + eps) > Eswitch >= E(t* - eps).
+	eps := 10 * time.Millisecond
+	if GapJ(&p, got+eps) <= p.SwitchJ() {
+		t.Fatal("E just above threshold should exceed Eswitch")
+	}
+	if GapJ(&p, got-eps) > p.SwitchJ() {
+		t.Fatal("E just below threshold should not exceed Eswitch")
+	}
+}
+
+func TestThresholdInT2Region(t *testing.T) {
+	p := testProfile()
+	p.RadioOffJ = 8.0 // Eswitch = 4 + 1 = 5 J > t1*Pt1 = 4 J
+	// Remaining 1 J at 0.5 W = 2 s into t2: threshold = 6 s.
+	want := 6 * time.Second
+	got := Threshold(&p)
+	if d := got - want; d > time.Millisecond || d < -time.Millisecond {
+		t.Fatalf("Threshold = %v, want %v", got, want)
+	}
+}
+
+func TestThresholdSaturated(t *testing.T) {
+	p := testProfile()
+	p.RadioOffJ = 100 // Eswitch far exceeds the whole tail energy (8 J)
+	if got := Threshold(&p); got != p.Tail() {
+		t.Fatalf("Threshold = %v, want tail %v", got, p.Tail())
+	}
+}
+
+func TestThresholdLTE(t *testing.T) {
+	p := power.VerizonLTE
+	th := Threshold(&p)
+	if th <= 0 || th > p.Tail() {
+		t.Fatalf("LTE threshold out of range: %v", th)
+	}
+	// Known value: Eswitch/Pt1 with Eswitch = 0.5*1.33 + 1.325*0.6 = 1.46 J,
+	// Pt1 = 1.325 W -> ~1.1 s.
+	want := (0.5*1.33 + 1.325*0.6) / 1.325
+	if math.Abs(th.Seconds()-want) > 0.01 {
+		t.Fatalf("LTE threshold = %v s, want %.3f s", th.Seconds(), want)
+	}
+}
+
+func TestThresholdATTRoughlyPaperValue(t *testing.T) {
+	// §4.1: on AT&T the paper computes t_threshold ~ 1.2 s. Our Eswitch is
+	// modelled, not measured, so allow a loose band — same order, < t1.
+	p := power.ATTHSPAPlus
+	th := Threshold(&p)
+	if th < 500*time.Millisecond || th > 4*time.Second {
+		t.Fatalf("AT&T threshold = %v, want around 1-2 s", th)
+	}
+}
+
+func TestTxJ(t *testing.T) {
+	p := testProfile()
+	// 125000 B = 1 Mb at 1 Mbps uplink = 1 s at 2 W = 2 J.
+	if got := TxJ(&p, 125000, true); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("TxJ uplink = %v, want 2", got)
+	}
+	// Downlink at 8 Mbps = 0.125 s at 1 W = 0.125 J.
+	if got := TxJ(&p, 125000, false); math.Abs(got-0.125) > 1e-9 {
+		t.Fatalf("TxJ downlink = %v, want 0.125", got)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(Breakdown{DataJ: 1, T1TailJ: 2, T2TailJ: 3, SwitchJ: 4})
+	b.Add(Breakdown{DataJ: 1})
+	if b.Total() != 11 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	data, t1, t2, sw := b.Fractions()
+	if math.Abs(data-2.0/11) > 1e-9 || math.Abs(t1-2.0/11) > 1e-9 ||
+		math.Abs(t2-3.0/11) > 1e-9 || math.Abs(sw-4.0/11) > 1e-9 {
+		t.Fatalf("Fractions = %v %v %v %v", data, t1, t2, sw)
+	}
+}
+
+func TestBreakdownEmptyFractions(t *testing.T) {
+	var b Breakdown
+	d, a, c, s := b.Fractions()
+	if d != 0 || a != 0 || c != 0 || s != 0 {
+		t.Fatal("empty breakdown fractions should be zero")
+	}
+}
+
+func TestTailBreakdownMatchesTailJ(t *testing.T) {
+	p := testProfile()
+	for _, d := range []time.Duration{0, time.Second, 5 * time.Second, 30 * time.Second} {
+		a, b := TailBreakdown(&p, d)
+		if got, want := a+b, TailJ(&p, d); math.Abs(got-want) > 1e-9 {
+			t.Errorf("TailBreakdown(%v) sums to %v, TailJ = %v", d, got, want)
+		}
+	}
+}
+
+func TestPropertyThresholdIsCrossover(t *testing.T) {
+	// For random valid profiles, E(t) < Eswitch for t well below the
+	// threshold and E(t) >= Eswitch at or above it.
+	f := func(radioOffRaw, t1Raw, t2Raw uint8) bool {
+		p := testProfile()
+		p.RadioOffJ = 0.1 + float64(radioOffRaw)/16
+		p.T1 = time.Duration(1+int(t1Raw)%10) * time.Second
+		p.T2 = time.Duration(int(t2Raw)%10) * time.Second
+		if p.T2 == 0 {
+			p.T2MW = 0
+		}
+		th := Threshold(&p)
+		if th <= 0 {
+			return false
+		}
+		below := th - th/10
+		if below > 0 && GapJ(&p, below) > p.SwitchJ()+1e-9 {
+			return false
+		}
+		// At any point beyond the threshold, keeping the radio on (or the
+		// status quo behaviour) is at least as expensive as switching.
+		above := th + th/10 + time.Millisecond
+		return GapJ(&p, above) >= p.SwitchJ()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTailNeverExceedsFullTail(t *testing.T) {
+	f := func(dRaw uint16) bool {
+		p := testProfile()
+		d := time.Duration(dRaw) * time.Millisecond * 10
+		full := TailJ(&p, p.Tail())
+		return TailJ(&p, d) <= full+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) from the synthetic workload substrate. Each experiment is
+// a pure function of a Config (seed + durations), returns renderable
+// output, and is registered in All so cmd/experiments and the benchmark
+// harness can enumerate them.
+//
+// The correspondence between experiment IDs, paper artifacts, workloads and
+// modules is tabulated in DESIGN.md; measured-vs-paper numbers are recorded
+// in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a run. The zero value is usable: DefaultConfig
+// values are substituted for unset fields.
+type Config struct {
+	// Seed drives every generator; equal seeds give identical output.
+	Seed int64
+	// AppDuration is the length of per-application traces (Fig. 1, 9).
+	AppDuration time.Duration
+	// UserDuration is the length of per-user traces (Figs. 10-18).
+	UserDuration time.Duration
+}
+
+// DefaultConfig mirrors the paper's 2-hour application traces and uses
+// 4-hour user traces (long enough for stable statistics, short enough for
+// quick regeneration; the CLI can raise it).
+func DefaultConfig() Config {
+	return Config{Seed: 1, AppDuration: 2 * time.Hour, UserDuration: 4 * time.Hour}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.AppDuration <= 0 {
+		c.AppDuration = d.AppDuration
+	}
+	if c.UserDuration <= 0 {
+		c.UserDuration = d.UserDuration
+	}
+	return c
+}
+
+// Experiment couples an ID (the paper artifact it regenerates) with its
+// driver. Run returns human-readable output (tables/series rendered as
+// text).
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (string, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"tab1", "Table 1: send/receive power", Table1},
+		{"tab2", "Table 2: power and inactivity timers", Table2},
+		{"fig1", "Figure 1: energy by radio state per application", Fig1},
+		{"fig3", "Figure 3: power timeline across a state-switch cycle", Fig3},
+		{"fig8", "Figure 8: simulation energy error", Fig8},
+		{"fig9", "Figure 9: energy savings per application", Fig9},
+		{"fig10", "Figure 10: per-user results, Verizon 3G", Fig10},
+		{"fig11", "Figure 11: per-user results, Verizon LTE", Fig11},
+		{"fig12", "Figure 12: false and missed switches", Fig12},
+		{"fig13", "Figure 13: FP/FN vs window size", Fig13},
+		{"fig14", "Figure 14: t_wait trajectory", Fig14},
+		{"fig15", "Figure 15: burst delays, learning vs fixed", Fig15},
+		{"fig16", "Figure 16: learned delay vs iteration", Fig16},
+		{"fig17", "Figure 17: energy saved per carrier", Fig17},
+		{"fig18", "Figure 18: state switches per carrier", Fig18},
+		{"tab3", "Table 3: session delays per carrier", Table3},
+		{"sens", "Sensitivity: fast-dormancy cost fraction", DormancySensitivity},
+		{"bs", "Extension (§8): base-station signaling load", BaseStationLoad},
+		{"buf", "Extension (§8): base-station downlink buffering", DownlinkBufferingTrade},
+		{"life", "Conclusion: battery lifetime estimate", LifetimeEstimate},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Scheme names, in the order the paper's figure legends use.
+const (
+	SchemeFourFive  = "4.5-second"
+	Scheme95IAT     = "95% IAT"
+	SchemeMakeIdle  = "MakeIdle"
+	SchemeOracle    = "Oracle"
+	SchemeCombLearn = "MakeIdle+MakeActive Learn"
+	SchemeCombFix   = "MakeIdle+MakeActive Fix"
+	SchemeStatusQuo = "StatusQuo"
+)
+
+// SchemeNames lists the six evaluated schemes (status quo is the baseline,
+// not a scheme).
+func SchemeNames() []string {
+	return []string{
+		SchemeFourFive, Scheme95IAT, SchemeMakeIdle, SchemeOracle,
+		SchemeCombLearn, SchemeCombFix,
+	}
+}
+
+// SchemeResult is one scheme's outcome on one trace, with the status-quo
+// relative metrics the figures plot.
+type SchemeResult struct {
+	Scheme          string
+	Result          *sim.Result
+	SavingsPct      float64
+	SwitchRatio     float64
+	SavedPerSwitchJ float64
+}
+
+// RunSchemes evaluates the six schemes (plus the status-quo baseline,
+// returned first) on a trace under a profile. Options are applied to every
+// run.
+func RunSchemes(tr trace.Trace, prof power.Profile, opts *sim.Options) (statusQuo *sim.Result, schemes []SchemeResult, err error) {
+	statusQuo, err = sim.Run(tr, prof, policy.StatusQuo{}, nil, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	mk := func() (policy.DemotePolicy, error) { return policy.NewMakeIdle(prof) }
+	th := energy.Threshold(&prof)
+
+	type spec struct {
+		name   string
+		demote func() (policy.DemotePolicy, error)
+		active func() policy.ActivePolicy
+	}
+	specs := []spec{
+		{SchemeFourFive, func() (policy.DemotePolicy, error) { return policy.NewFourPointFive(), nil }, nil},
+		{Scheme95IAT, func() (policy.DemotePolicy, error) { return policy.NewPercentileIAT(tr, 0.95), nil }, nil},
+		{SchemeMakeIdle, mk, nil},
+		{SchemeOracle, func() (policy.DemotePolicy, error) { return policy.NewOracle(th), nil }, nil},
+		{SchemeCombLearn, mk, func() policy.ActivePolicy { return policy.NewLearnedDelay() }},
+		{SchemeCombFix, mk, func() policy.ActivePolicy {
+			bg := time.Second
+			if opts != nil && opts.BurstGap > 0 {
+				bg = opts.BurstGap
+			}
+			return policy.NewFixedDelay(tr, &prof, bg)
+		}},
+	}
+
+	for _, s := range specs {
+		d, err := s.demote()
+		if err != nil {
+			return nil, nil, fmt.Errorf("scheme %s: %w", s.name, err)
+		}
+		var a policy.ActivePolicy
+		if s.active != nil {
+			a = s.active()
+		}
+		r, err := sim.Run(tr, prof, d, a, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scheme %s: %w", s.name, err)
+		}
+		schemes = append(schemes, SchemeResult{
+			Scheme:          s.name,
+			Result:          r,
+			SavingsPct:      metrics.SavingsPercent(statusQuo, r),
+			SwitchRatio:     metrics.SwitchRatio(statusQuo, r),
+			SavedPerSwitchJ: metrics.EnergySavedPerSwitchJ(statusQuo, r),
+		})
+	}
+	return statusQuo, schemes, nil
+}
+
+// userTraces generates the per-user traces for a carrier's cohort.
+func userTraces(users []workload.User, seed int64, d time.Duration) []trace.Trace {
+	out := make([]trace.Trace, len(users))
+	for i, u := range users {
+		out[i] = u.Generate(seed+int64(i)*7919, d)
+	}
+	return out
+}
+
+// meanOf averages a float extractor over scheme results grouped by scheme
+// name across several runs.
+func meanBy(results [][]SchemeResult, f func(SchemeResult) float64) map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, rs := range results {
+		for _, r := range rs {
+			sums[r.Scheme] += f(r)
+			counts[r.Scheme]++
+		}
+	}
+	out := map[string]float64{}
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}
+
+// sortedKeys returns map keys in SchemeNames order, then alphabetical for
+// any extras.
+func schemeOrder(m map[string]float64) []string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, k := range SchemeNames() {
+		if _, ok := m[k]; ok {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	var rest []string
+	for k := range m {
+		if !seen[k] {
+			rest = append(rest, k)
+		}
+	}
+	sort.Strings(rest)
+	return append(keys, rest...)
+}

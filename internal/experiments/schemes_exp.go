@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig9 regenerates Figure 9: energy saved per application category by each
+// of the six schemes, on a 3G profile (T-Mobile, the network of the
+// paper's per-application phones).
+func Fig9(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	headers := append([]string{"Application"}, SchemeNames()...)
+	t := report.NewTable("Figure 9: energy saved per application (%, T-Mobile 3G)", headers...)
+	for i, app := range workload.Apps() {
+		tr := workload.Generate(app, cfg.Seed+int64(i), cfg.AppDuration)
+		_, schemes, err := RunSchemes(tr, power.TMobile3G, nil)
+		if err != nil {
+			return "", fmt.Errorf("fig9 %s: %w", app.Name(), err)
+		}
+		row := []interface{}{app.Name()}
+		for _, s := range schemes {
+			row = append(row, s.SavingsPct)
+		}
+		t.AddRowf(row...)
+	}
+	return t.String(), nil
+}
+
+// perUserTables runs the six schemes for every user of a cohort and renders
+// the three panels of Figs. 10/11: savings, normalized switches, and energy
+// saved per switch.
+func perUserTables(title string, users []workload.User, prof power.Profile, cfg Config) (string, error) {
+	headers := append([]string{"User"}, SchemeNames()...)
+	savings := report.NewTable(title+" (a) energy saved (%)", headers...)
+	switches := report.NewTable(title+" (b) state switches normalized by status quo", headers...)
+	perSwitch := report.NewTable(title+" (c) energy saved per state switch (J)", headers...)
+
+	for i, u := range users {
+		tr := u.Generate(cfg.Seed+int64(i)*7919, cfg.UserDuration)
+		_, schemes, err := RunSchemes(tr, prof, nil)
+		if err != nil {
+			return "", fmt.Errorf("%s %s: %w", title, u.Name, err)
+		}
+		rowA := []interface{}{u.Name}
+		rowB := []interface{}{u.Name}
+		rowC := []interface{}{u.Name}
+		for _, s := range schemes {
+			rowA = append(rowA, s.SavingsPct)
+			rowB = append(rowB, s.SwitchRatio)
+			rowC = append(rowC, s.SavedPerSwitchJ)
+		}
+		savings.AddRowf(rowA...)
+		switches.AddRowf(rowB...)
+		perSwitch.AddRowf(rowC...)
+	}
+	return savings.String() + "\n" + switches.String() + "\n" + perSwitch.String(), nil
+}
+
+// Fig10 regenerates Figure 10: per-user results in the Verizon 3G network.
+func Fig10(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	return perUserTables("Figure 10: Verizon 3G", workload.Verizon3GUsers(), power.Verizon3G, cfg)
+}
+
+// Fig11 regenerates Figure 11: per-user results in the Verizon LTE network.
+func Fig11(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	return perUserTables("Figure 11: Verizon LTE", workload.VerizonLTEUsers(), power.VerizonLTE, cfg)
+}
+
+// CarrierResults runs every user cohort's traces against one carrier
+// profile and averages each scheme's metrics — the computation behind
+// Figs. 17/18 and Table 3. The same traces (the full 3G cohort) are
+// replayed against every carrier, as in §6.5. Users are simulated in
+// parallel: each run is a pure function of (trace, profile), so the only
+// shared state is the result slice, written at distinct indices.
+func CarrierResults(prof power.Profile, cfg Config) (map[string]float64, map[string]float64, []SchemeResult, error) {
+	cfg = cfg.withDefaults()
+	users := workload.Verizon3GUsers()
+	traces := userTraces(users, cfg.Seed, cfg.UserDuration)
+
+	all := make([][]SchemeResult, len(traces))
+	errs := make([]error, len(traces))
+	var wg sync.WaitGroup
+	for i, tr := range traces {
+		wg.Add(1)
+		go func(i int, tr trace.Trace) {
+			defer wg.Done()
+			_, schemes, err := RunSchemes(tr, prof, nil)
+			all[i], errs[i] = schemes, err
+		}(i, tr)
+	}
+	wg.Wait()
+	var flat []SchemeResult
+	for i := range all {
+		if errs[i] != nil {
+			return nil, nil, nil, errs[i]
+		}
+		flat = append(flat, all[i]...)
+	}
+	savings := meanBy(all, func(s SchemeResult) float64 { return s.SavingsPct })
+	ratios := meanBy(all, func(s SchemeResult) float64 { return s.SwitchRatio })
+	return savings, ratios, flat, nil
+}
+
+// Fig17 regenerates Figure 17: mean energy saved per carrier per scheme.
+func Fig17(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	headers := append([]string{"Carrier"}, SchemeNames()...)
+	t := report.NewTable("Figure 17: energy saved for different carrier parameters (%)", headers...)
+	for _, prof := range power.Carriers() {
+		savings, _, _, err := CarrierResults(prof, cfg)
+		if err != nil {
+			return "", fmt.Errorf("fig17 %s: %w", prof.Name, err)
+		}
+		row := []interface{}{prof.Name}
+		for _, k := range schemeOrder(savings) {
+			row = append(row, savings[k])
+		}
+		t.AddRowf(row...)
+	}
+	return t.String(), nil
+}
+
+// Fig18 regenerates Figure 18: mean state switches normalized by the status
+// quo, per carrier per scheme.
+func Fig18(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	headers := append([]string{"Carrier"}, SchemeNames()...)
+	t := report.NewTable("Figure 18: state switches normalized by status quo", headers...)
+	for _, prof := range power.Carriers() {
+		_, ratios, _, err := CarrierResults(prof, cfg)
+		if err != nil {
+			return "", fmt.Errorf("fig18 %s: %w", prof.Name, err)
+		}
+		row := []interface{}{prof.Name}
+		for _, k := range schemeOrder(ratios) {
+			row = append(row, ratios[k])
+		}
+		t.AddRowf(row...)
+	}
+	return t.String(), nil
+}
+
+// DormancySensitivity re-runs MakeIdle with the fast-dormancy cost modelled
+// at 10/20/40/50% of the radio-off energy (§6.1's robustness check).
+func DormancySensitivity(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	u := workload.Verizon3GUsers()[0]
+	tr := u.Generate(cfg.Seed, cfg.UserDuration)
+	t := report.NewTable("Sensitivity: MakeIdle savings vs fast-dormancy cost fraction (Verizon 3G, user1)",
+		"Fraction", "Savings(%)", "Switches/statusquo")
+	for _, f := range []float64{0.1, 0.2, 0.4, 0.5} {
+		prof := power.Verizon3G.WithDormancyFraction(f)
+		_, schemes, err := RunSchemes(tr, prof, nil)
+		if err != nil {
+			return "", err
+		}
+		for _, s := range schemes {
+			if s.Scheme == SchemeMakeIdle {
+				t.AddRowf(f, s.SavingsPct, s.SwitchRatio)
+			}
+		}
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestClusteredSessions(t *testing.T) {
+	tr := ClusteredSessions(1, time.Hour)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("empty clustered-session trace")
+	}
+	// Groups ~40 s apart: burst count at 5 s segmentation should be close
+	// to duration/40s.
+	groups := tr.Bursts(5 * time.Second)
+	if len(groups) < 50 || len(groups) > 110 {
+		t.Fatalf("got %d groups over an hour, want ~80", len(groups))
+	}
+	// Within a group, everything fits in a few seconds.
+	for _, g := range groups {
+		if g.Span() > 12*time.Second {
+			t.Fatalf("group spans %v, want clustered", g.Span())
+		}
+	}
+}
+
+func TestPushWorkloadIsDownlinkOnly(t *testing.T) {
+	tr := PushWorkload(2, time.Hour)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("empty push workload")
+	}
+	for _, p := range tr {
+		if p.Dir != trace.In {
+			t.Fatalf("push workload contains uplink packet: %+v", p)
+		}
+		if p.Size < 300 || p.Size > 900 {
+			t.Fatalf("push size %d outside [300,900)", p.Size)
+		}
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a := PushWorkload(5, 30*time.Minute)
+	b := PushWorkload(5, 30*time.Minute)
+	if len(a) != len(b) {
+		t.Fatal("PushWorkload not deterministic")
+	}
+	c := ClusteredSessions(5, 30*time.Minute)
+	d := ClusteredSessions(5, 30*time.Minute)
+	if len(c) != len(d) {
+		t.Fatal("ClusteredSessions not deterministic")
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatal("ClusteredSessions packets differ")
+		}
+	}
+}

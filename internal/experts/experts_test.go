@@ -1,0 +1,278 @@
+package experts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func sumsToOne(w []float64) bool {
+	var s float64
+	for _, v := range w {
+		if v < 0 || math.IsNaN(v) {
+			return false
+		}
+		s += v
+	}
+	return almostEq(s, 1)
+}
+
+func TestNewFixedShareUniform(t *testing.T) {
+	f := NewFixedShare(4, 0.1)
+	if f.N() != 4 || f.Alpha() != 0.1 {
+		t.Fatalf("n=%d alpha=%v", f.N(), f.Alpha())
+	}
+	for _, w := range f.Weights() {
+		if !almostEq(w, 0.25) {
+			t.Fatalf("initial weights not uniform: %v", f.Weights())
+		}
+	}
+}
+
+func TestNewFixedSharePanics(t *testing.T) {
+	for _, c := range []struct {
+		n     int
+		alpha float64
+	}{{0, 0.1}, {3, -0.1}, {3, 1.1}, {3, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFixedShare(%d, %v) did not panic", c.n, c.alpha)
+				}
+			}()
+			NewFixedShare(c.n, c.alpha)
+		}()
+	}
+}
+
+func TestPredictWeightedAverage(t *testing.T) {
+	f := NewFixedShare(2, 0)
+	if got := f.Predict([]float64{2, 6}); !almostEq(got, 4) {
+		t.Fatalf("uniform predict = %v, want 4", got)
+	}
+}
+
+func TestPredictPanicsOnMismatch(t *testing.T) {
+	f := NewFixedShare(3, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Predict did not panic")
+		}
+	}()
+	f.Predict([]float64{1, 2})
+}
+
+func TestUpdateShiftsWeightToGoodExpert(t *testing.T) {
+	f := NewFixedShare(3, 0.01)
+	// Expert 0 is consistently best.
+	for i := 0; i < 20; i++ {
+		f.Update([]float64{0.1, 1.0, 2.0})
+	}
+	w := f.Weights()
+	if !(w[0] > w[1] && w[1] > w[2]) {
+		t.Fatalf("weights not ordered by loss: %v", w)
+	}
+	if f.Best() != 0 {
+		t.Fatalf("Best = %d", f.Best())
+	}
+	if !sumsToOne(w) {
+		t.Fatalf("weights do not sum to 1: %v", w)
+	}
+}
+
+func TestFixedShareTracksSwitches(t *testing.T) {
+	// With alpha > 0 the bank recovers when the best expert changes;
+	// with alpha = 0 recovery is much slower.
+	losses := func(best int, n int) []float64 {
+		l := make([]float64, n)
+		for i := range l {
+			if i != best {
+				l[i] = 2
+			}
+		}
+		return l
+	}
+	adaptive := NewFixedShare(2, 0.2)
+	static := NewFixedShare(2, 0)
+	for i := 0; i < 30; i++ {
+		adaptive.Update(losses(0, 2))
+		static.Update(losses(0, 2))
+	}
+	for i := 0; i < 5; i++ {
+		adaptive.Update(losses(1, 2))
+		static.Update(losses(1, 2))
+	}
+	if adaptive.Weights()[1] <= static.Weights()[1] {
+		t.Fatalf("fixed-share did not adapt faster: adaptive=%v static=%v",
+			adaptive.Weights(), static.Weights())
+	}
+}
+
+func TestUpdateDegenerateLosses(t *testing.T) {
+	f := NewFixedShare(3, 0.1)
+	f.Update([]float64{math.NaN(), math.Inf(1), 1e300})
+	if !sumsToOne(f.Weights()) {
+		t.Fatalf("weights invalid after degenerate update: %v", f.Weights())
+	}
+}
+
+func TestSingleExpertStable(t *testing.T) {
+	f := NewFixedShare(1, 0.5)
+	f.Update([]float64{3})
+	if !almostEq(f.Weights()[0], 1) {
+		t.Fatalf("single-expert weight = %v", f.Weights()[0])
+	}
+	if got := f.Predict([]float64{7}); !almostEq(got, 7) {
+		t.Fatalf("single-expert predict = %v", got)
+	}
+}
+
+func TestMixLoss(t *testing.T) {
+	f := NewFixedShare(2, 0)
+	// Uniform over losses {0, 0}: mixture e^0 = 1 -> loss 0.
+	if got := f.MixLoss([]float64{0, 0}); !almostEq(got, 0) {
+		t.Fatalf("MixLoss(0,0) = %v", got)
+	}
+	// Uniform over {0, inf}: z = 0.5 -> loss ln 2.
+	got := f.MixLoss([]float64{0, 1e9})
+	if math.Abs(got-math.Log(2)) > 1e-6 {
+		t.Fatalf("MixLoss = %v, want ln2", got)
+	}
+}
+
+func TestMixLossPanicsOnMismatch(t *testing.T) {
+	f := NewFixedShare(2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	f.MixLoss([]float64{1})
+}
+
+func TestLearnAlphaBasics(t *testing.T) {
+	l := NewLearnAlpha(5, DefaultAlphas())
+	if l.N() != 5 || l.Banks() != len(DefaultAlphas()) {
+		t.Fatalf("N=%d banks=%d", l.N(), l.Banks())
+	}
+	if !sumsToOne(l.TopWeights()) {
+		t.Fatal("top weights not a distribution")
+	}
+	vals := []float64{1, 2, 3, 4, 5}
+	if got := l.Predict(vals); !almostEq(got, 3) {
+		t.Fatalf("initial predict = %v, want 3 (uniform)", got)
+	}
+}
+
+func TestLearnAlphaPanicsOnNoAlphas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLearnAlpha(3, nil)
+}
+
+func TestLearnAlphaConvergesToGoodExpert(t *testing.T) {
+	l := NewLearnAlpha(4, DefaultAlphas())
+	vals := []float64{1, 2, 3, 4}
+	for i := 0; i < 50; i++ {
+		// Expert 2 (value 3) is always best.
+		l.Update([]float64{2, 1, 0.05, 1.5})
+	}
+	got := l.Predict(vals)
+	if math.Abs(got-3) > 0.5 {
+		t.Fatalf("prediction %v did not converge near 3", got)
+	}
+}
+
+func TestLearnAlphaPrefersHighAlphaUnderSwitching(t *testing.T) {
+	// Rapidly alternating best expert favours banks with larger alpha.
+	l := NewLearnAlpha(2, []float64{0.001, 0.4})
+	for i := 0; i < 60; i++ {
+		best := i % 2
+		losses := []float64{1.5, 1.5}
+		losses[best] = 0
+		l.Update(losses)
+	}
+	if got := l.BestAlpha(); got != 0.4 {
+		t.Fatalf("BestAlpha = %v, want 0.4 under rapid switching", got)
+	}
+}
+
+func TestLearnAlphaPrefersLowAlphaWhenStationary(t *testing.T) {
+	l := NewLearnAlpha(2, []float64{0.001, 0.4})
+	for i := 0; i < 60; i++ {
+		l.Update([]float64{0, 1.5})
+	}
+	if got := l.BestAlpha(); got != 0.001 {
+		t.Fatalf("BestAlpha = %v, want 0.001 when stationary", got)
+	}
+}
+
+func TestLearnAlphaDegenerateLosses(t *testing.T) {
+	l := NewLearnAlpha(3, DefaultAlphas())
+	l.Update([]float64{math.Inf(1), math.NaN(), 1e308})
+	if !sumsToOne(l.TopWeights()) {
+		t.Fatal("top weights invalid after degenerate update")
+	}
+}
+
+func TestPropertyWeightsAlwaysDistribution(t *testing.T) {
+	f := func(seed int64, alphaRaw uint8, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%8 + 1
+		alpha := float64(alphaRaw) / 255
+		fs := NewFixedShare(n, alpha)
+		la := NewLearnAlpha(n, DefaultAlphas())
+		for i := 0; i < 50; i++ {
+			losses := make([]float64, n)
+			for j := range losses {
+				losses[j] = r.Float64() * 5
+			}
+			fs.Update(losses)
+			la.Update(losses)
+			if !sumsToOne(fs.Weights()) || !sumsToOne(la.TopWeights()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPredictWithinValueRange(t *testing.T) {
+	// A convex combination never leaves [min, max] of the expert values.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5
+		la := NewLearnAlpha(n, DefaultAlphas())
+		vals := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range vals {
+			vals[i] = r.Float64() * 10
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		for i := 0; i < 20; i++ {
+			losses := make([]float64, n)
+			for j := range losses {
+				losses[j] = r.Float64() * 3
+			}
+			la.Update(losses)
+			p := la.Predict(vals)
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

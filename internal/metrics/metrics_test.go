@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+)
+
+func res(totalJ float64, promotions int) *sim.Result {
+	return &sim.Result{
+		Breakdown:  energy.Breakdown{DataJ: totalJ},
+		Promotions: promotions,
+	}
+}
+
+func TestSavingsPercent(t *testing.T) {
+	if got := SavingsPercent(res(100, 1), res(40, 1)); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("savings = %v, want 60", got)
+	}
+	if got := SavingsPercent(res(100, 1), res(120, 1)); math.Abs(got+20) > 1e-9 {
+		t.Fatalf("negative savings = %v, want -20", got)
+	}
+	if got := SavingsPercent(res(0, 1), res(10, 1)); got != 0 {
+		t.Fatalf("zero baseline savings = %v", got)
+	}
+}
+
+func TestSwitchRatio(t *testing.T) {
+	if got := SwitchRatio(res(1, 10), res(1, 35)); math.Abs(got-3.5) > 1e-9 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if got := SwitchRatio(res(1, 0), res(1, 5)); got != 0 {
+		t.Fatalf("zero-baseline ratio = %v", got)
+	}
+}
+
+func TestEnergySavedPerSwitch(t *testing.T) {
+	if got := EnergySavedPerSwitchJ(res(100, 10), res(40, 20)); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("J/switch = %v, want 3", got)
+	}
+	if got := EnergySavedPerSwitchJ(res(100, 10), res(40, 0)); got != 0 {
+		t.Fatalf("zero-switch J/switch = %v", got)
+	}
+}
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func TestScore(t *testing.T) {
+	th := sec(2)
+	decisions := []sim.GapDecision{
+		{Gap: sec(5), Demoted: true},  // TP
+		{Gap: sec(1), Demoted: true},  // FP
+		{Gap: sec(5), Demoted: false}, // FN (missed)
+		{Gap: sec(1), Demoted: false}, // TN
+		{Gap: sec(3), Demoted: true},  // TP
+	}
+	c := Score(decisions, th)
+	if c.TruePositives != 2 || c.FalsePositives != 1 || c.MissedSwitches != 1 || c.TrueNegatives != 1 {
+		t.Fatalf("confusion: %+v", c)
+	}
+	if got := c.FalsePositiveRate(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("FPR = %v, want 50", got)
+	}
+	if got := c.FalseNegativeRate(); math.Abs(got-100.0/3) > 1e-9 {
+		t.Fatalf("FNR = %v, want 33.3", got)
+	}
+}
+
+func TestConfusionEmptyRates(t *testing.T) {
+	var c Confusion
+	if c.FalsePositiveRate() != 0 || c.FalseNegativeRate() != 0 {
+		t.Fatal("empty confusion rates should be 0")
+	}
+}
+
+func TestDelays(t *testing.T) {
+	s := Delays([]time.Duration{sec(4), sec(1), sec(3), sec(2)})
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean != sec(2.5) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Median != sec(3) { // upper median of even-length sample
+		t.Fatalf("median = %v", s.Median)
+	}
+	if s.Max != sec(4) {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if got := Delays(nil); got != (DelayStats{}) {
+		t.Fatalf("empty delays = %+v", got)
+	}
+}
+
+func TestDelaysDoesNotMutateInput(t *testing.T) {
+	in := []time.Duration{sec(3), sec(1)}
+	Delays(in)
+	if in[0] != sec(3) {
+		t.Fatal("Delays sorted the caller's slice")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("err = %v", got)
+	}
+	if got := RelativeError(90, 100); math.Abs(got+0.1) > 1e-12 {
+		t.Fatalf("err = %v", got)
+	}
+	if got := RelativeError(5, 0); got != 0 {
+		t.Fatalf("zero-truth err = %v", got)
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if got := MeanAbs([]float64{-0.1, 0.3}); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("MeanAbs = %v", got)
+	}
+	if MeanAbs(nil) != 0 {
+		t.Fatal("empty MeanAbs should be 0")
+	}
+}
+
+func TestBatteryEnergy(t *testing.T) {
+	// 1500 mAh at 3.7 V = 1.5 * 3.7 * 3600 J = 19980 J.
+	if got := NexusS.EnergyJ(); math.Abs(got-19980) > 1e-9 {
+		t.Fatalf("NexusS energy = %v J", got)
+	}
+}
+
+func TestBatteryLifetime(t *testing.T) {
+	b := Battery{CapacitymAh: 1000, Voltage: 3.6}
+	// 3.6 Wh at 1 W = 3.6 h.
+	want := time.Duration(3.6 * float64(time.Hour))
+	got := b.Lifetime(1000)
+	if d := got - want; d > time.Second || d < -time.Second {
+		t.Fatalf("Lifetime = %v, want %v", got, want)
+	}
+	if b.Lifetime(0) != 0 || b.Lifetime(-5) != 0 {
+		t.Fatal("non-positive draw should return 0")
+	}
+}
+
+func TestLifetimeGainMatchesPaperBallpark(t *testing.T) {
+	// The paper speculates: if the 3G radio accounts for the 2G->3G talk
+	// time drop (14 h -> ~6.7 h on the Nexus S), saving 66% of radio
+	// energy buys back several hours. Model: at a total draw giving ~6.7 h
+	// with the radio ~52% of it, a 66% radio saving should add hours.
+	totalMW := NexusS.EnergyJ() / (6.7 * 3600) * 1000 // draw for 6.7 h life
+	gain := NexusS.LifetimeGain(totalMW, 0.52, 66)
+	if gain < 2*time.Hour || gain > 8*time.Hour {
+		t.Fatalf("lifetime gain = %v, want single-digit hours", gain)
+	}
+	// More savings, more gain.
+	if NexusS.LifetimeGain(totalMW, 0.52, 75) <= gain {
+		t.Fatal("gain not monotone in savings")
+	}
+	if NexusS.LifetimeGain(0, 0.5, 50) != 0 {
+		t.Fatal("degenerate total draw should return 0")
+	}
+	if NexusS.LifetimeGain(1000, 1.5, 50) != 0 {
+		t.Fatal("out-of-range radio share should return 0")
+	}
+}

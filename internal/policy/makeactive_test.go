@@ -1,0 +1,162 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLearnedDelayDefaults(t *testing.T) {
+	l := NewLearnedDelay()
+	if l.Name() != "MakeActive-Learn" {
+		t.Fatalf("name %q", l.Name())
+	}
+	if l.MaxDelay() != 10*time.Second {
+		t.Fatalf("MaxDelay = %v", l.MaxDelay())
+	}
+	// Uniform initial weights over T_i = 1..10 -> mean 5.5 s.
+	d := l.Delay(0)
+	if d < 5*time.Second || d > 6*time.Second {
+		t.Fatalf("initial delay = %v, want ~5.5s", d)
+	}
+	if l.LastDelay() != d {
+		t.Fatal("LastDelay out of sync")
+	}
+}
+
+func TestLearnedDelayOptions(t *testing.T) {
+	l := NewLearnedDelay(WithMaxDelay(3*time.Second), WithGamma(0.1))
+	if l.MaxDelay() != 3*time.Second {
+		t.Fatalf("MaxDelay = %v", l.MaxDelay())
+	}
+	if got := l.Delay(0); got < 1500*time.Millisecond || got > 2500*time.Millisecond {
+		t.Fatalf("initial delay over 3 experts = %v, want ~2s", got)
+	}
+	// Degenerate max delay clamps to one expert.
+	l2 := NewLearnedDelay(WithMaxDelay(100 * time.Millisecond))
+	if l2.MaxDelay() != time.Second {
+		t.Fatalf("clamped MaxDelay = %v", l2.MaxDelay())
+	}
+}
+
+func TestLossesShape(t *testing.T) {
+	l := NewLearnedDelay(WithMaxDelay(4 * time.Second))
+	// One burst at offset 0 and one at 2.5 s.
+	arrivals := []time.Duration{0, 2500 * time.Millisecond}
+	losses := l.Losses(arrivals)
+	if len(losses) != 4 {
+		t.Fatalf("%d losses", len(losses))
+	}
+	// Expert T1 = 1 s batches only the first burst: L = gamma*1 + 1/1.
+	want1 := 0.008*1 + 1.0
+	if math.Abs(losses[0]-want1) > 1e-9 {
+		t.Fatalf("L(T=1) = %v, want %v", losses[0], want1)
+	}
+	// Expert T3 = 3 s batches both: delay = 3 + 0.5; L = gamma*3.5 + 1/2.
+	want3 := 0.008*3.5 + 0.5
+	if math.Abs(losses[2]-want3) > 1e-9 {
+		t.Fatalf("L(T=3) = %v, want %v", losses[2], want3)
+	}
+	// With the paper's small gamma, batching two bursts beats batching one.
+	if losses[2] >= losses[0] {
+		t.Fatal("batching more sessions should have lower loss at small gamma")
+	}
+}
+
+func TestLossesEmptyExpertPenalized(t *testing.T) {
+	l := NewLearnedDelay(WithMaxDelay(2 * time.Second))
+	// No arrival within T1 = 1 s (degenerate input without offset 0).
+	losses := l.Losses([]time.Duration{1500 * time.Millisecond})
+	if losses[0] <= 1 {
+		t.Fatalf("expert that batches nothing should be heavily penalized: %v", losses[0])
+	}
+}
+
+func TestLearnedDelayShrinksWhenBurstsComeEarly(t *testing.T) {
+	// Fig. 16's dynamic: if every follow-up burst arrives within ~1 s,
+	// long delays pay delay cost for no extra batching, so the learned
+	// delay should drop well below the uniform prior (5.5 s).
+	l := NewLearnedDelay()
+	before := l.Delay(0)
+	for i := 0; i < 60; i++ {
+		l.ObserveEpisode(before, []time.Duration{0, 300 * time.Millisecond, 800 * time.Millisecond})
+	}
+	after := l.Delay(0)
+	if after >= before {
+		t.Fatalf("delay did not shrink: %v -> %v", before, after)
+	}
+	if after > 4*time.Second {
+		t.Fatalf("delay %v still large after 60 early-arrival episodes", after)
+	}
+	if l.Episodes() != 60 {
+		t.Fatalf("episodes = %d", l.Episodes())
+	}
+}
+
+func TestLearnedDelayGrowsWhenBurstsSpreadOut(t *testing.T) {
+	// If bursts trickle in over many seconds, larger delays batch more
+	// sessions and the 1/b term dominates the small gamma delay penalty.
+	l := NewLearnedDelay()
+	for i := 0; i < 60; i++ {
+		l.ObserveEpisode(0, []time.Duration{
+			0, 2 * time.Second, 4 * time.Second, 6 * time.Second, 8 * time.Second, 9 * time.Second,
+		})
+	}
+	d := l.Delay(0)
+	if d < 6*time.Second {
+		t.Fatalf("delay %v should grow toward the horizon when arrivals spread out", d)
+	}
+}
+
+func TestLearnedDelayEmptyEpisodeIgnored(t *testing.T) {
+	l := NewLearnedDelay()
+	l.ObserveEpisode(time.Second, nil)
+	if l.Episodes() != 0 {
+		t.Fatal("empty episode should not count")
+	}
+}
+
+func TestLearnedDelayReset(t *testing.T) {
+	l := NewLearnedDelay()
+	for i := 0; i < 30; i++ {
+		l.ObserveEpisode(0, []time.Duration{0, 100 * time.Millisecond})
+	}
+	trained := l.Delay(0)
+	l.Reset()
+	if l.Episodes() != 0 {
+		t.Fatal("episodes not reset")
+	}
+	fresh := l.Delay(0)
+	if math.Abs(fresh.Seconds()-5.5) > 0.5 {
+		t.Fatalf("reset learner should be back at the uniform prior, got %v", fresh)
+	}
+	if trained == fresh {
+		t.Log("note: trained delay coincided with prior (unlikely but harmless)")
+	}
+}
+
+func TestLearnedDelayRespectsCustomAlphasOnReset(t *testing.T) {
+	l := NewLearnedDelay(WithAlphas([]float64{0.3}))
+	l.ObserveEpisode(0, []time.Duration{0})
+	l.Reset()
+	// Must not panic and must still predict within range.
+	d := l.Delay(0)
+	if d < 0 || d > l.MaxDelay() {
+		t.Fatalf("delay %v out of range after reset", d)
+	}
+}
+
+func TestLearnedDelayNeverNegativeNorBeyondHorizon(t *testing.T) {
+	l := NewLearnedDelay()
+	for i := 0; i < 100; i++ {
+		arr := []time.Duration{0}
+		if i%3 == 0 {
+			arr = append(arr, time.Duration(i%10)*time.Second)
+		}
+		l.ObserveEpisode(l.Delay(0), arr)
+		d := l.Delay(0)
+		if d < 0 || d > l.MaxDelay() {
+			t.Fatalf("delay %v escaped [0, %v]", d, l.MaxDelay())
+		}
+	}
+}

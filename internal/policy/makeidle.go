@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/energy"
+	"repro/internal/power"
+)
+
+// MakeIdle is the paper's §4 algorithm. After each packet it chooses the
+// dormancy wait t_wait that maximizes the expected energy gain over the
+// status quo, using the empirical inter-arrival distribution of the last n
+// packets:
+//
+//	f(t_wait) = E[E_no_switch] - E[E_wait_switch(t_wait)]
+//
+// where, against the windowed distribution of gaps g,
+//
+//	E[E_no_switch]        = mean_g E(g)            (the paper's eq. 1)
+//	E[E_wait_switch(w)]   = mean_g  { Tail(g)              if g <= w
+//	                                  Tail(w) + E_switch   if g  > w }
+//
+// The second expectation spells out the strategy "wait w; if a packet
+// arrives first just pay the tail; otherwise demote and later promote".
+// E(g) is energy.GapJ — the status-quo cost of a gap, including the switch
+// the timers themselves eventually pay on long gaps. The candidate waits
+// are a grid over [0, t_threshold] (§4.2 notes waits beyond t_threshold
+// leave no room for savings); if even the best wait shows no expected gain,
+// MakeIdle leaves the timers in charge for this packet.
+type MakeIdle struct {
+	profile   power.Profile
+	threshold time.Duration
+	window    *dist.Window
+	grid      []time.Duration
+	minSample int
+	paperExp  bool
+
+	lastWait time.Duration
+}
+
+// MakeIdleOption customizes construction.
+type MakeIdleOption func(*makeIdleConfig)
+
+type makeIdleConfig struct {
+	windowSize int
+	gridSteps  int
+	minSample  int
+	paperExp   bool
+}
+
+// WithWindowSize sets the number of recent inter-arrivals used to build the
+// distribution (the paper's n; default 100, swept in Fig. 13).
+func WithWindowSize(n int) MakeIdleOption {
+	return func(c *makeIdleConfig) { c.windowSize = n }
+}
+
+// WithGridSteps sets how many candidate waits are evaluated across
+// [0, t_threshold] (default 40).
+func WithGridSteps(n int) MakeIdleOption {
+	return func(c *makeIdleConfig) { c.gridSteps = n }
+}
+
+// WithMinSample sets how many gaps must be observed before MakeIdle starts
+// demoting (default 10; below this it defers to the timers).
+func WithMinSample(n int) MakeIdleOption {
+	return func(c *makeIdleConfig) { c.minSample = n }
+}
+
+// WithPaperExpectation switches E[E_wait_switch] to the paper's literal
+// formula, Eswitch + E(t_wait), which charges the switch unconditionally
+// instead of only on the no-arrival branch. Under that formula f(t_wait)
+// is maximized at t_wait = 0 whenever demotion is profitable at all, so
+// the policy degenerates to demote-immediately-or-never. Kept as an
+// ablation (DESIGN.md §5, decision 2); the default is the full strategy
+// expectation, which the paper's step-1 conditional-probability argument
+// implies.
+func WithPaperExpectation() MakeIdleOption {
+	return func(c *makeIdleConfig) { c.paperExp = true }
+}
+
+// NewMakeIdle builds the policy for a profile. The profile must be valid.
+func NewMakeIdle(p power.Profile, opts ...MakeIdleOption) (*MakeIdle, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := makeIdleConfig{windowSize: 100, gridSteps: 40, minSample: 10}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.windowSize < 1 {
+		cfg.windowSize = 1
+	}
+	if cfg.gridSteps < 2 {
+		cfg.gridSteps = 2
+	}
+	if cfg.minSample < 1 {
+		cfg.minSample = 1
+	}
+	th := energy.Threshold(&p)
+	grid := make([]time.Duration, cfg.gridSteps)
+	for i := range grid {
+		grid[i] = th * time.Duration(i) / time.Duration(cfg.gridSteps-1)
+	}
+	return &MakeIdle{
+		profile:   p,
+		threshold: th,
+		window:    dist.NewWindow(cfg.windowSize),
+		grid:      grid,
+		minSample: cfg.minSample,
+		paperExp:  cfg.paperExp,
+		lastWait:  Never,
+	}, nil
+}
+
+// Name implements DemotePolicy.
+func (m *MakeIdle) Name() string { return "MakeIdle" }
+
+// Threshold exposes the computed t_threshold.
+func (m *MakeIdle) Threshold() time.Duration { return m.threshold }
+
+// WindowLen reports how many gaps the distribution currently holds.
+func (m *MakeIdle) WindowLen() int { return m.window.Len() }
+
+// LastWait returns the wait chosen by the most recent Decide (Never when
+// the policy deferred to the timers). Fig. 14 plots this trajectory.
+func (m *MakeIdle) LastWait() time.Duration { return m.lastWait }
+
+// Observe implements DemotePolicy: slide the window forward.
+func (m *MakeIdle) Observe(gap time.Duration) { m.window.Add(gap) }
+
+// Decide implements DemotePolicy.
+func (m *MakeIdle) Decide(time.Duration) time.Duration {
+	if m.window.Len() < m.minSample {
+		m.lastWait = Never
+		return Never
+	}
+	// Expected status-quo energy for a gap drawn from the window.
+	n := float64(m.window.Len())
+	var eNoSwitch float64
+	m.window.Each(func(g time.Duration) {
+		eNoSwitch += energy.GapJ(&m.profile, g)
+	})
+	eNoSwitch /= n
+
+	eswitch := m.profile.SwitchJ()
+	bestWait := Never
+	bestGain := 0.0 // only accept strictly positive expected gain
+	for _, w := range m.grid {
+		var eWait float64
+		if m.paperExp {
+			// Paper's literal eq.: Eswitch + E(t_wait), unconditionally.
+			eWait = eswitch + energy.TailJ(&m.profile, w)
+		} else {
+			m.window.Each(func(g time.Duration) {
+				if g <= w {
+					eWait += energy.TailJ(&m.profile, g)
+				} else {
+					eWait += energy.TailJ(&m.profile, w) + eswitch
+				}
+			})
+			eWait /= n
+		}
+		if gain := eNoSwitch - eWait; gain > bestGain {
+			bestGain = gain
+			bestWait = w
+		}
+	}
+	m.lastWait = bestWait
+	return bestWait
+}
+
+// Reset implements DemotePolicy.
+func (m *MakeIdle) Reset() {
+	m.window.Reset()
+	m.lastWait = Never
+}

@@ -1,0 +1,139 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func TestStatusQuo(t *testing.T) {
+	var p StatusQuo
+	if p.Decide(0) != Never {
+		t.Fatal("StatusQuo should never demote")
+	}
+	p.Observe(time.Second) // no-ops must not panic
+	p.Reset()
+	if p.Name() != "StatusQuo" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestFixedTail(t *testing.T) {
+	f := NewFourPointFive()
+	if f.Decide(0) != 4500*time.Millisecond {
+		t.Fatalf("4.5-second wait = %v", f.Decide(0))
+	}
+	if f.Name() != "4.5-second" {
+		t.Fatalf("name %q", f.Name())
+	}
+	g := &FixedTail{Wait: time.Second}
+	if g.Name() == "" {
+		t.Fatal("unnamed FixedTail should synthesize a name")
+	}
+	f.Observe(time.Second)
+	f.Reset()
+}
+
+func TestPercentileIAT(t *testing.T) {
+	tr := trace.Trace{{T: 0}, {T: sec(1)}, {T: sec(2)}, {T: sec(3)}, {T: sec(100)}}
+	p := NewPercentileIAT(tr, 0.5)
+	if p.Wait() < sec(0.9) || p.Wait() > sec(1.1) {
+		t.Fatalf("median IAT = %v, want ~1s", p.Wait())
+	}
+	if p.Decide(0) != p.Wait() {
+		t.Fatal("Decide should return the percentile wait")
+	}
+	if p.Name() != "95% IAT" {
+		t.Fatalf("name %q", p.Name())
+	}
+	p.Observe(time.Second)
+	p.Reset()
+}
+
+func TestOracle(t *testing.T) {
+	o := NewOracle(sec(2))
+	if o.Name() != "Oracle" {
+		t.Fatalf("name %q", o.Name())
+	}
+	o.ObserveNextGap(sec(5))
+	if o.Decide(0) != 0 {
+		t.Fatal("Oracle should demote immediately on a long coming gap")
+	}
+	o.ObserveNextGap(sec(1))
+	if o.Decide(0) != Never {
+		t.Fatal("Oracle should stay up for a short coming gap")
+	}
+	o.Reset()
+	if o.Decide(0) != 0 {
+		t.Fatal("after Reset the oracle assumes an infinite gap (end of trace)")
+	}
+	o.Observe(time.Second)
+}
+
+func TestOracleDemotes(t *testing.T) {
+	if OracleDemotes(sec(1), sec(2)) {
+		t.Fatal("short gap should not demote")
+	}
+	if !OracleDemotes(sec(3), sec(2)) {
+		t.Fatal("long gap should demote")
+	}
+	if OracleDemotes(sec(2), sec(2)) {
+		t.Fatal("boundary gap should not demote (strict inequality)")
+	}
+}
+
+func TestMeanBurstsPerActivePeriod(t *testing.T) {
+	p := power.ATTHSPAPlus // tail 16.6 s
+	// Three bursts: first two 5 s apart (same active period), third 60 s
+	// later (new period). k = 3 bursts / 2 periods = 1.5.
+	tr := trace.Trace{
+		{T: 0, Dir: trace.In, Size: 100},
+		{T: sec(5), Dir: trace.In, Size: 100},
+		{T: sec(65), Dir: trace.In, Size: 100},
+	}
+	k := MeanBurstsPerActivePeriod(tr, &p, sec(1))
+	if k != 1.5 {
+		t.Fatalf("k = %v, want 1.5", k)
+	}
+	if got := MeanBurstsPerActivePeriod(trace.Trace{}, &p, sec(1)); got != 1 {
+		t.Fatalf("empty-trace k = %v, want 1", got)
+	}
+}
+
+func TestNewFixedDelay(t *testing.T) {
+	p := power.ATTHSPAPlus
+	tr := trace.Trace{
+		{T: 0, Dir: trace.In, Size: 100},
+		{T: sec(5), Dir: trace.In, Size: 100},
+		{T: sec(65), Dir: trace.In, Size: 100},
+	}
+	f := NewFixedDelay(tr, &p, sec(1))
+	want := time.Duration(1.5 * float64(p.Tail()))
+	if f.Bound != want {
+		t.Fatalf("Bound = %v, want %v", f.Bound, want)
+	}
+	if f.Delay(0) != f.Bound {
+		t.Fatal("Delay should return the bound")
+	}
+	f.ObserveEpisode(f.Bound, []time.Duration{0})
+	f.Reset()
+	if f.Name() != "MakeActive-Fix" {
+		t.Fatalf("name %q", f.Name())
+	}
+}
+
+func TestNoBatching(t *testing.T) {
+	var n NoBatching
+	if n.Delay(0) != 0 {
+		t.Fatal("NoBatching must not delay")
+	}
+	n.ObserveEpisode(0, nil)
+	n.Reset()
+	if n.Name() != "NoBatching" {
+		t.Fatalf("name %q", n.Name())
+	}
+}

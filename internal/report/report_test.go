@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Energy savings", "Policy", "Saved(%)")
+	tb.AddRow("MakeIdle", "62.1")
+	tb.AddRow("Oracle", "65.0")
+	out := tb.String()
+	if !strings.Contains(out, "Energy savings") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "MakeIdle") || !strings.Contains(out, "65.0") {
+		t.Fatalf("cells missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns are aligned: header and first row start the second column at
+	// the same offset.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "Saved(%)") != strings.Index(row, "62.1") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("x")
+	out := tb.String()
+	if !strings.Contains(out, "x") {
+		t.Fatal("short row dropped")
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "x") && strings.Count(line, "  ") < 1 {
+			t.Fatalf("short row not padded: %q", line)
+		}
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tb := NewTable("", "Name", "Value", "Count")
+	tb.AddRowf("a", 3.14159, 7)
+	out := tb.String()
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float not formatted to 2 places:\n%s", out)
+	}
+	if strings.Contains(out, "3.14159") {
+		t.Fatalf("float not truncated:\n%s", out)
+	}
+	if !strings.Contains(out, "7") {
+		t.Fatalf("int missing:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "twait", XLabel: "time(s)", YLabel: "wait(s)"}
+	s.Add(0, 1.5)
+	s.Add(10, 0.8)
+	out := s.String()
+	if !strings.Contains(out, "# twait") {
+		t.Fatal("series name missing")
+	}
+	if !strings.Contains(out, "10\t0.8") {
+		t.Fatalf("data point missing:\n%s", out)
+	}
+	if len(s.X) != 2 || len(s.Y) != 2 {
+		t.Fatal("points not stored")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("ignored", "Policy", "Saved")
+	tb.AddRow("MakeIdle", "62.1")
+	tb.AddRow("with,comma", "1")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Policy,Saved" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %q", lines[2])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("t", "only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+}

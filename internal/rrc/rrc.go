@@ -1,0 +1,209 @@
+// Package rrc simulates the Radio Resource Control state machine of Fig. 2:
+// the three-state 3G automaton (Cell_DCH / Cell_FACH / Idle) and the
+// two-state LTE automaton (RRC_CONNECTED / RRC_IDLE, modelled as the 3G
+// machine with t2 = 0).
+//
+// The Machine is a discrete-event model: callers feed it packet activity and
+// fast-dormancy requests with explicit timestamps, and it applies the
+// base-station inactivity timers in between. It keeps full accounting of
+// per-state residency, transition counts and a transition log, which is what
+// internal/sim and the Fig. 3 power-timeline experiment consume.
+package rrc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/power"
+)
+
+// State is one of the RRC machine's energy states.
+type State uint8
+
+const (
+	// Idle is Cell_PCH/IDLE (3G) or RRC_IDLE (LTE): essentially no radio
+	// power.
+	Idle State = iota
+	// FACH is the high-power idle state Cell_FACH (3G only).
+	FACH
+	// DCH is the Active state: Cell_DCH (3G) or RRC_CONNECTED (LTE).
+	DCH
+)
+
+// String names the state following the 3G terminology used in the paper.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "IDLE"
+	case FACH:
+		return "FACH"
+	case DCH:
+		return "DCH"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Transition records one state change.
+type Transition struct {
+	At       time.Duration
+	From, To State
+	// FastDormancy marks demotions initiated by the device rather than by
+	// a base-station timer.
+	FastDormancy bool
+}
+
+// Machine simulates one device's RRC state against a carrier profile.
+// Create one with New; the zero value is not usable.
+type Machine struct {
+	profile power.Profile
+
+	state        State
+	now          time.Duration // last time the machine was advanced to
+	lastActivity time.Duration // time of the last packet
+
+	residency   [3]time.Duration // time spent per state
+	promotions  int              // Idle -> DCH
+	demotions   int              // DCH/FACH -> Idle (timer or dormancy)
+	fdDemotions int              // demotions triggered by fast dormancy
+	log         []Transition
+	keepLog     bool
+}
+
+// New returns a Machine in the Idle state at time zero. If keepLog is true
+// the machine records every transition (needed for power timelines; costs
+// memory on long traces).
+func New(p power.Profile, keepLog bool) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{profile: p, state: Idle, keepLog: keepLog}, nil
+}
+
+// State returns the current state (after the last advance).
+func (m *Machine) State() State { return m.state }
+
+// Now returns the machine's current clock.
+func (m *Machine) Now() time.Duration { return m.now }
+
+// Promotions returns the number of Idle->Active transitions so far. This is
+// the signaling-overhead metric of Figs. 10(b), 11(b) and 18.
+func (m *Machine) Promotions() int { return m.promotions }
+
+// Demotions returns the number of transitions into Idle.
+func (m *Machine) Demotions() int { return m.demotions }
+
+// FastDormancyDemotions returns how many demotions were device-initiated.
+func (m *Machine) FastDormancyDemotions() int { return m.fdDemotions }
+
+// Residency returns the cumulative time spent in a state.
+func (m *Machine) Residency(s State) time.Duration { return m.residency[s] }
+
+// Log returns the transition log (nil unless keepLog was set).
+func (m *Machine) Log() []Transition { return m.log }
+
+func (m *Machine) transition(at time.Duration, to State, fd bool) {
+	if m.state == to {
+		return
+	}
+	if m.keepLog {
+		m.log = append(m.log, Transition{At: at, From: m.state, To: to, FastDormancy: fd})
+	}
+	if to == Idle {
+		m.demotions++
+		if fd {
+			m.fdDemotions++
+		}
+	}
+	if m.state == Idle && to == DCH {
+		m.promotions++
+	}
+	m.state = to
+}
+
+// AdvanceTo moves the clock to t, applying any inactivity-timer demotions
+// that fire in between and accumulating per-state residency. It panics if
+// time would run backwards.
+func (m *Machine) AdvanceTo(t time.Duration) {
+	if t < m.now {
+		panic(fmt.Sprintf("rrc: time running backwards: %v < %v", t, m.now))
+	}
+	for m.now < t {
+		switch m.state {
+		case DCH:
+			fire := m.lastActivity + m.profile.T1
+			if fire <= t {
+				m.residency[DCH] += fire - m.now
+				m.now = fire
+				// T1 expired: demote to FACH (3G with t2 > 0) or Idle.
+				if m.profile.T2 > 0 {
+					m.transition(fire, FACH, false)
+				} else {
+					m.transition(fire, Idle, false)
+				}
+			} else {
+				m.residency[DCH] += t - m.now
+				m.now = t
+			}
+		case FACH:
+			fire := m.lastActivity + m.profile.T1 + m.profile.T2
+			if fire <= t {
+				m.residency[FACH] += fire - m.now
+				m.now = fire
+				m.transition(fire, Idle, false)
+			} else {
+				m.residency[FACH] += t - m.now
+				m.now = t
+			}
+		case Idle:
+			m.residency[Idle] += t - m.now
+			m.now = t
+		}
+	}
+}
+
+// OnPacket records packet activity at time t: the machine advances to t
+// (letting timers fire first), promotes to DCH if needed, and resets the
+// inactivity timers. It reports whether the packet found the radio Idle and
+// therefore suffered a promotion (the caller charges promotion delay/energy).
+func (m *Machine) OnPacket(t time.Duration) (promoted bool) {
+	m.AdvanceTo(t)
+	switch m.state {
+	case Idle:
+		m.transition(t, DCH, false)
+		promoted = true
+	case FACH:
+		// FACH->DCH promotion is cheap and not counted as signaling in the
+		// paper's Idle->Active metric.
+		m.transition(t, DCH, false)
+	}
+	m.lastActivity = t
+	return promoted
+}
+
+// FastDormancy demotes the radio straight to Idle at time t (3GPP Release 8
+// request, always granted in our model, per §2.2). It is a no-op when the
+// radio is already Idle.
+func (m *Machine) FastDormancy(t time.Duration) {
+	m.AdvanceTo(t)
+	if m.state == Idle {
+		return
+	}
+	m.transition(t, Idle, true)
+}
+
+// Profile returns the machine's carrier profile.
+func (m *Machine) Profile() *power.Profile { return &m.profile }
+
+// PowerMW reports the idle-path power draw of the current state (tail
+// powers; transmission power is accounted separately by the energy model).
+func (m *Machine) PowerMW() float64 {
+	switch m.state {
+	case DCH:
+		return m.profile.T1MW
+	case FACH:
+		return m.profile.T2MW
+	default:
+		return 0
+	}
+}

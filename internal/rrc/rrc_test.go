@@ -1,0 +1,331 @@
+package rrc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/power"
+)
+
+// prof returns a round-number test profile: t1 = 4 s, t2 = 8 s.
+func prof() power.Profile {
+	return power.Profile{
+		Name:             "test",
+		Tech:             power.Tech3G,
+		SendMW:           2000,
+		RecvMW:           1000,
+		T1MW:             1000,
+		T2MW:             500,
+		T1:               4 * time.Second,
+		T2:               8 * time.Second,
+		PromotionDelay:   time.Second,
+		PromotionMW:      1000,
+		RadioOffJ:        1.0,
+		DormancyFraction: 0.5,
+		UplinkMbps:       1,
+		DownlinkMbps:     8,
+	}
+}
+
+func lteProf() power.Profile {
+	p := prof()
+	p.Tech = power.TechLTE
+	p.T2 = 0
+	p.T2MW = 0
+	return p
+}
+
+func mustNew(t *testing.T, p power.Profile, log bool) *Machine {
+	t.Helper()
+	m, err := New(p, log)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewRejectsInvalidProfile(t *testing.T) {
+	if _, err := New(power.Profile{}, false); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	if m.State() != Idle || m.Now() != 0 {
+		t.Fatalf("initial state %v at %v", m.State(), m.Now())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Idle.String() != "IDLE" || FACH.String() != "FACH" || DCH.String() != "DCH" {
+		t.Fatal("state strings wrong")
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state string empty")
+	}
+}
+
+func TestPacketPromotesFromIdle(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	promoted := m.OnPacket(time.Second)
+	if !promoted {
+		t.Fatal("first packet should promote")
+	}
+	if m.State() != DCH {
+		t.Fatalf("state = %v, want DCH", m.State())
+	}
+	if m.Promotions() != 1 {
+		t.Fatalf("promotions = %d", m.Promotions())
+	}
+}
+
+func TestTimerDemotion3G(t *testing.T) {
+	m := mustNew(t, prof(), true)
+	m.OnPacket(0)
+	// t1 = 4s: DCH until 4, FACH until 12, Idle after.
+	m.AdvanceTo(3 * time.Second)
+	if m.State() != DCH {
+		t.Fatalf("at 3s state = %v, want DCH", m.State())
+	}
+	m.AdvanceTo(5 * time.Second)
+	if m.State() != FACH {
+		t.Fatalf("at 5s state = %v, want FACH", m.State())
+	}
+	m.AdvanceTo(11 * time.Second)
+	if m.State() != FACH {
+		t.Fatalf("at 11s state = %v, want FACH", m.State())
+	}
+	m.AdvanceTo(13 * time.Second)
+	if m.State() != Idle {
+		t.Fatalf("at 13s state = %v, want Idle", m.State())
+	}
+	if m.Demotions() != 1 {
+		t.Fatalf("demotions = %d, want 1 (only FACH->Idle counts)", m.Demotions())
+	}
+}
+
+func TestTimerDemotionLTE(t *testing.T) {
+	m := mustNew(t, lteProf(), false)
+	m.OnPacket(0)
+	m.AdvanceTo(5 * time.Second) // t1 = 4s, no FACH stage
+	if m.State() != Idle {
+		t.Fatalf("LTE at 5s state = %v, want Idle", m.State())
+	}
+}
+
+func TestPacketResetsTimer(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	m.OnPacket(0)
+	m.OnPacket(3 * time.Second) // inside t1: timer resets
+	m.AdvanceTo(6 * time.Second)
+	if m.State() != DCH {
+		t.Fatalf("at 6s state = %v, want DCH (timer was reset at 3s)", m.State())
+	}
+	m.AdvanceTo(7*time.Second + time.Millisecond)
+	if m.State() != FACH {
+		t.Fatalf("after reset+t1 state = %v, want FACH", m.State())
+	}
+}
+
+func TestPacketInFACHPromotesWithoutSignaling(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	m.OnPacket(0)
+	promoted := m.OnPacket(5 * time.Second) // radio is in FACH
+	if promoted {
+		t.Fatal("FACH->DCH should not count as a promotion from Idle")
+	}
+	if m.State() != DCH || m.Promotions() != 1 {
+		t.Fatalf("state %v promotions %d", m.State(), m.Promotions())
+	}
+}
+
+func TestFastDormancy(t *testing.T) {
+	m := mustNew(t, prof(), true)
+	m.OnPacket(0)
+	m.FastDormancy(time.Second)
+	if m.State() != Idle {
+		t.Fatalf("state after FD = %v", m.State())
+	}
+	if m.FastDormancyDemotions() != 1 || m.Demotions() != 1 {
+		t.Fatalf("fd=%d demotions=%d", m.FastDormancyDemotions(), m.Demotions())
+	}
+	// FD while already idle is a no-op.
+	m.FastDormancy(2 * time.Second)
+	if m.Demotions() != 1 {
+		t.Fatal("FD while idle should not count")
+	}
+	// Next packet promotes again.
+	if !m.OnPacket(3 * time.Second) {
+		t.Fatal("packet after FD should promote")
+	}
+}
+
+func TestResidencyAccounting(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	m.OnPacket(0)
+	m.AdvanceTo(20 * time.Second)
+	if got := m.Residency(DCH); got != 4*time.Second {
+		t.Fatalf("DCH residency = %v, want 4s", got)
+	}
+	if got := m.Residency(FACH); got != 8*time.Second {
+		t.Fatalf("FACH residency = %v, want 8s", got)
+	}
+	if got := m.Residency(Idle); got != 8*time.Second {
+		t.Fatalf("Idle residency = %v, want 8s", got)
+	}
+}
+
+func TestResidencySumsToElapsed(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	m.OnPacket(time.Second)
+	m.OnPacket(2 * time.Second)
+	m.FastDormancy(3 * time.Second)
+	m.OnPacket(10 * time.Second)
+	m.AdvanceTo(60 * time.Second)
+	total := m.Residency(Idle) + m.Residency(FACH) + m.Residency(DCH)
+	if total != 60*time.Second {
+		t.Fatalf("residency sums to %v, want 60s", total)
+	}
+}
+
+func TestTransitionLog(t *testing.T) {
+	m := mustNew(t, prof(), true)
+	m.OnPacket(0)
+	m.AdvanceTo(20 * time.Second)
+	log := m.Log()
+	want := []Transition{
+		{At: 0, From: Idle, To: DCH},
+		{At: 4 * time.Second, From: DCH, To: FACH},
+		{At: 12 * time.Second, From: FACH, To: Idle},
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log has %d entries, want %d: %+v", len(log), len(want), log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %+v, want %+v", i, log[i], want[i])
+		}
+	}
+}
+
+func TestNoLogWhenDisabled(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	m.OnPacket(0)
+	m.AdvanceTo(20 * time.Second)
+	if m.Log() != nil {
+		t.Fatal("log kept despite keepLog=false")
+	}
+}
+
+func TestAdvancePanicsOnBackwardsTime(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	m.AdvanceTo(5 * time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards advance did not panic")
+		}
+	}()
+	m.AdvanceTo(time.Second)
+}
+
+func TestPowerMW(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	if m.PowerMW() != 0 {
+		t.Fatal("idle power should be 0")
+	}
+	m.OnPacket(0)
+	if m.PowerMW() != 1000 {
+		t.Fatalf("DCH power = %v", m.PowerMW())
+	}
+	m.AdvanceTo(5 * time.Second)
+	if m.PowerMW() != 500 {
+		t.Fatalf("FACH power = %v", m.PowerMW())
+	}
+}
+
+func TestExactTimerBoundary(t *testing.T) {
+	m := mustNew(t, prof(), false)
+	m.OnPacket(0)
+	// Advancing exactly to the t1 boundary fires the demotion.
+	m.AdvanceTo(4 * time.Second)
+	if m.State() != FACH {
+		t.Fatalf("at exactly t1, state = %v, want FACH", m.State())
+	}
+	// A packet exactly at the t1+t2 boundary: timers fire first, then the
+	// packet promotes from Idle.
+	m2 := mustNew(t, prof(), false)
+	m2.OnPacket(0)
+	promoted := m2.OnPacket(12 * time.Second)
+	if !promoted {
+		t.Fatal("packet at exact tail end should promote from Idle")
+	}
+}
+
+func TestPropertyResidencyConservation(t *testing.T) {
+	// Under any packet/dormancy schedule, residency sums to elapsed time
+	// and promotions never exceed demotions + 1.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, err := New(prof(), false)
+		if err != nil {
+			return false
+		}
+		var now time.Duration
+		for i := 0; i < 200; i++ {
+			now += time.Duration(r.Int63n(int64(6 * time.Second)))
+			switch r.Intn(3) {
+			case 0, 1:
+				m.OnPacket(now)
+			case 2:
+				m.FastDormancy(now)
+			}
+		}
+		end := now + 30*time.Second
+		m.AdvanceTo(end)
+		total := m.Residency(Idle) + m.Residency(FACH) + m.Residency(DCH)
+		if total != end {
+			return false
+		}
+		return m.Promotions() <= m.Demotions()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLogAlternatesIdleDCH(t *testing.T) {
+	// Transitions in the log must be consistent: each entry's From equals
+	// the previous entry's To.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, err := New(prof(), true)
+		if err != nil {
+			return false
+		}
+		var now time.Duration
+		for i := 0; i < 100; i++ {
+			now += time.Duration(r.Int63n(int64(8 * time.Second)))
+			if r.Intn(2) == 0 {
+				m.OnPacket(now)
+			} else {
+				m.FastDormancy(now)
+			}
+		}
+		log := m.Log()
+		for i := 1; i < len(log); i++ {
+			if log[i].From != log[i-1].To {
+				return false
+			}
+			if log[i].At < log[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

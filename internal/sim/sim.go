@@ -1,0 +1,390 @@
+// Package sim is the trace-driven simulation engine (§6.1): it replays a
+// packet trace against a carrier power profile under a pair of control
+// policies — a DemotePolicy (MakeIdle or a baseline) and an optional
+// ActivePolicy (MakeActive) — and accounts energy, state switches, packet
+// promotion delays and session batching delays.
+//
+// # Model
+//
+// Data energy: each packet is charged its transmission time at the
+// direction's bulk power (Table 1), per the paper's energy-per-second model.
+//
+// Tail energy: after each packet the demote policy picks a dormancy wait w.
+// If the next packet arrives within min(w, t1+t2), the radio pays tail power
+// (T1 power, then T2 power) for the gap and stays connected. Otherwise it
+// pays tail power until the demotion point, a fast-dormancy demotion, an
+// Idle stretch, and a promotion when the next packet arrives (which also
+// delays that packet by the promotion latency). The status quo is the
+// special case w = t1+t2, with its demotion charged the same way — exactly
+// how the paper's E(t) charges Eswitch on gaps longer than the tail.
+//
+// Batching: when a burst arrives and finds the radio Idle, the active
+// policy may open a batching window of length D. All bursts arriving inside
+// the window are shifted to its end and released together, sharing a single
+// promotion (§5). Sessions already begun are never stretched: each burst
+// keeps its internal packet spacing.
+//
+// Demote decisions are made lazily, at the first event that needs them,
+// which lets clairvoyant policies (the Oracle) receive the exact upcoming
+// gap via policy.GapLookahead without a second pass.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Options tunes a simulation run. The zero value (or nil) gives defaults.
+type Options struct {
+	// BurstGap segments the trace into sessions for MakeActive (default
+	// 1 s). Gaps larger than this start a new burst.
+	BurstGap time.Duration
+	// RecordDecisions keeps the per-gap decision list in the Result
+	// (needed for FP/FN scoring and the Fig. 14 trajectory).
+	RecordDecisions bool
+	// RecordEpisodes keeps the batching-episode log (Fig. 16).
+	RecordEpisodes bool
+}
+
+func (o *Options) burstGap() time.Duration {
+	if o == nil || o.BurstGap <= 0 {
+		return time.Second
+	}
+	return o.BurstGap
+}
+
+func (o *Options) recordDecisions() bool { return o != nil && o.RecordDecisions }
+func (o *Options) recordEpisodes() bool  { return o != nil && o.RecordEpisodes }
+
+// GapDecision records one demote decision and its outcome.
+type GapDecision struct {
+	// At is the time of the packet that opened the gap.
+	At time.Duration
+	// Gap is the realized inter-arrival to the next packet.
+	Gap time.Duration
+	// Wait is the dormancy wait the policy chose (policy.Never = timers).
+	Wait time.Duration
+	// Demoted reports whether the radio actually went Idle in this gap
+	// (by fast dormancy or by the timers running out).
+	Demoted bool
+}
+
+// Episode records one MakeActive batching window.
+type Episode struct {
+	// At is the arrival time of the first burst.
+	At time.Duration
+	// Delay is the batching window the policy chose.
+	Delay time.Duration
+	// Buffered is how many bursts were released together.
+	Buffered int
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Policy  string
+	Active  string // "" when batching is disabled
+	Profile string
+
+	// Breakdown is the energy split into Fig. 1's categories.
+	Breakdown energy.Breakdown
+	// Promotions counts Idle->Active switches (signaling overhead,
+	// Figs. 10b/11b/18).
+	Promotions int
+	// Demotions counts transitions into Idle.
+	Demotions int
+	// PromotedPackets is how many packets were delayed by a promotion.
+	PromotedPackets int
+	// PromotionDelayTotal accumulates that delay.
+	PromotionDelayTotal time.Duration
+
+	// BurstDelays holds, for every burst that passed through a batching
+	// window, how long its start was deferred. Empty without MakeActive.
+	BurstDelays []time.Duration
+	// Episodes counts batching windows; EpisodeLog has details when
+	// Options.RecordEpisodes is set.
+	Episodes   int
+	EpisodeLog []Episode
+
+	// Decisions is the per-gap record when Options.RecordDecisions is set.
+	Decisions []GapDecision
+
+	// Packets and Duration describe the (possibly shifted) replayed trace.
+	Packets  int
+	Duration time.Duration
+}
+
+// TotalJ is the total energy consumed.
+func (r *Result) TotalJ() float64 { return r.Breakdown.Total() }
+
+// Run simulates a trace under the given policies. demote must be non-nil
+// (use policy.StatusQuo{} for the deployed behaviour); active may be nil to
+// disable batching. Policies are Reset before the run.
+func Run(tr trace.Trace, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) (*Result, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if demote == nil {
+		return nil, fmt.Errorf("sim: demote policy is nil")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	demote.Reset()
+	if active != nil {
+		active.Reset()
+	}
+
+	res := &Result{Policy: demote.Name(), Profile: prof.Name}
+	if active != nil {
+		res.Active = active.Name()
+	}
+	if len(tr) == 0 {
+		return res, nil
+	}
+
+	e := &engine{
+		prof:   &prof,
+		demote: demote,
+		active: active,
+		opts:   opts,
+		res:    res,
+		tail:   prof.Tail(),
+	}
+	e.lookahead, _ = demote.(policy.GapLookahead)
+	e.run(tr.Bursts(opts.burstGap()))
+
+	res.Packets = e.packets
+	res.Duration = e.lastT
+	return res, nil
+}
+
+// engine holds the mutable state of one run.
+type engine struct {
+	prof      *power.Profile
+	demote    policy.DemotePolicy
+	active    policy.ActivePolicy
+	lookahead policy.GapLookahead
+	opts      *Options
+	res       *Result
+	tail      time.Duration
+
+	started bool
+	lastT   time.Duration // time of the last processed packet
+	lastTx  time.Duration // transmission time of the last packet
+	pending time.Duration // dormancy wait decided after the last packet
+	decided bool          // whether pending is valid for lastT
+	packets int
+}
+
+// ensureDecision fixes the demote decision for the gap that began at the
+// last packet, if not already made. nextAt is the best current estimate of
+// when the next packet arrives (policy.Never at end of trace); clairvoyant
+// policies receive it as the upcoming gap.
+func (e *engine) ensureDecision(nextAt time.Duration) {
+	if e.decided || !e.started {
+		return
+	}
+	if e.lookahead != nil {
+		gap := policy.Never
+		if nextAt != policy.Never {
+			gap = nextAt - e.lastT
+		}
+		e.lookahead.ObserveNextGap(gap)
+	}
+	w := e.demote.Decide(e.lastT)
+	if w < 0 {
+		w = 0
+	}
+	e.pending = w
+	e.decided = true
+}
+
+// idleAt returns the absolute time the radio reaches Idle after the last
+// packet, given the pending decision (which must have been ensured).
+func (e *engine) idleAt() time.Duration {
+	w := e.pending
+	if w > e.tail {
+		w = e.tail
+	}
+	return e.lastT + w
+}
+
+// horizon returns the learning horizon for episode observations: the
+// maximum delay the active policy might propose.
+func (e *engine) horizon(chosen time.Duration) time.Duration {
+	type maxDelayer interface{ MaxDelay() time.Duration }
+	if md, ok := e.active.(maxDelayer); ok {
+		if h := md.MaxDelay(); h > chosen {
+			return h
+		}
+	}
+	return chosen
+}
+
+func (e *engine) run(bursts []trace.Burst) {
+	i := 0
+	for i < len(bursts) {
+		b := bursts[i]
+
+		if e.active != nil {
+			// Radio idle at this arrival? Fix the pending decision using
+			// the burst arrival as the next-packet estimate.
+			e.ensureDecision(b.Start)
+			if !e.started || b.Start > e.idleAt() {
+				i = e.batch(bursts, i)
+				continue
+			}
+		}
+
+		e.processPackets(b.Packets)
+		i++
+	}
+	e.finish()
+}
+
+// batch opens a batching window at bursts[i] and processes the batched
+// group; it returns the index of the first unconsumed burst.
+func (e *engine) batch(bursts []trace.Burst, i int) int {
+	b := bursts[i]
+	d := e.active.Delay(b.Start)
+	if d < 0 {
+		d = 0
+	}
+	release := b.Start + d
+	group := []trace.Burst{b}
+	j := i + 1
+	for j < len(bursts) && bursts[j].Start < release {
+		group = append(group, bursts[j])
+		j++
+	}
+	// Feed the learner all arrivals within its horizon, including those
+	// beyond the chosen window: the device observes traffic regardless,
+	// so counterfactual experts can be scored.
+	hor := e.horizon(d)
+	var arrivals []time.Duration
+	for k := i; k < len(bursts) && bursts[k].Start <= b.Start+hor; k++ {
+		arrivals = append(arrivals, bursts[k].Start-b.Start)
+	}
+	e.active.ObserveEpisode(d, arrivals)
+
+	// Shift each grouped burst to the release point and merge.
+	var merged trace.Trace
+	for _, g := range group {
+		delta := release - g.Start
+		e.res.BurstDelays = append(e.res.BurstDelays, delta)
+		for _, p := range g.Packets {
+			p.T += delta
+			merged = append(merged, p)
+		}
+	}
+	sort.SliceStable(merged, func(a, b int) bool { return merged[a].T < merged[b].T })
+	e.res.Episodes++
+	if e.opts.recordEpisodes() {
+		e.res.EpisodeLog = append(e.res.EpisodeLog, Episode{At: b.Start, Delay: d, Buffered: len(group)})
+	}
+	e.processPackets(merged)
+	return j
+}
+
+// processPackets feeds packets through the per-gap accounting. Packets may
+// precede the engine clock slightly when a batching release overlaps the
+// next burst; such packets are clamped to the clock (they arrive while the
+// radio is certainly active, so only their data energy matters).
+func (e *engine) processPackets(pkts trace.Trace) {
+	for _, p := range pkts {
+		t := p.T
+		if e.started && t < e.lastT {
+			t = e.lastT
+		}
+		e.step(t, p)
+	}
+}
+
+// step processes one packet at (possibly clamped) time t.
+func (e *engine) step(t time.Duration, p trace.Packet) {
+	if !e.started {
+		// The radio begins Idle: the first packet pays a promotion.
+		e.promote()
+		e.started = true
+	} else {
+		e.ensureDecision(t)
+		gap := t - e.lastT
+		e.accountGap(gap)
+		e.demote.Observe(gap)
+	}
+	e.res.Breakdown.DataJ += energy.TxJ(e.prof, p.Size, p.Dir == trace.Out)
+
+	e.lastT = t
+	e.lastTx = e.prof.TxTime(p.Size, p.Dir == trace.Out)
+	e.packets++
+	e.decided = false // the decision for this packet's gap is made lazily
+}
+
+// accountGap charges the energy of the gap that just closed, under the
+// pending dormancy wait.
+func (e *engine) accountGap(gap time.Duration) {
+	w := e.pending
+	if w > e.tail {
+		w = e.tail // the timers demote at the tail end regardless
+	}
+	demoted := gap > w
+	stay := gap
+	if demoted {
+		stay = w
+	}
+	// The first lastTx of the gap is transmission time, already charged at
+	// full power as data energy; only the remainder idles in the tail.
+	stay -= e.lastTx
+	if stay < 0 {
+		stay = 0
+	}
+	t1J, t2J := energy.TailBreakdown(e.prof, stay)
+	e.res.Breakdown.T1TailJ += t1J
+	e.res.Breakdown.T2TailJ += t2J
+	if demoted {
+		e.res.Breakdown.SwitchJ += e.prof.DormancyJ()
+		e.res.Demotions++
+		e.promote()
+	}
+	if e.opts.recordDecisions() {
+		e.res.Decisions = append(e.res.Decisions, GapDecision{
+			At: e.lastT, Gap: gap, Wait: e.pending, Demoted: demoted,
+		})
+	}
+}
+
+// promote charges one Idle->Active promotion and its packet delay.
+func (e *engine) promote() {
+	e.res.Breakdown.SwitchJ += e.prof.PromotionJ()
+	e.res.Promotions++
+	e.res.PromotedPackets++
+	e.res.PromotionDelayTotal += e.prof.PromotionDelay
+}
+
+// finish settles the trailing tail after the last packet: the radio rides
+// out min(pending, tail) and demotes (no promotion follows).
+func (e *engine) finish() {
+	if !e.started {
+		return
+	}
+	e.ensureDecision(policy.Never)
+	w := e.pending
+	if w > e.tail {
+		w = e.tail
+	}
+	w -= e.lastTx
+	if w < 0 {
+		w = 0
+	}
+	t1J, t2J := energy.TailBreakdown(e.prof, w)
+	e.res.Breakdown.T1TailJ += t1J
+	e.res.Breakdown.T2TailJ += t2J
+	e.res.Breakdown.SwitchJ += e.prof.DormancyJ()
+	e.res.Demotions++
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// randTrace builds a random zero-size trace (so data energy is zero and
+// closed-form accounting is exact).
+func randTrace(r *rand.Rand, n int, maxGap time.Duration) trace.Trace {
+	tr := make(trace.Trace, n)
+	var t time.Duration
+	for i := range tr {
+		t += time.Duration(r.Int63n(int64(maxGap)))
+		tr[i] = trace.Packet{T: t, Dir: trace.In, Size: 0}
+	}
+	return tr
+}
+
+// TestPropertyFixedTailMatchesClosedForm checks the engine against the
+// closed-form per-gap cost for arbitrary fixed dormancy waits:
+//
+//	cost(g, w) = Tail(min(g, w')) + [g > w'] * Eswitch,  w' = min(w, tail)
+//
+// plus the initial promotion and the trailing Tail(w') + demotion.
+func TestPropertyFixedTailMatchesClosedForm(t *testing.T) {
+	p := prof()
+	f := func(seed int64, waitMs uint16, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randTrace(r, int(n)%50+1, 30*time.Second)
+		w := time.Duration(waitMs) * time.Millisecond * 20 // 0 .. ~1300 s
+		res, err := Run(tr, p, &policy.FixedTail{Wait: w}, nil, nil)
+		if err != nil {
+			return false
+		}
+		eff := w
+		if eff > p.Tail() {
+			eff = p.Tail()
+		}
+		want := p.PromotionJ()
+		for _, g := range tr.InterArrivals() {
+			if g <= eff {
+				want += energy.TailJ(&p, g)
+			} else {
+				want += energy.TailJ(&p, eff) + p.SwitchJ()
+			}
+		}
+		want += energy.TailJ(&p, eff) + p.DormancyJ()
+		return math.Abs(res.TotalJ()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySwitchEnergyDecomposition: the switch-energy component must
+// equal promotions*PromotionJ + demotions*DormancyJ exactly, and
+// promotions must equal demotions (initial promote pairs with trailing
+// demote).
+func TestPropertySwitchEnergyDecomposition(t *testing.T) {
+	p := prof()
+	apps := workload.Apps()
+	f := func(seed int64, appIdx uint8, waitMs uint16) bool {
+		app := apps[int(appIdx)%len(apps)]
+		tr := workload.Generate(app, seed, 30*time.Minute)
+		if len(tr) == 0 {
+			return true
+		}
+		w := time.Duration(waitMs%20000) * time.Millisecond
+		res, err := Run(tr, p, &policy.FixedTail{Wait: w}, nil, nil)
+		if err != nil {
+			return false
+		}
+		if res.Promotions != res.Demotions {
+			return false
+		}
+		want := float64(res.Promotions)*p.PromotionJ() + float64(res.Demotions)*p.DormancyJ()
+		return math.Abs(res.Breakdown.SwitchJ-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDecisionsMatchGaps: recorded decisions carry the true gaps
+// and consistent demotion flags.
+func TestPropertyDecisionsMatchGaps(t *testing.T) {
+	p := prof()
+	f := func(seed int64, waitMs uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randTrace(r, 40, 20*time.Second)
+		w := time.Duration(waitMs%15000) * time.Millisecond
+		res, err := Run(tr, p, &policy.FixedTail{Wait: w}, nil, &Options{RecordDecisions: true})
+		if err != nil {
+			return false
+		}
+		gaps := tr.InterArrivals()
+		if len(res.Decisions) != len(gaps) {
+			return false
+		}
+		eff := w
+		if eff > p.Tail() {
+			eff = p.Tail()
+		}
+		for i, d := range res.Decisions {
+			if d.Gap != gaps[i] {
+				return false
+			}
+			if d.Demoted != (gaps[i] > eff) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hostileDemote returns pathological waits to ensure the engine clamps.
+type hostileDemote struct{ i int }
+
+func (h *hostileDemote) Name() string { return "hostile" }
+func (h *hostileDemote) Decide(time.Duration) time.Duration {
+	h.i++
+	switch h.i % 3 {
+	case 0:
+		return -time.Hour // negative: must clamp to 0
+	case 1:
+		return policy.Never
+	default:
+		return time.Duration(math.MaxInt64 - 1) // near-overflow wait
+	}
+}
+func (h *hostileDemote) Observe(time.Duration) {}
+func (h *hostileDemote) Reset()                { h.i = 0 }
+
+// hostileActive returns pathological batching delays.
+type hostileActive struct{ i int }
+
+func (h *hostileActive) Name() string { return "hostile-active" }
+func (h *hostileActive) Delay(time.Duration) time.Duration {
+	h.i++
+	if h.i%2 == 0 {
+		return -time.Minute // negative: must clamp to 0
+	}
+	return 3 * time.Second
+}
+func (h *hostileActive) ObserveEpisode(time.Duration, []time.Duration) {}
+func (h *hostileActive) Reset()                                        { h.i = 0 }
+
+func TestFailureInjectionHostilePolicies(t *testing.T) {
+	tr := workload.Generate(workload.Email(), 1, time.Hour)
+	res, err := Run(tr, prof(), &hostileDemote{}, &hostileActive{}, &Options{RecordDecisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Breakdown
+	if b.DataJ < 0 || b.T1TailJ < 0 || b.T2TailJ < 0 || b.SwitchJ < 0 {
+		t.Fatalf("negative energy under hostile policies: %+v", b)
+	}
+	if math.IsNaN(res.TotalJ()) || math.IsInf(res.TotalJ(), 0) {
+		t.Fatalf("non-finite energy: %v", res.TotalJ())
+	}
+	for _, d := range res.BurstDelays {
+		if d < 0 {
+			t.Fatalf("negative burst delay %v", d)
+		}
+	}
+}
+
+// TestPropertyMakeIdleNeverCatastrophic: across random app workloads,
+// MakeIdle must not consume more than marginally above the status quo
+// (its positivity gate means it only demotes on expected gain).
+func TestPropertyMakeIdleNeverCatastrophic(t *testing.T) {
+	p := prof()
+	apps := workload.Apps()
+	f := func(seed int64, appIdx uint8) bool {
+		app := apps[int(appIdx)%len(apps)]
+		tr := workload.Generate(app, seed, 30*time.Minute)
+		if len(tr) < 10 {
+			return true
+		}
+		sq, err := Run(tr, p, policy.StatusQuo{}, nil, nil)
+		if err != nil {
+			return false
+		}
+		mi, err := policy.NewMakeIdle(p)
+		if err != nil {
+			return false
+		}
+		res, err := Run(tr, p, mi, nil, nil)
+		if err != nil {
+			return false
+		}
+		return res.TotalJ() <= sq.TotalJ()*1.10+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBatchingPreservesPackets: MakeActive shifts but never drops
+// or duplicates packets.
+func TestPropertyBatchingPreservesPackets(t *testing.T) {
+	p := prof()
+	f := func(seed int64, boundMs uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randTrace(r, 60, 15*time.Second)
+		bound := time.Duration(boundMs%12000) * time.Millisecond
+		res, err := Run(tr, p, &policy.FixedTail{Wait: time.Second},
+			&policy.FixedDelay{Bound: bound}, nil)
+		if err != nil {
+			return false
+		}
+		if res.Packets != len(tr) {
+			return false
+		}
+		for _, d := range res.BurstDelays {
+			if d < 0 || d > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

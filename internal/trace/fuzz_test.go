@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// These tests feed adversarial bytes into every reader: whatever happens,
+// the readers must return errors (or valid traces), never panic, and never
+// attempt absurd allocations.
+
+func corpusSeeds(t *testing.T) [][]byte {
+	t.Helper()
+	tr := Trace{
+		{T: 0, Dir: Out, Size: 100},
+		{T: time.Second, Dir: In, Size: 1400},
+	}
+	var bin, pc, txt bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePcap(&pc, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{bin.Bytes(), pc.Bytes(), txt.Bytes()}
+}
+
+func mutate(r *rand.Rand, b []byte) []byte {
+	out := append([]byte(nil), b...)
+	switch r.Intn(4) {
+	case 0: // truncate
+		if len(out) > 0 {
+			out = out[:r.Intn(len(out))]
+		}
+	case 1: // flip bytes
+		for i := 0; i < 8 && len(out) > 0; i++ {
+			out[r.Intn(len(out))] ^= byte(1 << r.Intn(8))
+		}
+	case 2: // extend with garbage
+		extra := make([]byte, r.Intn(64))
+		r.Read(extra)
+		out = append(out, extra...)
+	case 3: // splice random prefix
+		pre := make([]byte, r.Intn(24))
+		r.Read(pre)
+		out = append(pre, out...)
+	}
+	return out
+}
+
+func TestReadersSurviveMutatedInputs(t *testing.T) {
+	seeds := corpusSeeds(t)
+	r := rand.New(rand.NewSource(1))
+	for round := 0; round < 600; round++ {
+		base := seeds[r.Intn(len(seeds))]
+		data := mutate(r, base)
+		// Each reader either errors or returns a valid trace; it must not
+		// panic (the test fails by panicking) and must not hang.
+		if tr, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("ReadBinary returned invalid trace: %v", err)
+			}
+		}
+		if tr, err := ReadPcap(bytes.NewReader(data), nil); err == nil {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("ReadPcap returned invalid trace: %v", err)
+			}
+		}
+		if tr, err := ReadText(bytes.NewReader(data)); err == nil {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("ReadText returned invalid trace: %v", err)
+			}
+		}
+	}
+}
+
+func TestBinaryReaderRejectsHugeCounts(t *testing.T) {
+	// A forged header claiming 2^40 packets must be rejected before any
+	// allocation, not OOM the process.
+	var buf bytes.Buffer
+	buf.Write(binMagic[:])
+	buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0}) // count = 2^40, little endian
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestPcapReaderRejectsHugeCaplen(t *testing.T) {
+	var buf bytes.Buffer
+	var gh [24]byte
+	copy(gh[0:4], []byte{0xd4, 0xc3, 0xb2, 0xa1}) // LE micro magic
+	gh[20] = 1                                    // ethernet
+	buf.Write(gh[:])
+	var rh [16]byte
+	rh[8], rh[9], rh[10], rh[11] = 0xff, 0xff, 0xff, 0x7f // caplen ~2^31
+	buf.Write(rh[:])
+	if _, err := ReadPcap(&buf, nil); err == nil {
+		t.Fatal("huge caplen accepted")
+	}
+}

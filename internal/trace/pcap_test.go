@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func pcapSample() Trace {
+	return Trace{
+		{T: 0, Dir: Out, Size: 100},
+		{T: sec(0.5), Dir: In, Size: 1400},
+		{T: sec(0.6), Dir: In, Size: 1400},
+		{T: sec(10), Dir: Out, Size: 60},
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, pcapSample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pcapSample()
+	if len(got) != len(want) {
+		t.Fatalf("got %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Dir != want[i].Dir {
+			t.Errorf("packet %d direction = %v, want %v", i, got[i].Dir, want[i].Dir)
+		}
+		if got[i].Size != want[i].Size {
+			t.Errorf("packet %d size = %d, want %d", i, got[i].Size, want[i].Size)
+		}
+		// Timestamps are microsecond-quantized by the format.
+		if d := got[i].T - want[i].T; d > time.Microsecond || d < -time.Microsecond {
+			t.Errorf("packet %d time = %v, want %v", i, got[i].T, want[i].T)
+		}
+	}
+}
+
+func TestPcapExplicitDeviceIP(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, pcapSample()); err != nil {
+		t.Fatal(err)
+	}
+	// Designating the *remote* as the device flips every direction.
+	got, err := ReadPcap(&buf, &PcapOptions{DeviceIP: netip.AddrFrom4([4]byte{192, 0, 2, 80})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pcapSample()
+	for i := range want {
+		flipped := Out
+		if want[i].Dir == Out {
+			flipped = In
+		}
+		if got[i].Dir != flipped {
+			t.Fatalf("packet %d direction not flipped", i)
+		}
+	}
+}
+
+func TestPcapDeviceInference(t *testing.T) {
+	// Device 10.0.0.1 talks to two remotes; the device participates in
+	// every packet and must be inferred.
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, pcapSample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dir != Out {
+		t.Fatal("first packet (from device) should be Out")
+	}
+	if PcapDeviceIP() != netip.AddrFrom4([4]byte{10, 0, 0, 1}) {
+		t.Fatal("synthetic device IP changed")
+	}
+}
+
+func TestPcapNotPcap(t *testing.T) {
+	if _, err := ReadPcap(strings.NewReader("definitely not a pcap file......."), nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPcapTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, pcapSample()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadPcap(bytes.NewReader(b[:len(b)-10]), nil); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestPcapEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d packets from empty capture", len(got))
+	}
+}
+
+func TestPcapBigEndianAndNano(t *testing.T) {
+	// Hand-build a big-endian nanosecond capture with one raw-IP packet.
+	var buf bytes.Buffer
+	var gh [24]byte
+	be := binary.BigEndian
+	be.PutUint32(gh[0:4], pcapMagicNano)
+	be.PutUint16(gh[4:6], 2)
+	be.PutUint16(gh[6:8], 4)
+	be.PutUint32(gh[16:20], 65535)
+	be.PutUint32(gh[20:24], linkRaw)
+	buf.Write(gh[:])
+
+	ip := make([]byte, 20)
+	ip[0] = 0x45
+	be.PutUint16(ip[2:4], 20)
+	ip[9] = 17
+	copy(ip[12:16], []byte{10, 1, 1, 1})
+	copy(ip[16:20], []byte{8, 8, 8, 8})
+
+	var rh [16]byte
+	be.PutUint32(rh[0:4], 100) // 100 s
+	be.PutUint32(rh[4:8], 500) // 500 ns
+	be.PutUint32(rh[8:12], uint32(len(ip)))
+	be.PutUint32(rh[12:16], uint32(len(ip)))
+	buf.Write(rh[:])
+	buf.Write(ip)
+
+	got, err := ReadPcap(&buf, &PcapOptions{DeviceIP: netip.AddrFrom4([4]byte{10, 1, 1, 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Dir != Out || got[0].Size != 20 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+func TestPcapLinuxSLL(t *testing.T) {
+	var buf bytes.Buffer
+	var gh [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(gh[0:4], pcapMagicMicro)
+	le.PutUint32(gh[20:24], linkSLL)
+	buf.Write(gh[:])
+
+	// SLL header (16 bytes) + IPv6 header (40 bytes).
+	sll := make([]byte, 16)
+	binary.BigEndian.PutUint16(sll[14:16], 0x86DD)
+	ip6 := make([]byte, 40)
+	ip6[0] = 0x60
+	src := netip.MustParseAddr("2001:db8::1")
+	dst := netip.MustParseAddr("2001:db8::2")
+	copy(ip6[8:24], src.AsSlice())
+	copy(ip6[24:40], dst.AsSlice())
+
+	frame := append(sll, ip6...)
+	var rh [16]byte
+	le.PutUint32(rh[8:12], uint32(len(frame)))
+	le.PutUint32(rh[12:16], uint32(len(frame)))
+	buf.Write(rh[:])
+	buf.Write(frame)
+
+	got, err := ReadPcap(&buf, &PcapOptions{DeviceIP: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Dir != Out {
+		t.Fatalf("SLL/IPv6 parse: %+v", got)
+	}
+}
+
+func TestPcapUnparseableDropped(t *testing.T) {
+	// An Ethernet frame with an ARP ethertype is dropped by default and
+	// kept (as zero-size In) with KeepUnparsed.
+	var buf bytes.Buffer
+	var gh [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(gh[0:4], pcapMagicMicro)
+	le.PutUint32(gh[20:24], linkEthernet)
+	buf.Write(gh[:])
+	frame := make([]byte, 60)
+	binary.BigEndian.PutUint16(frame[12:14], 0x0806) // ARP
+	var rh [16]byte
+	le.PutUint32(rh[8:12], uint32(len(frame)))
+	le.PutUint32(rh[12:16], uint32(len(frame)))
+	buf.Write(rh[:])
+	buf.Write(frame)
+	data := buf.Bytes()
+
+	got, err := ReadPcap(bytes.NewReader(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("ARP kept by default: %+v", got)
+	}
+	got, err = ReadPcap(bytes.NewReader(data), &PcapOptions{KeepUnparsed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Size != 0 {
+		t.Fatalf("KeepUnparsed: %+v", got)
+	}
+}
+
+func TestPcapVLANTag(t *testing.T) {
+	var buf bytes.Buffer
+	var gh [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(gh[0:4], pcapMagicMicro)
+	le.PutUint32(gh[20:24], linkEthernet)
+	buf.Write(gh[:])
+
+	eth := make([]byte, 14)
+	binary.BigEndian.PutUint16(eth[12:14], 0x8100) // 802.1Q
+	vlan := []byte{0x00, 0x01, 0x08, 0x00}         // tag + IPv4 ethertype
+	ip := make([]byte, 20)
+	ip[0] = 0x45
+	copy(ip[12:16], []byte{10, 0, 0, 9})
+	copy(ip[16:20], []byte{1, 1, 1, 1})
+	frame := append(append(eth, vlan...), ip...)
+
+	var rh [16]byte
+	le.PutUint32(rh[8:12], uint32(len(frame)))
+	le.PutUint32(rh[12:16], uint32(len(frame)))
+	buf.Write(rh[:])
+	buf.Write(frame)
+
+	got, err := ReadPcap(&buf, &PcapOptions{DeviceIP: netip.AddrFrom4([4]byte{10, 0, 0, 9})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Dir != Out {
+		t.Fatalf("VLAN parse: %+v", got)
+	}
+}
+
+func TestPropertyPcapRoundTripPreservesSemantics(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%40 + 1
+		tr := make(Trace, n)
+		var ts time.Duration
+		for i := range tr {
+			ts += time.Duration(r.Int63n(int64(5 * time.Second)))
+			dir := In
+			if r.Intn(2) == 0 {
+				dir = Out
+			}
+			// Sizes at least the minimal frame so they round-trip exactly.
+			tr[i] = Packet{T: ts, Dir: dir, Size: 42 + r.Intn(1400)}
+		}
+		var buf bytes.Buffer
+		if err := WritePcap(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadPcap(&buf, &PcapOptions{DeviceIP: PcapDeviceIP()})
+		if err != nil || len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i].Dir != tr[i].Dir || got[i].Size != tr[i].Size {
+				return false
+			}
+			// First packet rebased to 0.
+			wantT := tr[i].T - tr[0].T
+			if d := got[i].T - wantT; d > time.Microsecond || d < -time.Microsecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

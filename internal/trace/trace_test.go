@@ -1,0 +1,419 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func sample() Trace {
+	return Trace{
+		{T: 0, Dir: Out, Size: 100},
+		{T: sec(0.1), Dir: In, Size: 1400},
+		{T: sec(0.2), Dir: In, Size: 1400},
+		{T: sec(5), Dir: Out, Size: 60},
+		{T: sec(5.05), Dir: In, Size: 900},
+		{T: sec(30), Dir: Out, Size: 60},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if err := (Trace{}).Validate(); err != nil {
+		t.Fatalf("empty trace rejected: %v", err)
+	}
+}
+
+func TestValidateUnsorted(t *testing.T) {
+	tr := Trace{{T: sec(2)}, {T: sec(1)}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("unsorted trace accepted")
+	}
+}
+
+func TestValidateNegativeTime(t *testing.T) {
+	tr := Trace{{T: -sec(1)}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("negative timestamp accepted")
+	}
+}
+
+func TestValidateBadDirection(t *testing.T) {
+	tr := Trace{{T: 0, Dir: Direction(7)}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("bad direction accepted")
+	}
+}
+
+func TestValidateNegativeSize(t *testing.T) {
+	tr := Trace{{T: 0, Dir: In, Size: -1}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Out.String() != "out" || In.String() != "in" {
+		t.Fatalf("direction strings: %q %q", Out, In)
+	}
+	if !strings.Contains(Direction(9).String(), "9") {
+		t.Fatalf("unknown direction string: %q", Direction(9))
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if got := sample().Duration(); got != sec(30) {
+		t.Fatalf("Duration = %v, want 30s", got)
+	}
+	if got := (Trace{}).Duration(); got != 0 {
+		t.Fatalf("empty Duration = %v, want 0", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	out, in := sample().Bytes()
+	if out != 220 || in != 3700 {
+		t.Fatalf("Bytes = %d,%d want 220,3700", out, in)
+	}
+}
+
+func TestInterArrivals(t *testing.T) {
+	gaps := sample().InterArrivals()
+	want := []time.Duration{sec(0.1), sec(0.1), sec(4.8), sec(0.05), sec(24.95)}
+	if len(gaps) != len(want) {
+		t.Fatalf("got %d gaps, want %d", len(gaps), len(want))
+	}
+	for i := range want {
+		if d := gaps[i] - want[i]; d > time.Microsecond || d < -time.Microsecond {
+			t.Errorf("gap %d = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+	if (Trace{{T: 0}}).InterArrivals() != nil {
+		t.Fatal("single-packet trace should have nil gaps")
+	}
+}
+
+func TestSortAndMerge(t *testing.T) {
+	a := Trace{{T: sec(1), Dir: In}, {T: sec(3), Dir: In}}
+	b := Trace{{T: sec(0), Dir: Out}, {T: sec(2), Dir: Out}}
+	m := Merge(a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	if len(m) != 4 || m[0].Dir != Out || m[1].Dir != In {
+		t.Fatalf("merge order wrong: %+v", m)
+	}
+}
+
+func TestMergeStableOnTies(t *testing.T) {
+	a := Trace{{T: sec(1), Size: 1}}
+	b := Trace{{T: sec(1), Size: 2}}
+	m := Merge(a, b)
+	if m[0].Size != 1 || m[1].Size != 2 {
+		t.Fatalf("tie order not stable: %+v", m)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := sample()
+	cl := tr.Clone()
+	cl[0].Size = 9999
+	if tr[0].Size == 9999 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestShift(t *testing.T) {
+	tr := sample().Shift(sec(10))
+	if tr[0].T != sec(10) {
+		t.Fatalf("shifted origin = %v", tr[0].T)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative shift did not panic")
+		}
+	}()
+	sample().Shift(-sec(1))
+}
+
+func TestSlice(t *testing.T) {
+	got := sample().Slice(sec(0.1), sec(5.05))
+	if len(got) != 3 {
+		t.Fatalf("Slice len = %d, want 3", len(got))
+	}
+	if got[0].T != sec(0.1) || got[2].T != sec(5) {
+		t.Fatalf("Slice bounds wrong: %+v", got)
+	}
+}
+
+func TestBursts(t *testing.T) {
+	bursts := sample().Bursts(sec(1))
+	if len(bursts) != 3 {
+		t.Fatalf("got %d bursts, want 3", len(bursts))
+	}
+	if len(bursts[0].Packets) != 3 || len(bursts[1].Packets) != 2 || len(bursts[2].Packets) != 1 {
+		t.Fatalf("burst sizes wrong: %d %d %d",
+			len(bursts[0].Packets), len(bursts[1].Packets), len(bursts[2].Packets))
+	}
+	if bursts[1].Start != sec(5) || bursts[1].End != sec(5.05) {
+		t.Fatalf("burst 1 span [%v %v]", bursts[1].Start, bursts[1].End)
+	}
+	if bursts[2].Span() != 0 {
+		t.Fatalf("single-packet burst span = %v", bursts[2].Span())
+	}
+}
+
+func TestBurstsPanicsOnBadGap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bursts(0) did not panic")
+		}
+	}()
+	sample().Bursts(0)
+}
+
+func TestBurstsEmpty(t *testing.T) {
+	if got := (Trace{}).Bursts(sec(1)); got != nil {
+		t.Fatalf("empty trace bursts = %v", got)
+	}
+}
+
+func TestBurstsCoverAllPackets(t *testing.T) {
+	tr := sample()
+	total := 0
+	for _, b := range tr.Bursts(sec(1)) {
+		total += len(b.Packets)
+	}
+	if total != len(tr) {
+		t.Fatalf("bursts cover %d packets, trace has %d", total, len(tr))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := sample().Summarize(sec(1))
+	if s.Packets != 6 || s.Bursts != 3 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.MaxGap != sec(24.95) {
+		t.Fatalf("MaxGap = %v", s.MaxGap)
+	}
+	if s.MeanBurstLen != 2 {
+		t.Fatalf("MeanBurstLen = %v, want 2", s.MeanBurstLen)
+	}
+}
+
+func TestQuantileGap(t *testing.T) {
+	tr := Trace{{T: 0}, {T: sec(1)}, {T: sec(3)}, {T: sec(6)}, {T: sec(10)}}
+	// gaps: 1,2,3,4
+	if got := tr.QuantileGap(0); got != sec(1) {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := tr.QuantileGap(1); got != sec(4) {
+		t.Fatalf("q1 = %v", got)
+	}
+	mid := tr.QuantileGap(0.5)
+	if mid < sec(2.4) || mid > sec(2.6) {
+		t.Fatalf("q0.5 = %v, want 2.5s", mid)
+	}
+}
+
+func TestQuantileGapDegenerate(t *testing.T) {
+	if got := (Trace{{T: 0}}).QuantileGap(0.95); got != 0 {
+		t.Fatalf("degenerate quantile = %v", got)
+	}
+	if got := (Trace{{T: 0}, {T: sec(2)}}).QuantileGap(0.5); got != sec(2) {
+		t.Fatalf("single-gap quantile = %v", got)
+	}
+}
+
+func TestQuantileGapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuantileGap(2) did not panic")
+		}
+	}()
+	sample().QuantileGap(2)
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, sample())
+	}
+}
+
+func TestTextComments(t *testing.T) {
+	in := "# comment\n\n0.5 in 100\n"
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 1 || tr[0].Dir != In || tr[0].Size != 100 {
+		t.Fatalf("parsed %+v", tr)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"0.5 in",                 // too few fields
+		"x in 100",               // bad time
+		"0.5 sideways 100",       // bad direction
+		"0.5 in x",               // bad size
+		"1.0 in 100\n0.5 in 100", // unsorted
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestBinaryEmptyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d packets", len(got))
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("notatrace........")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-5])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+// randomTrace builds a valid random trace for property tests.
+func randomTrace(r *rand.Rand, n int) Trace {
+	tr := make(Trace, n)
+	var t time.Duration
+	for i := range tr {
+		t += time.Duration(r.Int63n(int64(10 * time.Second)))
+		dir := In
+		if r.Intn(2) == 0 {
+			dir = Out
+		}
+		tr[i] = Packet{T: t, Dir: dir, Size: r.Intn(1500)}
+	}
+	return tr
+}
+
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, int(nRaw)%64)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBurstsPartition(t *testing.T) {
+	f := func(seed int64, nRaw uint8, gapMillis uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, int(nRaw)%100+1)
+		gap := time.Duration(gapMillis%5000+1) * time.Millisecond
+		bursts := tr.Bursts(gap)
+		// Partition: every packet appears exactly once, in order.
+		idx := 0
+		for _, b := range bursts {
+			for _, p := range b.Packets {
+				if p != tr[idx] {
+					return false
+				}
+				idx++
+			}
+			// Intra-burst gaps must be <= gap.
+			for i := 1; i < len(b.Packets); i++ {
+				if b.Packets[i].T-b.Packets[i-1].T > gap {
+					return false
+				}
+			}
+		}
+		return idx == len(tr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, 50)
+		last := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := tr.QuantileGap(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// This file provides day-scale workload structure. The paper's user traces
+// span two to five days each; traffic over such spans is not stationary —
+// phones sleep at night, foreground apps run in sessions, background apps
+// keep ticking. Diurnal wraps any AppModel with an activity mask so the
+// generators above compose into realistic multi-day traces.
+
+// Diurnal masks an underlying model with a daily activity cycle: during
+// "awake" hours the model's full traffic passes; during "asleep" hours
+// only a configurable fraction of wake-ups survive (background syncs still
+// fire occasionally at night; foreground traffic does not).
+type Diurnal struct {
+	// Model is the underlying generator.
+	Model AppModel
+	// WakeHour and SleepHour bound the awake span within each 24 h day
+	// (e.g. 8 and 23). WakeHour must be < SleepHour.
+	WakeHour, SleepHour int
+	// NightFraction is the probability a night-time burst survives
+	// (0 = silent nights, 1 = no masking).
+	NightFraction float64
+	// JitterMinutes shifts each day's wake/sleep boundaries by up to this
+	// many minutes either way, so days differ.
+	JitterMinutes int
+}
+
+// Name implements AppModel.
+func (d Diurnal) Name() string { return d.Model.Name() + "+diurnal" }
+
+// Generate implements AppModel: it generates the underlying traffic for
+// the full duration, then applies the day mask burst-by-burst (masking
+// whole bursts, not individual packets, so surviving sessions stay intact).
+func (d Diurnal) Generate(r *rand.Rand, duration time.Duration) trace.Trace {
+	base := d.Model.Generate(r, duration)
+	if len(base) == 0 {
+		return base
+	}
+	wake, sleep := d.WakeHour, d.SleepHour
+	if wake < 0 {
+		wake = 0
+	}
+	if sleep > 24 {
+		sleep = 24
+	}
+	if wake >= sleep {
+		// Degenerate mask: pass everything through.
+		return base
+	}
+
+	days := int(duration/(24*time.Hour)) + 1
+	type span struct{ from, to time.Duration }
+	awake := make([]span, days)
+	for day := range awake {
+		jitter := func() time.Duration {
+			if d.JitterMinutes <= 0 {
+				return 0
+			}
+			return time.Duration(r.Intn(2*d.JitterMinutes+1)-d.JitterMinutes) * time.Minute
+		}
+		start := time.Duration(day)*24*time.Hour + time.Duration(wake)*time.Hour + jitter()
+		end := time.Duration(day)*24*time.Hour + time.Duration(sleep)*time.Hour + jitter()
+		awake[day] = span{from: start, to: end}
+	}
+	isAwake := func(t time.Duration) bool {
+		day := int(t / (24 * time.Hour))
+		if day >= len(awake) {
+			day = len(awake) - 1
+		}
+		s := awake[day]
+		return t >= s.from && t < s.to
+	}
+
+	var out trace.Trace
+	for _, b := range base.Bursts(time.Second) {
+		if isAwake(b.Start) || r.Float64() < d.NightFraction {
+			out = append(out, b.Packets...)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// DayUser wraps a User's apps in Diurnal masks appropriate to each
+// category: background services (IM, Email, News, MicroBlog, Game) keep a
+// small night-time trickle; foreground categories (Social, Finance) go
+// silent at night.
+func DayUser(u User) User {
+	wrapped := make([]AppModel, len(u.Apps))
+	for i, a := range u.Apps {
+		night := 0.15
+		switch a.Name() {
+		case "Social", "Finance":
+			night = 0
+		}
+		wrapped[i] = Diurnal{
+			Model:         a,
+			WakeHour:      8,
+			SleepHour:     23,
+			NightFraction: night,
+			JitterMinutes: 45,
+		}
+	}
+	return User{Name: u.Name + "-day", Apps: wrapped}
+}

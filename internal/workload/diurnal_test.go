@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func hourOf(t time.Duration) int {
+	return int(t/time.Hour) % 24
+}
+
+func TestDiurnalMasksNights(t *testing.T) {
+	d := Diurnal{Model: IM(), WakeHour: 8, SleepHour: 22, NightFraction: 0}
+	tr := Generate(d, 1, 48*time.Hour)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("empty diurnal trace")
+	}
+	for _, p := range tr {
+		h := hourOf(p.T)
+		if h < 8 || h >= 22 {
+			t.Fatalf("packet at hour %d despite silent nights (t=%v)", h, p.T)
+		}
+	}
+}
+
+func TestDiurnalNightTrickle(t *testing.T) {
+	d := Diurnal{Model: IM(), WakeHour: 8, SleepHour: 22, NightFraction: 0.2}
+	tr := Generate(d, 2, 48*time.Hour)
+	night := 0
+	for _, p := range tr {
+		h := hourOf(p.T)
+		if h < 8 || h >= 22 {
+			night++
+		}
+	}
+	if night == 0 {
+		t.Fatal("NightFraction 0.2 produced no night traffic over 2 days")
+	}
+	// But nights must be much quieter than days.
+	if night*3 > len(tr) {
+		t.Fatalf("night traffic %d of %d packets is not a trickle", night, len(tr))
+	}
+}
+
+func TestDiurnalDegenerateMaskPassesThrough(t *testing.T) {
+	d := Diurnal{Model: Game(), WakeHour: 12, SleepHour: 12}
+	masked := Generate(d, 3, 6*time.Hour)
+	raw := Generate(Game(), 3, 6*time.Hour)
+	if len(masked) != len(raw) {
+		t.Fatalf("degenerate mask altered trace: %d vs %d", len(masked), len(raw))
+	}
+}
+
+func TestDiurnalName(t *testing.T) {
+	d := Diurnal{Model: Email()}
+	if d.Name() != "Email+diurnal" {
+		t.Fatalf("name %q", d.Name())
+	}
+}
+
+func TestDiurnalReducesVolume(t *testing.T) {
+	raw := Generate(IM(), 4, 24*time.Hour)
+	masked := Generate(Diurnal{Model: IM(), WakeHour: 9, SleepHour: 21, NightFraction: 0.1}, 4, 24*time.Hour)
+	if len(masked) >= len(raw) {
+		t.Fatalf("mask did not reduce volume: %d vs %d", len(masked), len(raw))
+	}
+}
+
+func TestDayUser(t *testing.T) {
+	u := DayUser(User{Name: "u", Apps: []AppModel{IM(), Social()}})
+	if u.Name != "u-day" || len(u.Apps) != 2 {
+		t.Fatalf("DayUser: %+v", u)
+	}
+	tr := u.Generate(5, 24*time.Hour)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Day hours must carry most of the traffic.
+	day := 0
+	for _, p := range tr {
+		if h := hourOf(p.T); h >= 9 && h < 22 {
+			day++
+		}
+	}
+	if day*2 < len(tr) {
+		t.Fatalf("less than half the traffic in waking hours: %d of %d", day, len(tr))
+	}
+}
+
+func TestDiurnalDeterministic(t *testing.T) {
+	d := Diurnal{Model: Email(), WakeHour: 8, SleepHour: 23, NightFraction: 0.2, JitterMinutes: 30}
+	a := Generate(d, 9, 36*time.Hour)
+	b := Generate(d, 9, 36*time.Hour)
+	if len(a) != len(b) {
+		t.Fatal("diurnal generation not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("diurnal packets differ across identical runs")
+		}
+	}
+}
+
+func TestConcatComposesDays(t *testing.T) {
+	day1 := Generate(Email(), 1, 2*time.Hour)
+	day2 := Generate(Email(), 2, 2*time.Hour)
+	joined := trace.Concat(8*time.Hour, day1, day2)
+	if err := joined.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != len(day1)+len(day2) {
+		t.Fatalf("Concat lost packets: %d vs %d+%d", len(joined), len(day1), len(day2))
+	}
+	// The night gap must exist between the segments.
+	gapSeen := false
+	for _, g := range joined.InterArrivals() {
+		if g >= 8*time.Hour {
+			gapSeen = true
+		}
+	}
+	if !gapSeen {
+		t.Fatal("no 8h gap between concatenated days")
+	}
+}

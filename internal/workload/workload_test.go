@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/trace"
+)
+
+const hour = time.Hour
+
+func TestAllAppsGenerateValidTraces(t *testing.T) {
+	for _, app := range Apps() {
+		tr := Generate(app, 42, hour)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: invalid trace: %v", app.Name(), err)
+		}
+		if len(tr) == 0 {
+			t.Errorf("%s: empty trace over an hour", app.Name())
+		}
+		if tr.Duration() > hour+time.Minute {
+			t.Errorf("%s: trace overruns duration: %v", app.Name(), tr.Duration())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, app := range Apps() {
+		a := Generate(app, 7, 30*time.Minute)
+		b := Generate(app, 7, 30*time.Minute)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different traces", app.Name())
+		}
+		c := Generate(app, 8, 30*time.Minute)
+		if reflect.DeepEqual(a, c) && len(a) > 0 {
+			t.Errorf("%s: different seeds produced identical traces", app.Name())
+		}
+	}
+}
+
+func TestAppByName(t *testing.T) {
+	a, ok := AppByName("Email")
+	if !ok || a.Name() != "Email" {
+		t.Fatalf("AppByName(Email) = %v %v", a, ok)
+	}
+	if _, ok := AppByName("Torrent"); ok {
+		t.Fatal("unknown app found")
+	}
+}
+
+func TestIMHeartbeatCadence(t *testing.T) {
+	tr := Generate(IM(), 1, hour)
+	// Heartbeats every 5-20 s -> between 180 and 720 intervals/hour, each
+	// at least 2 packets.
+	if len(tr) < 2*180 || len(tr) > 4*720*2 {
+		t.Fatalf("IM packet count %d outside plausible heartbeat range", len(tr))
+	}
+	// Median gap must sit inside the heartbeat band (allowing the
+	// request/response sub-second gap to pull it down).
+	st := tr.Summarize(time.Second)
+	if st.MaxGap > 25*time.Second {
+		t.Fatalf("IM max gap %v exceeds heartbeat ceiling", st.MaxGap)
+	}
+}
+
+func TestFinanceTicksRoughlyPerSecond(t *testing.T) {
+	tr := Generate(Finance(), 2, 10*time.Minute)
+	// ~600 ticks expected.
+	if len(tr) < 400 || len(tr) > 900 {
+		t.Fatalf("Finance packets = %d, want ~600", len(tr))
+	}
+}
+
+func TestEmailPeriodicity(t *testing.T) {
+	tr := Generate(Email(), 3, 2*hour)
+	bursts := tr.Bursts(30 * time.Second)
+	// Sync every ~5 min over 2 h -> ~24 wake-ups; follow-ups merge into
+	// the same burst window, so expect 15..40.
+	if len(bursts) < 15 || len(bursts) > 40 {
+		t.Fatalf("Email bursts = %d, want ~24", len(bursts))
+	}
+}
+
+func TestGameAdBarOncePerMinute(t *testing.T) {
+	tr := Generate(Game(), 4, hour)
+	bursts := tr.Bursts(20 * time.Second)
+	if len(bursts) < 45 || len(bursts) > 75 {
+		t.Fatalf("Game bursts = %d, want ~60", len(bursts))
+	}
+}
+
+func TestSocialHasHeavyTailThinkTimes(t *testing.T) {
+	tr := Generate(Social(), 5, 6*hour)
+	if len(tr) == 0 {
+		t.Fatal("empty social trace")
+	}
+	st := tr.Summarize(time.Second)
+	if st.MaxGap < time.Minute {
+		t.Fatalf("Social max gap %v suspiciously small for Pareto think times", st.MaxGap)
+	}
+}
+
+func TestBurstShapeEmit(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	shape := BurstShape{ReqBytes: 100, RespBytes: 3000, MTU: 1400}
+	tr, end := shape.Emit(r, nil, time.Second)
+	if len(tr) != 4 { // 1 req + ceil(3000/1400)=3 resp
+		t.Fatalf("burst has %d packets, want 4", len(tr))
+	}
+	if tr[0].Dir != trace.Out || tr[0].Size != 100 {
+		t.Fatalf("first packet %+v", tr[0])
+	}
+	var respTotal int
+	for _, p := range tr[1:] {
+		if p.Dir != trace.In {
+			t.Fatalf("response packet wrong direction: %+v", p)
+		}
+		respTotal += p.Size
+	}
+	if respTotal != 3000 {
+		t.Fatalf("response bytes = %d", respTotal)
+	}
+	if end < tr[len(tr)-1].T {
+		t.Fatal("end precedes last packet")
+	}
+}
+
+func TestBurstShapeDefaults(t *testing.T) {
+	var b BurstShape
+	if b.mtu() != 1400 || b.meanGap() != 20*time.Millisecond {
+		t.Fatalf("defaults: mtu=%d gap=%v", b.mtu(), b.meanGap())
+	}
+}
+
+func TestBulkTransfer(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := Bulk(r, 0, 100_000, false, 8, 1400)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("bulk trace invalid: %v", err)
+	}
+	var down, up int
+	for _, p := range tr {
+		if p.Dir == trace.In {
+			down += p.Size
+		} else {
+			up += p.Size
+		}
+	}
+	if down != 100_000 {
+		t.Fatalf("downlink bytes = %d", down)
+	}
+	if up == 0 {
+		t.Fatal("bulk transfer produced no ACKs")
+	}
+	// At 8 Mbps, 100 kB should take ~0.1 s; allow jitter.
+	if d := tr.Duration(); d < 50*time.Millisecond || d > 500*time.Millisecond {
+		t.Fatalf("bulk duration = %v", d)
+	}
+}
+
+func TestBulkUplinkDirection(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := Bulk(r, 0, 10_000, true, 1, 1400)
+	if tr[0].Dir != trace.Out {
+		t.Fatal("uplink bulk should start with Out packet")
+	}
+}
+
+func TestBulkDegenerateArgs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := Bulk(r, 0, 1000, false, 0, 0) // rate and mtu default
+	if len(tr) == 0 {
+		t.Fatal("degenerate bulk empty")
+	}
+}
+
+func TestUserMixesValid(t *testing.T) {
+	for _, u := range append(Verizon3GUsers(), VerizonLTEUsers()...) {
+		tr := u.Generate(99, 2*hour)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", u.Name, err)
+		}
+		if len(tr) == 0 {
+			t.Errorf("%s: empty", u.Name)
+		}
+	}
+}
+
+func TestUserMixMergesAllApps(t *testing.T) {
+	u := User{Name: "test", Apps: []AppModel{IM(), Email()}}
+	merged := u.Generate(1, hour)
+	solo := Generate(IM(), 1, hour) // same seed as app index 0
+	if len(merged) <= len(solo) {
+		t.Fatalf("merged %d packets vs IM alone %d", len(merged), len(solo))
+	}
+}
+
+func TestUserByName(t *testing.T) {
+	users := Verizon3GUsers()
+	u, ok := UserByName(users, "user3")
+	if !ok || u.Name != "user3" {
+		t.Fatalf("UserByName: %v %v", u, ok)
+	}
+	if _, ok := UserByName(users, "user99"); ok {
+		t.Fatal("unknown user found")
+	}
+}
+
+func TestUserString(t *testing.T) {
+	u := Verizon3GUsers()[0]
+	s := u.String()
+	if s == "" || s == u.Name {
+		t.Fatalf("String() should mention apps: %q", s)
+	}
+}
+
+func TestUserDeterminism(t *testing.T) {
+	u := Verizon3GUsers()[1]
+	a := u.Generate(5, hour)
+	b := u.Generate(5, hour)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("user generation not deterministic")
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := pareto(r, 2, 1.5, 100)
+		if v < 2 || v > 100 {
+			t.Fatalf("pareto sample %v outside [2,100]", v)
+		}
+	}
+}
+
+func TestJittered(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	base := time.Second
+	for i := 0; i < 1000; i++ {
+		v := jittered(r, base, 0.25)
+		if v < 750*time.Millisecond || v > 1250*time.Millisecond {
+			t.Fatalf("jittered %v outside band", v)
+		}
+	}
+	if jittered(r, base, 0) != base {
+		t.Fatal("zero jitter should be identity")
+	}
+}
+
+func TestPropertyGeneratorsProduceSortedNonNegative(t *testing.T) {
+	apps := Apps()
+	f := func(seed int64, appIdx uint8, minutes uint8) bool {
+		app := apps[int(appIdx)%len(apps)]
+		d := time.Duration(minutes%120+1) * time.Minute
+		tr := Generate(app, seed, d)
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBulkConservesBytes(t *testing.T) {
+	f := func(seed int64, kb uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := (int(kb) + 1) * 1000
+		tr := Bulk(r, 0, total, false, 8, 1400)
+		var down int
+		for _, p := range tr {
+			if p.Dir == trace.In {
+				down += p.Size
+			}
+		}
+		return down == total && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
