@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -68,6 +69,62 @@ func BenchmarkDormancySensitivity(b *testing.B) { benchExperiment(b, "sens") }
 func BenchmarkBaseStationLoad(b *testing.B)     { benchExperiment(b, "bs") }
 func BenchmarkDownlinkBuffering(b *testing.B)   { benchExperiment(b, "buf") }
 func BenchmarkLifetimeEstimate(b *testing.B)    { benchExperiment(b, "life") }
+func BenchmarkFleetExperiment(b *testing.B)     { benchExperiment(b, "fleet") }
+
+// BenchmarkFleetReplay measures the fleet runtime on an N-user synthetic
+// cohort: "serial" pins one worker, "sharded" uses every core. The two
+// produce identical aggregates (fleet's determinism guarantee), so the
+// ratio of their ns/op is the parallel speedup future scale-out PRs track.
+func BenchmarkFleetReplay(b *testing.B) {
+	cohort := fleet.Cohort{Users: 64, Seed: 1, Duration: 30 * time.Minute, Diurnal: true}
+	jobs := cohort.Jobs(power.Verizon3G, []fleet.Scheme{fleet.MakeIdleScheme()})
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"sharded", 0}, // GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum, err := fleet.RunSummary(jobs, fleet.Options{Workers: bc.workers}, fleet.SummaryConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Jobs != int64(len(jobs)) {
+					b.Fatalf("folded %d/%d jobs", sum.Jobs, len(jobs))
+				}
+			}
+			b.ReportMetric(float64(cohort.Users)*float64(b.N)/b.Elapsed().Seconds(), "users/s")
+		})
+	}
+}
+
+// BenchmarkEngineReuse contrasts the pooled package-level Run against a
+// caller-held Engine on the same trace (the allocation-light hot path the
+// fleet workers use).
+func BenchmarkEngineReuse(b *testing.B) {
+	tr := workload.Verizon3GUsers()[0].Generate(1, time.Hour)
+	prof := power.Verizon3G
+	b.Run("pooled-run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(tr, prof, policy.StatusQuo{}, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("held-engine", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(tr, prof, policy.StatusQuo{}, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // BenchmarkAlgorithmOverhead is the §6.6 measurement: the per-packet cost
 // of running the full control module (MakeIdle decision + MakeActive

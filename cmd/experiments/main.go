@@ -6,10 +6,16 @@
 //	experiments -list
 //	experiments -run fig9
 //	experiments -run all -seed 3 -user-duration 8h
+//	experiments -run fleet -users 1000 -parallel 0 -shards 64
 //
 // Output is text: tables whose rows correspond to the bars/points of the
 // paper's figures. EXPERIMENTS.md records a reference run next to the
 // paper's numbers.
+//
+// Every experiment fans its replays across the fleet runtime; -parallel
+// bounds the worker count (results are identical for any value), -users
+// sizes the fleet experiment's cohort, and -shards fixes the aggregate
+// partitioning.
 package main
 
 import (
@@ -24,11 +30,14 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment id (e.g. fig9) or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		appDur  = flag.Duration("app-duration", 2*time.Hour, "per-application trace length")
-		userDur = flag.Duration("user-duration", 4*time.Hour, "per-user trace length")
+		run      = flag.String("run", "all", "experiment id (e.g. fig9) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		appDur   = flag.Duration("app-duration", 2*time.Hour, "per-application trace length")
+		userDur  = flag.Duration("user-duration", 4*time.Hour, "per-user trace length")
+		users    = flag.Int("users", 0, "cohort size of the fleet experiment (0 = default 24; try 1000+)")
+		parallel = flag.Int("parallel", 0, "fleet replay workers (0 = all cores, 1 = serial; never changes results)")
+		shards   = flag.Int("shards", 0, "fleet aggregate shards (0 = fixed default; changes only float grouping)")
 	)
 	flag.Parse()
 
@@ -39,7 +48,10 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed, AppDuration: *appDur, UserDuration: *userDur}
+	cfg := experiments.Config{
+		Seed: *seed, AppDuration: *appDur, UserDuration: *userDur,
+		Users: *users, Workers: *parallel, Shards: *shards,
+	}
 
 	var todo []experiments.Experiment
 	if *run == "all" {

@@ -1,4 +1,4 @@
-// Command rrcsim replays a packet trace against a carrier profile under a
+// Command rrcsim replays packet traces against a carrier profile under a
 // chosen radio-control policy and prints the energy/signaling report.
 //
 // Usage:
@@ -6,9 +6,15 @@
 //	tracegen -app Email -o email.trc
 //	rrcsim -trace email.trc -carrier "Verizon 3G" -policy makeidle -active learn
 //	rrcsim -trace email.trc -policy all        # compare every scheme
+//	rrcsim -users 1000 -policy makeidle -parallel 0   # synthetic fleet replay
 //
 // Policies: statusquo, 4.5s, 95iat, oracle, makeidle, all.
 // Active (batching): none, learn, fix.
+//
+// With -users N (no -trace) rrcsim replays an N-user synthetic diurnal
+// cohort on the sharded fleet runtime and prints streaming aggregates;
+// -parallel bounds the worker count (results are identical for any value)
+// and -shards fixes the aggregate partitioning.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/power"
@@ -29,26 +36,43 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "trace file (text or binary; required)")
+		tracePath = flag.String("trace", "", "trace file (text or binary; required unless -users is set)")
 		carrier   = flag.String("carrier", "Verizon 3G", "carrier profile name (see Table 2)")
 		polName   = flag.String("policy", "makeidle", "statusquo | 4.5s | 95iat | oracle | makeidle | all")
 		actName   = flag.String("active", "none", "none | learn | fix (MakeActive batching)")
 		burstGap  = flag.Duration("burstgap", time.Second, "session segmentation gap")
+		users     = flag.Int("users", 0, "fleet mode: replay this many synthetic diurnal users instead of -trace")
+		duration  = flag.Duration("duration", 4*time.Hour, "fleet mode: per-user trace length")
+		seed      = flag.Int64("seed", 1, "fleet mode: cohort seed")
+		parallel  = flag.Int("parallel", 0, "fleet workers (0 = all cores, 1 = serial; never changes results)")
+		shards    = flag.Int("shards", 0, "fleet aggregate shards (0 = fixed default)")
 	)
 	flag.Parse()
 
-	if *tracePath == "" {
-		fatal(fmt.Errorf("-trace is required"))
-	}
-	tr, err := readTrace(*tracePath)
-	if err != nil {
-		fatal(err)
-	}
 	prof, ok := power.ByName(*carrier)
 	if !ok {
 		fatal(fmt.Errorf("unknown carrier %q", *carrier))
 	}
 	opts := &sim.Options{BurstGap: *burstGap}
+
+	if *users > 0 {
+		if *tracePath != "" {
+			fatal(fmt.Errorf("-users and -trace are mutually exclusive"))
+		}
+		if err := runFleet(prof, *users, *seed, *duration, *polName, *actName, *burstGap,
+			fleet.Options{Workers: *parallel, Shards: *shards}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required (or -users N for fleet mode)"))
+	}
+	tr, err := readTrace(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *polName == "all" {
 		if err := compareAll(tr, prof, opts); err != nil {
@@ -165,6 +189,64 @@ func compareAll(tr trace.Trace, prof power.Profile, opts *sim.Options) error {
 	}
 	fmt.Print(t.String())
 	return nil
+}
+
+// runFleet replays a synthetic diurnal cohort on the sharded runtime and
+// prints streaming aggregates — no per-user result is retained.
+func runFleet(prof power.Profile, users int, seed int64, duration time.Duration, polName, actName string, burstGap time.Duration, fopts fleet.Options) error {
+	var schemes []fleet.Scheme
+	if polName == "all" {
+		schemes = experiments.FleetSchemes(burstGap)
+	} else {
+		s, err := fleetScheme(polName, actName, burstGap)
+		if err != nil {
+			return err
+		}
+		schemes = []fleet.Scheme{s}
+	}
+	cohort := fleet.Cohort{
+		Users: users, Seed: seed, Duration: duration, Diurnal: true,
+		Opts: &sim.Options{BurstGap: burstGap},
+	}
+	jobs := cohort.Jobs(prof, schemes)
+	start := time.Now()
+	sum, err := fleet.RunSummary(jobs, fopts, fleet.SummaryConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d users x %d schemes on %s (%s traces) in %s\n",
+		users, len(schemes), prof.Name, duration, time.Since(start).Round(time.Millisecond))
+	fmt.Print(sum.String())
+	return nil
+}
+
+// fleetScheme adapts the CLI policy names to a fleet scheme.
+func fleetScheme(polName, actName string, burstGap time.Duration) (fleet.Scheme, error) {
+	// Validate the names eagerly on an empty trace so typos fail before the
+	// fleet spins up.
+	if _, err := makeDemote(polName, nil, power.Verizon3G); err != nil {
+		return fleet.Scheme{}, err
+	}
+	if _, err := makeActive(actName, nil, power.Verizon3G, burstGap); err != nil {
+		return fleet.Scheme{}, err
+	}
+	name := polName
+	if actName != "none" {
+		name += "+" + actName
+	}
+	s := fleet.Scheme{
+		Name: name,
+		Demote: func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
+			return makeDemote(polName, tr, prof)
+		},
+	}
+	if actName != "none" {
+		s.Active = func(tr trace.Trace, prof power.Profile) policy.ActivePolicy {
+			a, _ := makeActive(actName, tr, prof, burstGap)
+			return a
+		}
+	}
+	return s, nil
 }
 
 func fatal(err error) {

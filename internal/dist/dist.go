@@ -1,0 +1,59 @@
+// Package dist provides the sliding-window empirical distributions the
+// control policies learn from. MakeIdle (§4.2) keeps the last n packet
+// inter-arrivals and treats them as an empirical gap distribution; Window is
+// that structure: a fixed-capacity ring buffer of durations where Add
+// overwrites the oldest sample once the window is full.
+package dist
+
+import "time"
+
+// Window is a fixed-capacity sliding window over duration samples. The zero
+// value is unusable; construct with NewWindow. Window is not safe for
+// concurrent use.
+type Window struct {
+	buf   []time.Duration
+	head  int // index of the slot the next Add writes
+	count int // number of valid samples, <= len(buf)
+}
+
+// NewWindow returns a window holding the most recent n samples. n < 1 is
+// treated as 1.
+func NewWindow(n int) *Window {
+	if n < 1 {
+		n = 1
+	}
+	return &Window{buf: make([]time.Duration, n)}
+}
+
+// Cap returns the window capacity n.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Len returns how many samples the window currently holds.
+func (w *Window) Len() int { return w.count }
+
+// Add slides the window forward by one sample, evicting the oldest once the
+// window is full.
+func (w *Window) Add(d time.Duration) {
+	w.buf[w.head] = d
+	w.head = (w.head + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+}
+
+// Each calls f for every sample currently in the window, oldest first.
+func (w *Window) Each(f func(time.Duration)) {
+	start := w.head - w.count
+	if start < 0 {
+		start += len(w.buf)
+	}
+	for i := 0; i < w.count; i++ {
+		f(w.buf[(start+i)%len(w.buf)])
+	}
+}
+
+// Reset empties the window without releasing its storage.
+func (w *Window) Reset() {
+	w.head = 0
+	w.count = 0
+}

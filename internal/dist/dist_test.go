@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+func collect(w *Window) []time.Duration {
+	var out []time.Duration
+	w.Each(func(d time.Duration) { out = append(out, d) })
+	return out
+}
+
+func TestWindowFillsToCapacity(t *testing.T) {
+	w := NewWindow(3)
+	if w.Cap() != 3 || w.Len() != 0 {
+		t.Fatalf("fresh window: cap=%d len=%d", w.Cap(), w.Len())
+	}
+	w.Add(1)
+	w.Add(2)
+	if w.Len() != 2 {
+		t.Fatalf("len=%d after 2 adds", w.Len())
+	}
+	got := collect(w)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("partial window contents %v", got)
+	}
+}
+
+func TestWindowWrapAroundEvictsOldest(t *testing.T) {
+	w := NewWindow(3)
+	for i := 1; i <= 5; i++ {
+		w.Add(time.Duration(i))
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len=%d after wrap, want 3", w.Len())
+	}
+	got := collect(w)
+	want := []time.Duration{3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after wrap got %v, want %v", got, want)
+		}
+	}
+	// Keep wrapping: the window must always hold the last 3, oldest first.
+	for i := 6; i <= 103; i++ {
+		w.Add(time.Duration(i))
+		got := collect(w)
+		if len(got) != 3 || got[0] != time.Duration(i-2) || got[2] != time.Duration(i) {
+			t.Fatalf("after Add(%d): %v", i, got)
+		}
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	for i := 0; i < 9; i++ {
+		w.Add(time.Duration(i))
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("len=%d after reset", w.Len())
+	}
+	if got := collect(w); len(got) != 0 {
+		t.Fatalf("Each visited %v after reset", got)
+	}
+	// The window must be fully usable again after Reset.
+	w.Add(41)
+	w.Add(42)
+	got := collect(w)
+	if len(got) != 2 || got[0] != 41 || got[1] != 42 {
+		t.Fatalf("post-reset contents %v", got)
+	}
+}
+
+func TestWindowMinCapacity(t *testing.T) {
+	w := NewWindow(0)
+	if w.Cap() != 1 {
+		t.Fatalf("cap=%d, want clamp to 1", w.Cap())
+	}
+	w.Add(7)
+	w.Add(8)
+	got := collect(w)
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("unit window contents %v", got)
+	}
+}

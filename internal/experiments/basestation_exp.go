@@ -6,10 +6,12 @@ import (
 	"time"
 
 	"repro/internal/basestation"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -21,21 +23,29 @@ import (
 // always-grant and under a rate limit, plus the energy cost of the denials.
 func BaseStationLoad(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
+	type combo struct {
+		n   int
+		adm basestation.AdmissionPolicy
+	}
+	var combos []combo
+	for _, n := range []int{1, 4, 16} {
+		combos = append(combos, combo{n, basestation.AlwaysGrant{}},
+			combo{n, basestation.RateLimit{MaxPerWindow: 8 * n}})
+	}
+	results, err := fleet.Map(len(combos), cfg.fleetOpts(),
+		func(i int, _ *sim.Engine) (*basestation.Result, error) {
+			return cellFleet(cfg, combos[i].n, combos[i].adm)
+		})
+	if err != nil {
+		return "", err
+	}
+
 	t := report.NewTable("Base station (future work §8): signaling vs fleet size, Verizon 3G",
 		"Devices", "Admission", "Signals", "Peak/min", "Denied", "Energy(J)")
-
-	for _, n := range []int{1, 4, 16} {
-		for _, adm := range []basestation.AdmissionPolicy{
-			basestation.AlwaysGrant{},
-			basestation.RateLimit{MaxPerWindow: 8 * n},
-		} {
-			res, err := cellFleet(cfg, n, adm)
-			if err != nil {
-				return "", err
-			}
-			t.AddRowf(n, res.Admission, res.TotalSignals, res.PeakSignals(),
-				res.TotalDenied, res.TotalEnergyJ())
-		}
+	for i, c := range combos {
+		res := results[i]
+		t.AddRowf(c.n, res.Admission, res.TotalSignals, res.PeakSignals(),
+			res.TotalDenied, res.TotalEnergyJ())
 	}
 	return t.String(), nil
 }
@@ -56,18 +66,20 @@ func DownlinkBufferingTrade(cfg Config) (string, error) {
 		"Hold(s)", "Energy(J)", "Saved(%)", "Promotions", "Mean delay(s)", "Max delay(s)")
 
 	mi := func() (policy.DemotePolicy, error) { return policy.NewMakeIdle(prof) }
-	base, err := bufferRun(prof, tr, mi, time.Millisecond)
+	holds := []time.Duration{time.Millisecond, // index 0: the unbuffered baseline
+		time.Second, 5 * time.Second, 10 * time.Second, 30 * time.Second}
+	results, err := fleet.Map(len(holds), cfg.fleetOpts(),
+		func(i int, _ *sim.Engine) (*basestation.BufferResult, error) {
+			return bufferRun(prof, tr, mi, holds[i])
+		})
 	if err != nil {
 		return "", err
 	}
-	for _, hold := range []time.Duration{time.Second, 5 * time.Second, 10 * time.Second, 30 * time.Second} {
-		res, err := bufferRun(prof, tr, mi, hold)
-		if err != nil {
-			return "", err
-		}
+	base := results[0]
+	for i, res := range results[1:] {
 		d := metrics.Delays(res.Delays)
 		saved := 100 * (base.EnergyJ - res.EnergyJ) / base.EnergyJ
-		t.AddRowf(hold.Seconds(), res.EnergyJ, saved, res.Promotions,
+		t.AddRowf(holds[i+1].Seconds(), res.EnergyJ, saved, res.Promotions,
 			d.Mean.Seconds(), d.Max.Seconds())
 	}
 	return t.String(), nil

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/energy"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/power"
@@ -44,18 +45,26 @@ func Table2(Config) (string, error) {
 
 // Fig1 regenerates Figure 1: the fraction of 3G interface energy spent in
 // each radio state, per application, under the status quo (AT&T profile,
-// matching the paper's HTC measurements).
+// matching the paper's HTC measurements). One fleet job per application.
 func Fig1(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
+	apps := workload.Apps()
+	breakdowns, err := fleet.Map(len(apps), cfg.fleetOpts(),
+		func(i int, engine *sim.Engine) (energy.Breakdown, error) {
+			tr := workload.Generate(apps[i], cfg.Seed+int64(i), cfg.AppDuration)
+			r, err := engine.Run(tr, power.ATTHSPAPlus, policy.StatusQuo{}, nil, nil)
+			if err != nil {
+				return energy.Breakdown{}, fmt.Errorf("fig1 %s: %w", apps[i].Name(), err)
+			}
+			return r.Breakdown, nil
+		})
+	if err != nil {
+		return "", err
+	}
 	t := report.NewTable("Figure 1: energy consumed by the 3G interface (% of total, status quo, AT&T HSPA+)",
 		"Application", "Data(%)", "DCH Timer(%)", "FACH Timer(%)", "State Switch(%)")
-	for i, app := range workload.Apps() {
-		tr := workload.Generate(app, cfg.Seed+int64(i), cfg.AppDuration)
-		r, err := sim.Run(tr, power.ATTHSPAPlus, policy.StatusQuo{}, nil, nil)
-		if err != nil {
-			return "", fmt.Errorf("fig1 %s: %w", app.Name(), err)
-		}
-		data, t1, t2, sw := r.Breakdown.Fractions()
+	for i, app := range apps {
+		data, t1, t2, sw := breakdowns[i].Fractions()
 		t.AddRowf(app.Name(), 100*data, 100*t1, 100*t2, 100*sw)
 	}
 	return t.String(), nil
@@ -134,24 +143,35 @@ func PowerTimeline(prof power.Profile, burst time.Duration) (*report.Series, err
 // (DESIGN.md documents the substitution).
 func Fig8(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
-	t := report.NewTable("Figure 8: simulation energy error (estimate vs synthetic measurement)",
-		"Network", "Transfer", "Run", "Error")
-	var allErrs []float64
+	type trial struct {
+		prof power.Profile
+		kb   int
+		run  int
+	}
+	var trials []trial
 	for _, prof := range []power.Profile{power.Verizon3G, power.VerizonLTE} {
 		for _, kb := range []int{10, 100, 1000} {
 			for run := 0; run < 5; run++ {
-				seed := cfg.Seed + int64(kb)*10 + int64(run)
-				errVal, err := EnergyModelError(prof, kb*1000, seed)
-				if err != nil {
-					return "", err
-				}
-				allErrs = append(allErrs, errVal)
-				t.AddRowf(prof.Name, fmt.Sprintf("%dkB", kb), run+1, errVal)
+				trials = append(trials, trial{prof, kb, run})
 			}
 		}
 	}
+	errVals, err := fleet.Map(len(trials), cfg.fleetOpts(),
+		func(i int, _ *sim.Engine) (float64, error) {
+			tc := trials[i]
+			seed := cfg.Seed + int64(tc.kb)*10 + int64(tc.run)
+			return EnergyModelError(tc.prof, tc.kb*1000, seed)
+		})
+	if err != nil {
+		return "", err
+	}
+	t := report.NewTable("Figure 8: simulation energy error (estimate vs synthetic measurement)",
+		"Network", "Transfer", "Run", "Error")
+	for i, tc := range trials {
+		t.AddRowf(tc.prof.Name, fmt.Sprintf("%dkB", tc.kb), tc.run+1, errVals[i])
+	}
 	out := t.String()
-	out += fmt.Sprintf("\nmean |error| = %.3f (paper: within 0.10)\n", metrics.MeanAbs(allErrs))
+	out += fmt.Sprintf("\nmean |error| = %.3f (paper: within 0.10)\n", metrics.MeanAbs(errVals))
 	return out, nil
 }
 

@@ -10,11 +10,11 @@
 package experiments
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/energy"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/power"
@@ -32,13 +32,22 @@ type Config struct {
 	AppDuration time.Duration
 	// UserDuration is the length of per-user traces (Figs. 10-18).
 	UserDuration time.Duration
+	// Users is the cohort size of the fleet-scale replay experiment
+	// (default 24; the CLI raises it into the thousands).
+	Users int
+	// Workers bounds the fleet's replay goroutines (0 = GOMAXPROCS;
+	// 1 = serial). Worker count never changes results.
+	Workers int
+	// Shards is the fleet's aggregate partition count (0 = the fixed
+	// fleet.DefaultShards, so defaults reproduce across machines).
+	Shards int
 }
 
 // DefaultConfig mirrors the paper's 2-hour application traces and uses
 // 4-hour user traces (long enough for stable statistics, short enough for
 // quick regeneration; the CLI can raise it).
 func DefaultConfig() Config {
-	return Config{Seed: 1, AppDuration: 2 * time.Hour, UserDuration: 4 * time.Hour}
+	return Config{Seed: 1, AppDuration: 2 * time.Hour, UserDuration: 4 * time.Hour, Users: 24}
 }
 
 func (c Config) withDefaults() Config {
@@ -52,7 +61,15 @@ func (c Config) withDefaults() Config {
 	if c.UserDuration <= 0 {
 		c.UserDuration = d.UserDuration
 	}
+	if c.Users <= 0 {
+		c.Users = d.Users
+	}
 	return c
+}
+
+// fleetOpts maps the config's parallelism knobs onto the runtime's.
+func (c Config) fleetOpts() fleet.Options {
+	return fleet.Options{Workers: c.Workers, Shards: c.Shards}
 }
 
 // Experiment couples an ID (the paper artifact it regenerates) with its
@@ -87,6 +104,7 @@ func All() []Experiment {
 		{"bs", "Extension (§8): base-station signaling load", BaseStationLoad},
 		{"buf", "Extension (§8): base-station downlink buffering", DownlinkBufferingTrade},
 		{"life", "Conclusion: battery lifetime estimate", LifetimeEstimate},
+		{"fleet", "Extension: sharded fleet replay of a diurnal cohort", FleetReplay},
 	}
 }
 
@@ -130,87 +148,125 @@ type SchemeResult struct {
 	SavedPerSwitchJ float64
 }
 
-// RunSchemes evaluates the six schemes (plus the status-quo baseline,
-// returned first) on a trace under a profile. Options are applied to every
-// run.
-func RunSchemes(tr trace.Trace, prof power.Profile, opts *sim.Options) (statusQuo *sim.Result, schemes []SchemeResult, err error) {
-	statusQuo, err = sim.Run(tr, prof, policy.StatusQuo{}, nil, opts)
-	if err != nil {
-		return nil, nil, err
+// FleetSchemes returns the six evaluated schemes as fleet schemes, in
+// figure-legend order. burstGap parameterizes the trace-fitted MakeActive
+// bound (<= 0 means the simulator's 1 s default).
+func FleetSchemes(burstGap time.Duration) []fleet.Scheme {
+	if burstGap <= 0 {
+		burstGap = time.Second
 	}
-
-	mk := func() (policy.DemotePolicy, error) { return policy.NewMakeIdle(prof) }
-	th := energy.Threshold(&prof)
-
-	type spec struct {
-		name   string
-		demote func() (policy.DemotePolicy, error)
-		active func() policy.ActivePolicy
+	mk := func(_ trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
+		return policy.NewMakeIdle(prof)
 	}
-	specs := []spec{
-		{SchemeFourFive, func() (policy.DemotePolicy, error) { return policy.NewFourPointFive(), nil }, nil},
-		{Scheme95IAT, func() (policy.DemotePolicy, error) { return policy.NewPercentileIAT(tr, 0.95), nil }, nil},
-		{SchemeMakeIdle, mk, nil},
-		{SchemeOracle, func() (policy.DemotePolicy, error) { return policy.NewOracle(th), nil }, nil},
-		{SchemeCombLearn, mk, func() policy.ActivePolicy { return policy.NewLearnedDelay() }},
-		{SchemeCombFix, mk, func() policy.ActivePolicy {
-			bg := time.Second
-			if opts != nil && opts.BurstGap > 0 {
-				bg = opts.BurstGap
-			}
-			return policy.NewFixedDelay(tr, &prof, bg)
+	return []fleet.Scheme{
+		{Name: SchemeFourFive, Demote: func(trace.Trace, power.Profile) (policy.DemotePolicy, error) {
+			return policy.NewFourPointFive(), nil
+		}},
+		{Name: Scheme95IAT, Demote: func(tr trace.Trace, _ power.Profile) (policy.DemotePolicy, error) {
+			return policy.NewPercentileIAT(tr, 0.95), nil
+		}},
+		{Name: SchemeMakeIdle, Demote: mk},
+		{Name: SchemeOracle, Demote: func(_ trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
+			return policy.NewOracle(energy.Threshold(&prof)), nil
+		}},
+		{Name: SchemeCombLearn, Demote: mk, Active: func(trace.Trace, power.Profile) policy.ActivePolicy {
+			return policy.NewLearnedDelay()
+		}},
+		{Name: SchemeCombFix, Demote: mk, Active: func(tr trace.Trace, prof power.Profile) policy.ActivePolicy {
+			return policy.NewFixedDelay(tr, &prof, burstGap)
 		}},
 	}
+}
 
-	for _, s := range specs {
-		d, err := s.demote()
-		if err != nil {
-			return nil, nil, fmt.Errorf("scheme %s: %w", s.name, err)
+// statusQuoScheme is the baseline as a scheme row (always job 0 of a
+// scheme-matrix cell, so relative metrics pair against it).
+func statusQuoScheme() fleet.Scheme { return fleet.StatusQuoScheme() }
+
+// schemeMatrixJobs expands (traces × [statusquo + schemes]) into fleet jobs
+// in trace-major order: jobs[t*(1+len(schemes))] is trace t's status quo.
+// Traces are shared across a row's jobs (replays only read them), so each
+// is generated once however many schemes replay it — these experiment
+// cohorts are small enough to hold, unlike the Gen-per-job fleet path.
+func schemeMatrixJobs(traces []trace.Trace, seeds []int64, prof power.Profile, schemes []fleet.Scheme, opts *sim.Options) []fleet.Job {
+	rows := append([]fleet.Scheme{statusQuoScheme()}, schemes...)
+	jobs := make([]fleet.Job, 0, len(traces)*len(rows))
+	for t := range traces {
+		for _, s := range rows {
+			jobs = append(jobs, fleet.Job{
+				Seed:    seeds[t],
+				Trace:   traces[t],
+				Profile: prof,
+				Scheme:  s.Name,
+				Demote:  s.Demote,
+				Active:  s.Active,
+				Opts:    opts,
+			})
 		}
-		var a policy.ActivePolicy
-		if s.active != nil {
-			a = s.active()
-		}
-		r, err := sim.Run(tr, prof, d, a, opts)
-		if err != nil {
-			return nil, nil, fmt.Errorf("scheme %s: %w", s.name, err)
-		}
-		schemes = append(schemes, SchemeResult{
-			Scheme:          s.name,
+	}
+	return jobs
+}
+
+// schemeResultsFrom pairs a trace's collected outcomes against its status
+// quo (job base) and builds the relative SchemeResults in scheme order.
+func schemeResultsFrom(cells map[int]fleet.Outcome, base int, schemes []fleet.Scheme) (*sim.Result, []SchemeResult) {
+	statusQuo := cells[base].Result
+	results := make([]SchemeResult, 0, len(schemes))
+	for j, s := range schemes {
+		r := cells[base+1+j].Result
+		results = append(results, SchemeResult{
+			Scheme:          s.Name,
 			Result:          r,
 			SavingsPct:      metrics.SavingsPercent(statusQuo, r),
 			SwitchRatio:     metrics.SwitchRatio(statusQuo, r),
 			SavedPerSwitchJ: metrics.EnergySavedPerSwitchJ(statusQuo, r),
 		})
 	}
-	return statusQuo, schemes, nil
+	return statusQuo, results
 }
 
-// userTraces generates the per-user traces for a carrier's cohort.
-func userTraces(users []workload.User, seed int64, d time.Duration) []trace.Trace {
-	out := make([]trace.Trace, len(users))
+// RunSchemes evaluates the six schemes (plus the status-quo baseline,
+// returned first) on a trace under a profile. Options are applied to every
+// run. The seven replays fan out across the fleet pool.
+func RunSchemes(tr trace.Trace, prof power.Profile, opts *sim.Options) (*sim.Result, []SchemeResult, error) {
+	return runSchemesFleet(tr, prof, opts, fleet.Options{})
+}
+
+func runSchemesFleet(tr trace.Trace, prof power.Profile, opts *sim.Options, fopts fleet.Options) (*sim.Result, []SchemeResult, error) {
+	bg := time.Duration(0)
+	if opts != nil {
+		bg = opts.BurstGap
+	}
+	schemes := FleetSchemes(bg)
+	rows := append([]fleet.Scheme{statusQuoScheme()}, schemes...)
+	jobs := make([]fleet.Job, 0, len(rows))
+	for _, s := range rows {
+		jobs = append(jobs, fleet.Job{
+			Trace:   tr,
+			Profile: prof,
+			Scheme:  s.Name,
+			Demote:  s.Demote,
+			Active:  s.Active,
+			Opts:    opts,
+		})
+	}
+	cells, err := fleet.Run(jobs, fopts, fleet.Collect())
+	if err != nil {
+		return nil, nil, err
+	}
+	statusQuo, results := schemeResultsFrom(cells, 0, schemes)
+	return statusQuo, results, nil
+}
+
+// userTraces generates the per-user traces and seeds for a cohort (sharing
+// the per-user seed spacing the figures have always used).
+func userTraces(users []workload.User, seed int64, d time.Duration) (traces []trace.Trace, seeds []int64) {
+	traces = make([]trace.Trace, len(users))
+	seeds = make([]int64, len(users))
 	for i, u := range users {
-		out[i] = u.Generate(seed+int64(i)*7919, d)
+		seeds[i] = seed + int64(i)*7919
+		traces[i] = u.Generate(seeds[i], d)
 	}
-	return out
-}
-
-// meanOf averages a float extractor over scheme results grouped by scheme
-// name across several runs.
-func meanBy(results [][]SchemeResult, f func(SchemeResult) float64) map[string]float64 {
-	sums := map[string]float64{}
-	counts := map[string]int{}
-	for _, rs := range results {
-		for _, r := range rs {
-			sums[r.Scheme] += f(r)
-			counts[r.Scheme]++
-		}
-	}
-	out := map[string]float64{}
-	for k, s := range sums {
-		out[k] = s / float64(counts[k])
-	}
-	return out
+	return traces, seeds
 }
 
 // sortedKeys returns map keys in SchemeNames order, then alphabetical for

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/power"
@@ -36,16 +37,56 @@ func DelayComparison(tr trace.Trace, prof power.Profile) (learn, fixed metrics.D
 	return metrics.Delays(rl.BurstDelays), metrics.Delays(rf.BurstDelays), nil
 }
 
-// delayTable renders Fig. 15 for one user cohort.
+// delayStatsAccumulator folds each outcome's burst delays into exact
+// per-job DelayStats and drops the result — nothing else survives.
+func delayStatsAccumulator() fleet.Accumulator[map[int]metrics.DelayStats] {
+	return fleet.Accumulator[map[int]metrics.DelayStats]{
+		New: func() map[int]metrics.DelayStats { return map[int]metrics.DelayStats{} },
+		Fold: func(m map[int]metrics.DelayStats, out fleet.Outcome) map[int]metrics.DelayStats {
+			m[out.Index] = metrics.Delays(out.Result.BurstDelays)
+			return m
+		},
+		Merge: func(a, b map[int]metrics.DelayStats) map[int]metrics.DelayStats {
+			for k, v := range b {
+				a[k] = v
+			}
+			return a
+		},
+	}
+}
+
+// delayTable renders Fig. 15 for one user cohort: one fleet job per
+// (user × MakeActive variant).
 func delayTable(title string, users []workload.User, prof power.Profile, cfg Config) (string, error) {
+	traces, seeds := userTraces(users, cfg.Seed, cfg.UserDuration)
+	variants := []fleet.Scheme{
+		{Name: "learn", Demote: fleet.MakeIdleScheme().Demote,
+			Active: func(trace.Trace, power.Profile) policy.ActivePolicy {
+				return policy.NewLearnedDelay()
+			}},
+		{Name: "fixed", Demote: fleet.MakeIdleScheme().Demote,
+			Active: func(tr trace.Trace, prof power.Profile) policy.ActivePolicy {
+				return policy.NewFixedDelay(tr, &prof, time.Second)
+			}},
+	}
+	var jobs []fleet.Job
+	for t := range traces {
+		for _, v := range variants {
+			jobs = append(jobs, fleet.Job{
+				Seed: seeds[t], Trace: traces[t], Profile: prof,
+				Scheme: v.Name, Demote: v.Demote, Active: v.Active,
+			})
+		}
+	}
+	cells, err := fleet.Run(jobs, cfg.fleetOpts(), delayStatsAccumulator())
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", title, err)
+	}
+
 	t := report.NewTable(title,
 		"User", "Learning mean(s)", "Learning median(s)", "Fixed mean(s)", "Fixed median(s)")
 	for i, u := range users {
-		tr := u.Generate(cfg.Seed+int64(i)*7919, cfg.UserDuration)
-		learn, fixed, err := DelayComparison(tr, prof)
-		if err != nil {
-			return "", fmt.Errorf("%s %s: %w", title, u.Name, err)
-		}
+		learn, fixed := cells[i*2], cells[i*2+1]
 		t.AddRowf(u.Name,
 			learn.Mean.Seconds(), learn.Median.Seconds(),
 			fixed.Mean.Seconds(), fixed.Median.Seconds())
@@ -127,28 +168,37 @@ func ClusteredSessions(seed int64, duration time.Duration) trace.Trace {
 }
 
 // Table3 regenerates Table 3: mean and median session delays introduced by
-// the combined method, per carrier, averaged over the user cohort.
+// the combined method, per carrier, pooled over the user cohort. Every
+// (carrier × user) replay is a fleet job; delays pool into a mergeable
+// stream + histogram per carrier, so no per-user delay list is retained
+// (the median is the histogram quantile at 50 ms resolution).
 func Table3(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
+	users := workload.Verizon3GUsers()
+	traces, seeds := userTraces(users, cfg.Seed, cfg.UserDuration)
+	carriers := power.Carriers()
+
+	comb := fleet.CombinedScheme()
+	var jobs []fleet.Job
+	for _, prof := range carriers {
+		for t := range traces {
+			jobs = append(jobs, fleet.Job{
+				Seed: seeds[t], Trace: traces[t], Profile: prof,
+				Scheme: prof.Name, Demote: comb.Demote, Active: comb.Active,
+			})
+		}
+	}
+	sum, err := fleet.RunSummary(jobs, cfg.fleetOpts(),
+		fleet.SummaryConfig{DelayMaxS: 30, Bins: 600})
+	if err != nil {
+		return "", fmt.Errorf("tab3: %w", err)
+	}
+
 	t := report.NewTable("Table 3: session delays from MakeActive per carrier (seconds)",
 		"Network", "Mean Delay", "Median Delay")
-	users := workload.Verizon3GUsers()
-	traces := userTraces(users, cfg.Seed, cfg.UserDuration)
-	for _, prof := range power.Carriers() {
-		var all []time.Duration
-		for _, tr := range traces {
-			mi, err := policy.NewMakeIdle(prof)
-			if err != nil {
-				return "", err
-			}
-			r, err := sim.Run(tr, prof, mi, policy.NewLearnedDelay(), nil)
-			if err != nil {
-				return "", fmt.Errorf("tab3 %s: %w", prof.Name, err)
-			}
-			all = append(all, r.BurstDelays...)
-		}
-		s := metrics.Delays(all)
-		t.AddRowf(prof.Name, s.Mean.Seconds(), s.Median.Seconds())
+	for _, prof := range carriers {
+		a := sum.Schemes[prof.Name]
+		t.AddRowf(prof.Name, a.BurstDelay.Mean, a.DelayHist.Quantile(0.5))
 	}
 	return t.String(), nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/energy"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/power"
@@ -25,27 +26,57 @@ func ConfusionFor(tr trace.Trace, prof power.Profile, d policy.DemotePolicy) (me
 	return metrics.Score(r.Decisions, th), nil
 }
 
-// confusionTable renders FP/FN per user for the three §6.3 policies.
+// confusionPolicies are the three §6.3 policies as fleet schemes.
+func confusionPolicies() []fleet.Scheme {
+	all := FleetSchemes(0)
+	return []fleet.Scheme{all[0], all[1], all[2]} // 4.5-second, 95% IAT, MakeIdle
+}
+
+// confusionTable renders FP/FN per user for the three §6.3 policies. Each
+// (user × policy) decision-recording replay is a fleet job; the Oracle
+// scoring runs in the fold and only the confusion counts survive.
 func confusionTable(title string, users []workload.User, prof power.Profile, cfg Config) (string, error) {
+	traces, seeds := userTraces(users, cfg.Seed, cfg.UserDuration)
+	schemes := confusionPolicies()
+	opts := &sim.Options{RecordDecisions: true}
+	var jobs []fleet.Job
+	for t := range traces {
+		for _, s := range schemes {
+			jobs = append(jobs, fleet.Job{
+				Seed:    seeds[t],
+				Trace:   traces[t],
+				Profile: prof,
+				Scheme:  s.Name,
+				Demote:  s.Demote,
+				Opts:    opts,
+			})
+		}
+	}
+	th := energy.Threshold(&prof)
+	scores := fleet.Accumulator[map[int]metrics.Confusion]{
+		New: func() map[int]metrics.Confusion { return map[int]metrics.Confusion{} },
+		Fold: func(m map[int]metrics.Confusion, out fleet.Outcome) map[int]metrics.Confusion {
+			m[out.Index] = metrics.Score(out.Result.Decisions, th)
+			return m
+		},
+		Merge: func(a, b map[int]metrics.Confusion) map[int]metrics.Confusion {
+			for k, v := range b {
+				a[k] = v
+			}
+			return a
+		},
+	}
+	cells, err := fleet.Run(jobs, cfg.fleetOpts(), scores)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", title, err)
+	}
+
 	t := report.NewTable(title,
 		"User", "4.5-sec FP", "4.5-sec FN", "95% IAT FP", "95% IAT FN", "MakeIdle FP", "MakeIdle FN")
 	for i, u := range users {
-		tr := u.Generate(cfg.Seed+int64(i)*7919, cfg.UserDuration)
-		mi, err := policy.NewMakeIdle(prof)
-		if err != nil {
-			return "", err
-		}
-		policies := []policy.DemotePolicy{
-			policy.NewFourPointFive(),
-			policy.NewPercentileIAT(tr, 0.95),
-			mi,
-		}
 		row := []interface{}{u.Name}
-		for _, d := range policies {
-			c, err := ConfusionFor(tr, prof, d)
-			if err != nil {
-				return "", fmt.Errorf("%s %s/%s: %w", title, u.Name, d.Name(), err)
-			}
+		for j := range schemes {
+			c := cells[i*len(schemes)+j]
 			row = append(row, c.FalsePositiveRate(), c.FalseNegativeRate())
 		}
 		t.AddRowf(row...)
@@ -71,20 +102,28 @@ func Fig12(cfg Config) (string, error) {
 }
 
 // WindowSweep computes MakeIdle's FP/FN rates as a function of the sliding
-// window size n (Figure 13).
-func WindowSweep(tr trace.Trace, prof power.Profile, sizes []int) (*report.Table, error) {
+// window size n (Figure 13), one fleet worker per window size.
+func WindowSweep(tr trace.Trace, prof power.Profile, sizes []int, fopts fleet.Options) (*report.Table, error) {
+	th := energy.Threshold(&prof)
+	confusions, err := fleet.Map(len(sizes), fopts,
+		func(i int, engine *sim.Engine) (metrics.Confusion, error) {
+			mi, err := policy.NewMakeIdle(prof, policy.WithWindowSize(sizes[i]))
+			if err != nil {
+				return metrics.Confusion{}, err
+			}
+			r, err := engine.Run(tr, prof, mi, nil, &sim.Options{RecordDecisions: true})
+			if err != nil {
+				return metrics.Confusion{}, err
+			}
+			return metrics.Score(r.Decisions, th), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Figure 13: MakeIdle FP/FN vs window size n",
 		"n", "FP(%)", "FN(%)")
-	for _, n := range sizes {
-		mi, err := policy.NewMakeIdle(prof, policy.WithWindowSize(n))
-		if err != nil {
-			return nil, err
-		}
-		c, err := ConfusionFor(tr, prof, mi)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowf(n, c.FalsePositiveRate(), c.FalseNegativeRate())
+	for i, n := range sizes {
+		t.AddRowf(n, confusions[i].FalsePositiveRate(), confusions[i].FalseNegativeRate())
 	}
 	return t, nil
 }
@@ -94,7 +133,7 @@ func Fig13(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
 	u := workload.Verizon3GUsers()[0]
 	tr := u.Generate(cfg.Seed, cfg.UserDuration)
-	t, err := WindowSweep(tr, power.Verizon3G, []int{10, 25, 50, 100, 200, 400})
+	t, err := WindowSweep(tr, power.Verizon3G, []int{10, 25, 50, 100, 200, 400}, cfg.fleetOpts())
 	if err != nil {
 		return "", err
 	}

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/fleet"
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -12,19 +12,31 @@ import (
 
 // Fig9 regenerates Figure 9: energy saved per application category by each
 // of the six schemes, on a 3G profile (T-Mobile, the network of the
-// paper's per-application phones).
+// paper's per-application phones). The (app × scheme) matrix fans out
+// across the fleet pool.
 func Fig9(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
+	apps := workload.Apps()
+	traces := make([]trace.Trace, len(apps))
+	seeds := make([]int64, len(apps))
+	for i, app := range apps {
+		seeds[i] = cfg.Seed + int64(i)
+		traces[i] = workload.Generate(app, seeds[i], cfg.AppDuration)
+	}
+	schemes := FleetSchemes(0)
+	jobs := schemeMatrixJobs(traces, seeds, power.TMobile3G, schemes, nil)
+	cells, err := fleet.Run(jobs, cfg.fleetOpts(), fleet.Collect())
+	if err != nil {
+		return "", fmt.Errorf("fig9: %w", err)
+	}
+
 	headers := append([]string{"Application"}, SchemeNames()...)
 	t := report.NewTable("Figure 9: energy saved per application (%, T-Mobile 3G)", headers...)
-	for i, app := range workload.Apps() {
-		tr := workload.Generate(app, cfg.Seed+int64(i), cfg.AppDuration)
-		_, schemes, err := RunSchemes(tr, power.TMobile3G, nil)
-		if err != nil {
-			return "", fmt.Errorf("fig9 %s: %w", app.Name(), err)
-		}
+	stride := 1 + len(schemes)
+	for i, app := range apps {
+		_, results := schemeResultsFrom(cells, i*stride, schemes)
 		row := []interface{}{app.Name()}
-		for _, s := range schemes {
+		for _, s := range results {
 			row = append(row, s.SavingsPct)
 		}
 		t.AddRowf(row...)
@@ -32,25 +44,30 @@ func Fig9(cfg Config) (string, error) {
 	return t.String(), nil
 }
 
-// perUserTables runs the six schemes for every user of a cohort and renders
-// the three panels of Figs. 10/11: savings, normalized switches, and energy
-// saved per switch.
+// perUserTables runs the six schemes for every user of a cohort on the
+// fleet and renders the three panels of Figs. 10/11: savings, normalized
+// switches, and energy saved per switch.
 func perUserTables(title string, users []workload.User, prof power.Profile, cfg Config) (string, error) {
+	traces, seeds := userTraces(users, cfg.Seed, cfg.UserDuration)
+	schemes := FleetSchemes(0)
+	jobs := schemeMatrixJobs(traces, seeds, prof, schemes, nil)
+	cells, err := fleet.Run(jobs, cfg.fleetOpts(), fleet.Collect())
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", title, err)
+	}
+
 	headers := append([]string{"User"}, SchemeNames()...)
 	savings := report.NewTable(title+" (a) energy saved (%)", headers...)
 	switches := report.NewTable(title+" (b) state switches normalized by status quo", headers...)
 	perSwitch := report.NewTable(title+" (c) energy saved per state switch (J)", headers...)
 
+	stride := 1 + len(schemes)
 	for i, u := range users {
-		tr := u.Generate(cfg.Seed+int64(i)*7919, cfg.UserDuration)
-		_, schemes, err := RunSchemes(tr, prof, nil)
-		if err != nil {
-			return "", fmt.Errorf("%s %s: %w", title, u.Name, err)
-		}
+		_, results := schemeResultsFrom(cells, i*stride, schemes)
 		rowA := []interface{}{u.Name}
 		rowB := []interface{}{u.Name}
 		rowC := []interface{}{u.Name}
-		for _, s := range schemes {
+		for _, s := range results {
 			rowA = append(rowA, s.SavingsPct)
 			rowB = append(rowB, s.SwitchRatio)
 			rowC = append(rowC, s.SavedPerSwitchJ)
@@ -77,35 +94,41 @@ func Fig11(cfg Config) (string, error) {
 // CarrierResults runs every user cohort's traces against one carrier
 // profile and averages each scheme's metrics — the computation behind
 // Figs. 17/18 and Table 3. The same traces (the full 3G cohort) are
-// replayed against every carrier, as in §6.5. Users are simulated in
-// parallel: each run is a pure function of (trace, profile), so the only
-// shared state is the result slice, written at distinct indices.
+// replayed against every carrier, as in §6.5. The (user × scheme) matrix
+// fans out across the fleet pool; means reduce in user order so results
+// are identical for any worker count.
 func CarrierResults(prof power.Profile, cfg Config) (map[string]float64, map[string]float64, []SchemeResult, error) {
 	cfg = cfg.withDefaults()
 	users := workload.Verizon3GUsers()
-	traces := userTraces(users, cfg.Seed, cfg.UserDuration)
+	traces, seeds := userTraces(users, cfg.Seed, cfg.UserDuration)
+	schemes := FleetSchemes(0)
+	jobs := schemeMatrixJobs(traces, seeds, prof, schemes, nil)
+	cells, err := fleet.Run(jobs, cfg.fleetOpts(), fleet.Collect())
+	if err != nil {
+		return nil, nil, nil, err
+	}
 
-	all := make([][]SchemeResult, len(traces))
-	errs := make([]error, len(traces))
-	var wg sync.WaitGroup
-	for i, tr := range traces {
-		wg.Add(1)
-		go func(i int, tr trace.Trace) {
-			defer wg.Done()
-			_, schemes, err := RunSchemes(tr, prof, nil)
-			all[i], errs[i] = schemes, err
-		}(i, tr)
-	}
-	wg.Wait()
 	var flat []SchemeResult
-	for i := range all {
-		if errs[i] != nil {
-			return nil, nil, nil, errs[i]
+	savingSums := map[string]float64{}
+	ratioSums := map[string]float64{}
+	stride := 1 + len(schemes)
+	for i := range users {
+		_, results := schemeResultsFrom(cells, i*stride, schemes)
+		for _, s := range results {
+			savingSums[s.Scheme] += s.SavingsPct
+			ratioSums[s.Scheme] += s.SwitchRatio
 		}
-		flat = append(flat, all[i]...)
+		flat = append(flat, results...)
 	}
-	savings := meanBy(all, func(s SchemeResult) float64 { return s.SavingsPct })
-	ratios := meanBy(all, func(s SchemeResult) float64 { return s.SwitchRatio })
+	n := float64(len(users))
+	savings := map[string]float64{}
+	ratios := map[string]float64{}
+	for k, v := range savingSums {
+		savings[k] = v / n
+	}
+	for k, v := range ratioSums {
+		ratios[k] = v / n
+	}
 	return savings, ratios, flat, nil
 }
 
@@ -149,24 +172,38 @@ func Fig18(cfg Config) (string, error) {
 }
 
 // DormancySensitivity re-runs MakeIdle with the fast-dormancy cost modelled
-// at 10/20/40/50% of the radio-off energy (§6.1's robustness check).
+// at 10/20/40/50% of the radio-off energy (§6.1's robustness check), one
+// fleet job per (fraction, policy) over a shared trace.
 func DormancySensitivity(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
 	u := workload.Verizon3GUsers()[0]
 	tr := u.Generate(cfg.Seed, cfg.UserDuration)
+	fractions := []float64{0.1, 0.2, 0.4, 0.5}
+
+	mi := fleet.MakeIdleScheme()
+	var jobs []fleet.Job
+	for _, f := range fractions {
+		prof := power.Verizon3G.WithDormancyFraction(f)
+		for _, s := range []fleet.Scheme{fleet.StatusQuoScheme(), mi} {
+			jobs = append(jobs, fleet.Job{
+				Trace:   tr,
+				Profile: prof,
+				Scheme:  s.Name,
+				Demote:  s.Demote,
+				Active:  s.Active,
+			})
+		}
+	}
+	cells, err := fleet.Run(jobs, cfg.fleetOpts(), fleet.Collect())
+	if err != nil {
+		return "", err
+	}
+
 	t := report.NewTable("Sensitivity: MakeIdle savings vs fast-dormancy cost fraction (Verizon 3G, user1)",
 		"Fraction", "Savings(%)", "Switches/statusquo")
-	for _, f := range []float64{0.1, 0.2, 0.4, 0.5} {
-		prof := power.Verizon3G.WithDormancyFraction(f)
-		_, schemes, err := RunSchemes(tr, prof, nil)
-		if err != nil {
-			return "", err
-		}
-		for _, s := range schemes {
-			if s.Scheme == SchemeMakeIdle {
-				t.AddRowf(f, s.SavingsPct, s.SwitchRatio)
-			}
-		}
+	for i, f := range fractions {
+		_, results := schemeResultsFrom(cells, i*2, []fleet.Scheme{mi})
+		t.AddRowf(f, results[0].SavingsPct, results[0].SwitchRatio)
 	}
 	return t.String(), nil
 }

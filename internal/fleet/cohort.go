@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scheme couples a label with the policy factories that realize it. The
+// factories receive the job's trace and profile so trace-fitted baselines
+// (95% IAT, MakeActive-Fix) can be built inside the worker.
+type Scheme struct {
+	Name   string
+	Demote func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error)
+	Active func(tr trace.Trace, prof power.Profile) policy.ActivePolicy
+}
+
+// Cohort describes a synthetic multi-user population to fan out.
+type Cohort struct {
+	// Users is the population size. Mixes cycle through the Verizon 3G
+	// study cohort, so any size reuses the paper's app blends.
+	Users int
+	// Seed roots every per-user trace seed (UserSeed spacing).
+	Seed int64
+	// Duration is the per-user trace length.
+	Duration time.Duration
+	// Diurnal wraps each user in the day/night activity mask, turning the
+	// stationary mixes into day-scale load (workload.DayUser).
+	Diurnal bool
+	// Opts are the simulation options applied to every job (burst gap,
+	// recording); nil gives the simulator defaults.
+	Opts *sim.Options
+}
+
+// Jobs expands the cohort into one job per (user, scheme) against the
+// profile. Jobs carry generators, not traces: each worker builds a user's
+// trace from its seed on demand, replays it once per scheme, and drops it.
+// Baselines are enabled so summaries get relative metrics.
+func (c Cohort) Jobs(prof power.Profile, schemes []Scheme) []Job {
+	mixes := workload.Verizon3GUsers()
+	jobs := make([]Job, 0, c.Users*len(schemes))
+	for i := 0; i < c.Users; i++ {
+		u := mixes[i%len(mixes)]
+		if c.Diurnal {
+			u = workload.DayUser(u)
+		}
+		gen := func(u workload.User) func(int64) trace.Trace {
+			return func(seed int64) trace.Trace { return u.Generate(seed, c.Duration) }
+		}(u)
+		for _, s := range schemes {
+			jobs = append(jobs, Job{
+				Seed:     UserSeed(c.Seed, i),
+				Gen:      gen,
+				Profile:  prof,
+				Scheme:   s.Name,
+				Demote:   s.Demote,
+				Active:   s.Active,
+				Opts:     c.Opts,
+				Baseline: true,
+			})
+		}
+	}
+	return jobs
+}
+
+// MakeIdleScheme is the paper's §4 policy as a fleet scheme.
+func MakeIdleScheme() Scheme {
+	return Scheme{
+		Name: "MakeIdle",
+		Demote: func(_ trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
+			return policy.NewMakeIdle(prof)
+		},
+	}
+}
+
+// CombinedScheme is MakeIdle plus the learning MakeActive (§5.2).
+func CombinedScheme() Scheme {
+	s := MakeIdleScheme()
+	s.Name = "MakeIdle+MakeActive Learn"
+	s.Active = func(trace.Trace, power.Profile) policy.ActivePolicy {
+		return policy.NewLearnedDelay()
+	}
+	return s
+}
+
+// StatusQuoScheme replays the deployed timer behaviour (useful when a run
+// wants absolute baseline aggregates alongside the relative ones).
+func StatusQuoScheme() Scheme {
+	return Scheme{
+		Name: "StatusQuo",
+		Demote: func(trace.Trace, power.Profile) (policy.DemotePolicy, error) {
+			return policy.StatusQuo{}, nil
+		},
+	}
+}

@@ -1,0 +1,308 @@
+// Package fleet is the sharded, parallel multi-user simulation runtime: it
+// fans (trace × profile × policy) replay jobs across a worker pool and
+// reduces per-job outcomes into mergeable aggregates without retaining
+// per-user results.
+//
+// # Determinism
+//
+// Results are bit-identical for any worker count. Jobs are partitioned into
+// contiguous shards by submission order; a shard is the unit of scheduling,
+// and within a shard jobs run sequentially in order. Each shard folds its
+// outcomes into its own accumulator, and shard accumulators merge in shard
+// index order after all workers finish. Worker count therefore only decides
+// which goroutine runs a shard, never the order of any floating-point
+// reduction. Changing the shard count regroups the reduction and may move
+// results by float-rounding noise; changing the worker count cannot.
+//
+// # Memory
+//
+// Each worker owns one reusable sim.Engine, and each shard holds one
+// accumulator. Aggregating an n-user cohort therefore costs O(workers +
+// shards) live state, not O(n): traces are generated in-worker from the
+// job's seed, replayed, folded, and dropped.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DefaultShards is the shard count used when Options.Shards is unset. It is
+// a fixed constant — deliberately not tied to GOMAXPROCS — so default
+// aggregates are reproducible across machines with different core counts.
+// 64 shards keep every worker busy on any realistic core count while
+// leaving shards coarse enough that per-shard accumulator overhead is
+// negligible.
+const DefaultShards = 64
+
+// Options tunes a fleet run. The zero value gives GOMAXPROCS workers and
+// DefaultShards shards.
+type Options struct {
+	// Workers is the number of concurrent replay goroutines. <= 0 means
+	// runtime.GOMAXPROCS(0). Workers = 1 degrades to a serial run with
+	// identical results.
+	Workers int
+	// Shards is the number of aggregate partitions. <= 0 means
+	// DefaultShards. More shards expose more parallelism; the shard count
+	// (not the worker count) fixes the reduction grouping.
+	Shards int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) shards(jobs int) int {
+	s := o.Shards
+	if s <= 0 {
+		s = DefaultShards
+	}
+	if s > jobs {
+		s = jobs
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Job is one replay: a trace (explicit, or generated in-worker from the
+// seed), a carrier profile, and the policy pair to replay it under.
+type Job struct {
+	// Seed is passed to Gen; it also identifies the job in reports. Seeds
+	// are the caller's contract for determinism: same seed, same trace.
+	Seed int64
+	// Trace is the packet trace to replay. Leave nil and set Gen to build
+	// the trace inside the worker (preferred at fleet scale: the trace
+	// lives only for the duration of the job).
+	Trace trace.Trace
+	// Gen builds the job's trace from Seed. Required when Trace is nil.
+	Gen func(seed int64) trace.Trace
+	// Profile is the carrier power profile to replay against.
+	Profile power.Profile
+	// Scheme labels the policy pair in aggregates (e.g. "MakeIdle").
+	Scheme string
+	// Demote constructs the demote policy for this job. Called once per
+	// job with the job's trace, so trace-fitted baselines (95% IAT) work;
+	// must return a fresh policy (jobs share nothing).
+	Demote func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error)
+	// Active constructs the batching policy; nil disables batching.
+	Active func(tr trace.Trace, prof power.Profile) policy.ActivePolicy
+	// Opts are the simulation options for both the run and its baseline.
+	Opts *sim.Options
+	// Baseline also replays the trace under policy.StatusQuo so the fold
+	// can compute relative metrics (savings, switch ratio).
+	Baseline bool
+}
+
+// Outcome hands one finished job to the fold. Result and Baseline are only
+// valid during the Fold call for jobs the accumulator does not retain; the
+// standard aggregates copy the scalars they need and drop the rest.
+type Outcome struct {
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Job points at the submitted job (shared, read-only).
+	Job *Job
+	// Result is the replay outcome under the job's policy pair.
+	Result *sim.Result
+	// Baseline is the StatusQuo outcome, nil unless Job.Baseline.
+	Baseline *sim.Result
+}
+
+// Accumulator reduces outcomes. New creates an empty (per-shard)
+// accumulator; Fold folds one outcome into it and returns it (Fold runs
+// sequentially within a shard, so no locking is needed); Merge combines two
+// shard accumulators, left side first in shard order.
+type Accumulator[A any] struct {
+	New   func() A
+	Fold  func(A, Outcome) A
+	Merge func(A, A) A
+}
+
+// Run executes every job across the worker pool and returns the merged
+// accumulator. It fails on the first job error (reported in job order).
+func Run[A any](jobs []Job, opts Options, acc Accumulator[A]) (A, error) {
+	var zero A
+	for i := range jobs {
+		if jobs[i].Trace == nil && jobs[i].Gen == nil {
+			return zero, fmt.Errorf("fleet: job %d has neither Trace nor Gen", i)
+		}
+		if jobs[i].Demote == nil {
+			return zero, fmt.Errorf("fleet: job %d has no Demote factory", i)
+		}
+	}
+	if len(jobs) == 0 {
+		return acc.New(), nil
+	}
+
+	nshards := opts.shards(len(jobs))
+	workers := opts.workers()
+	if workers > nshards {
+		workers = nshards
+	}
+
+	partials := make([]A, nshards)
+	errs := make([]error, nshards)
+	shardCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			engine := sim.NewEngine()
+			for s := range shardCh {
+				partials[s], errs[s] = runShard(jobs, s, nshards, engine, acc)
+			}
+		}()
+	}
+	for s := 0; s < nshards; s++ {
+		shardCh <- s
+	}
+	close(shardCh)
+	wg.Wait()
+
+	for s := 0; s < nshards; s++ {
+		if errs[s] != nil {
+			return zero, errs[s]
+		}
+	}
+	merged := acc.New()
+	for s := 0; s < nshards; s++ {
+		merged = acc.Merge(merged, partials[s])
+	}
+	return merged, nil
+}
+
+// Map runs fn(0..n-1) across the worker pool and returns the results in
+// index order; the first error (by index) aborts the run. Each invocation
+// gets the worker's reusable engine, so fn can replay traces without
+// allocating its own. Map is the runtime's escape hatch for parallel work
+// that is not a single (trace × profile × policy) replay — parameter
+// sweeps, composite sub-simulations — while keeping the same deterministic
+// index-ordered semantics as Run.
+func Map[T any](n int, opts Options, fn func(i int, engine *sim.Engine) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	nshards := opts.shards(n)
+	workers := opts.workers()
+	if workers > nshards {
+		workers = nshards
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	shardCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			engine := sim.NewEngine()
+			for s := range shardCh {
+				lo, hi := shardRange(n, s, nshards)
+				for i := lo; i < hi; i++ {
+					results[i], errs[i] = fn(i, engine)
+				}
+			}
+		}()
+	}
+	for s := 0; s < nshards; s++ {
+		shardCh <- s
+	}
+	close(shardCh)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return results, nil
+}
+
+// Collect is an accumulator retaining every outcome, keyed by job index —
+// for table-rendering experiments whose cohorts are small enough to hold.
+// Fleet-scale runs should reduce with SummaryAccumulator instead.
+func Collect() Accumulator[map[int]Outcome] {
+	return Accumulator[map[int]Outcome]{
+		New: func() map[int]Outcome { return map[int]Outcome{} },
+		Fold: func(m map[int]Outcome, out Outcome) map[int]Outcome {
+			m[out.Index] = out
+			return m
+		},
+		Merge: func(a, b map[int]Outcome) map[int]Outcome {
+			for k, v := range b {
+				a[k] = v
+			}
+			return a
+		},
+	}
+}
+
+// shardRange returns the contiguous job range [lo, hi) of shard s: jobs
+// split as evenly as possible, earlier shards one longer on remainder.
+func shardRange(jobs, s, nshards int) (lo, hi int) {
+	q, r := jobs/nshards, jobs%nshards
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// runShard replays the shard's jobs in order on one engine, folding each
+// outcome as it completes.
+func runShard[A any](jobs []Job, s, nshards int, engine *sim.Engine, acc Accumulator[A]) (A, error) {
+	a := acc.New()
+	lo, hi := shardRange(len(jobs), s, nshards)
+	for i := lo; i < hi; i++ {
+		out, err := runJob(&jobs[i], i, engine)
+		if err != nil {
+			var zero A
+			return zero, fmt.Errorf("fleet: job %d (scheme %q, seed %d): %w",
+				i, jobs[i].Scheme, jobs[i].Seed, err)
+		}
+		a = acc.Fold(a, out)
+	}
+	return a, nil
+}
+
+// runJob builds the job's trace and replays it (plus its baseline) on the
+// worker's engine.
+func runJob(job *Job, index int, engine *sim.Engine) (Outcome, error) {
+	tr := job.Trace
+	if tr == nil {
+		tr = job.Gen(job.Seed)
+	}
+	out := Outcome{Index: index, Job: job}
+	if job.Baseline {
+		base, err := engine.Run(tr, job.Profile, policy.StatusQuo{}, nil, job.Opts)
+		if err != nil {
+			return out, fmt.Errorf("baseline: %w", err)
+		}
+		out.Baseline = base
+	}
+	demote, err := job.Demote(tr, job.Profile)
+	if err != nil {
+		return out, err
+	}
+	var active policy.ActivePolicy
+	if job.Active != nil {
+		active = job.Active(tr, job.Profile)
+	}
+	res, err := engine.Run(tr, job.Profile, demote, active, job.Opts)
+	if err != nil {
+		return out, err
+	}
+	out.Result = res
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// SummaryConfig fixes the histogram layouts of a Summary. All shards of a
+// run must share one config or the histograms refuse to merge.
+type SummaryConfig struct {
+	// EnergyMaxJ is the upper edge of the per-user energy histogram
+	// (default 10000 J; overflow clamps into the last bin).
+	EnergyMaxJ float64
+	// DelayMaxS is the upper edge of the per-burst batching-delay
+	// histogram in seconds (default 30 s).
+	DelayMaxS float64
+	// SignalMax is the upper edge of the per-user promotion-count
+	// histogram (default 10000).
+	SignalMax float64
+	// Bins is the bin count of every histogram (default 50).
+	Bins int
+}
+
+func (c SummaryConfig) withDefaults() SummaryConfig {
+	if c.EnergyMaxJ <= 0 {
+		c.EnergyMaxJ = 10_000
+	}
+	if c.DelayMaxS <= 0 {
+		c.DelayMaxS = 30
+	}
+	if c.SignalMax <= 0 {
+		c.SignalMax = 10_000
+	}
+	if c.Bins <= 0 {
+		c.Bins = 50
+	}
+	return c
+}
+
+// SchemeSummary aggregates every job of one scheme: streaming moments over
+// per-user scalars plus mergeable histograms for energy, delay and
+// signaling. No per-user result survives the fold.
+type SchemeSummary struct {
+	// Energy streams per-user total energy (J).
+	Energy metrics.Stream
+	// SavingsPct streams per-user savings vs the StatusQuo baseline in
+	// percent; empty when jobs carry no baseline.
+	SavingsPct metrics.Stream
+	// SwitchRatio streams per-user promotions / baseline promotions;
+	// empty without baselines.
+	SwitchRatio metrics.Stream
+	// Promotions streams per-user promotion counts (signaling load).
+	Promotions metrics.Stream
+	// BurstDelay streams per-burst batching delays in seconds.
+	BurstDelay metrics.Stream
+	// EnergyHist bins per-user energy (J); DelayHist per-burst delays
+	// (s); SignalHist per-user promotion counts.
+	EnergyHist, DelayHist, SignalHist *metrics.Histogram
+}
+
+func newSchemeSummary(cfg SummaryConfig) *SchemeSummary {
+	return &SchemeSummary{
+		EnergyHist: metrics.NewHistogram(0, cfg.EnergyMaxJ, cfg.Bins),
+		DelayHist:  metrics.NewHistogram(0, cfg.DelayMaxS, cfg.Bins),
+		SignalHist: metrics.NewHistogram(0, cfg.SignalMax, cfg.Bins),
+	}
+}
+
+func (s *SchemeSummary) fold(out Outcome) {
+	r := out.Result
+	s.Energy.Add(r.TotalJ())
+	s.EnergyHist.Add(r.TotalJ())
+	s.Promotions.Add(float64(r.Promotions))
+	s.SignalHist.Add(float64(r.Promotions))
+	for _, d := range r.BurstDelays {
+		s.BurstDelay.AddDuration(d)
+		s.DelayHist.Add(d.Seconds())
+	}
+	if out.Baseline != nil {
+		s.SavingsPct.Add(metrics.SavingsPercent(out.Baseline, r))
+		s.SwitchRatio.Add(metrics.SwitchRatio(out.Baseline, r))
+	}
+}
+
+func (s *SchemeSummary) merge(o *SchemeSummary) error {
+	s.Energy.Merge(o.Energy)
+	s.SavingsPct.Merge(o.SavingsPct)
+	s.SwitchRatio.Merge(o.SwitchRatio)
+	s.Promotions.Merge(o.Promotions)
+	s.BurstDelay.Merge(o.BurstDelay)
+	if err := s.EnergyHist.Merge(o.EnergyHist); err != nil {
+		return err
+	}
+	if err := s.DelayHist.Merge(o.DelayHist); err != nil {
+		return err
+	}
+	return s.SignalHist.Merge(o.SignalHist)
+}
+
+// Summary is the standard fleet aggregate: per-scheme mergeable statistics
+// over an entire cohort.
+type Summary struct {
+	cfg SummaryConfig
+	// Jobs counts folded jobs across all schemes.
+	Jobs int64
+	// Schemes maps scheme label to its aggregate.
+	Schemes map[string]*SchemeSummary
+}
+
+// NewSummary returns an empty summary with the given histogram layouts.
+func NewSummary(cfg SummaryConfig) *Summary {
+	return &Summary{cfg: cfg.withDefaults(), Schemes: map[string]*SchemeSummary{}}
+}
+
+// Fold folds one outcome into the summary.
+func (s *Summary) Fold(out Outcome) {
+	s.Jobs++
+	agg := s.Schemes[out.Job.Scheme]
+	if agg == nil {
+		agg = newSchemeSummary(s.cfg)
+		s.Schemes[out.Job.Scheme] = agg
+	}
+	agg.fold(out)
+}
+
+// Merge folds another summary into s, scheme by scheme in sorted label
+// order (a fixed order, so merged floats are reproducible).
+func (s *Summary) Merge(o *Summary) error {
+	s.Jobs += o.Jobs
+	keys := make([]string, 0, len(o.Schemes))
+	for k := range o.Schemes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		agg := s.Schemes[k]
+		if agg == nil {
+			agg = newSchemeSummary(s.cfg)
+			s.Schemes[k] = agg
+		}
+		if err := agg.merge(o.Schemes[k]); err != nil {
+			return fmt.Errorf("fleet: scheme %s: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// SchemeNames returns the aggregated scheme labels in sorted order.
+func (s *Summary) SchemeNames() []string {
+	keys := make([]string, 0, len(s.Schemes))
+	for k := range s.Schemes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders the per-scheme aggregate table plus delay quantiles.
+func (s *Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet summary: %d jobs, %d schemes\n", s.Jobs, len(s.Schemes))
+	for _, name := range s.SchemeNames() {
+		a := s.Schemes[name]
+		fmt.Fprintf(&sb, "%-28s energy/user %s\n", name, a.Energy.String())
+		if a.SavingsPct.N > 0 {
+			fmt.Fprintf(&sb, "%-28s saved%%     %s\n", "", a.SavingsPct.String())
+			fmt.Fprintf(&sb, "%-28s sw-ratio   %s\n", "", a.SwitchRatio.String())
+		}
+		fmt.Fprintf(&sb, "%-28s promotions %s\n", "", a.Promotions.String())
+		if a.BurstDelay.N > 0 {
+			fmt.Fprintf(&sb, "%-28s delay(s)   %s p50=%.2f p95=%.2f\n", "",
+				a.BurstDelay.String(), a.DelayHist.Quantile(0.5), a.DelayHist.Quantile(0.95))
+		}
+	}
+	return sb.String()
+}
+
+// SummaryAccumulator is the ready-made Accumulator reducing into a Summary.
+// Layout mismatches cannot occur (every shard shares cfg), so Merge's error
+// path is unreachable and swallowed.
+func SummaryAccumulator(cfg SummaryConfig) Accumulator[*Summary] {
+	cfg = cfg.withDefaults()
+	return Accumulator[*Summary]{
+		New: func() *Summary { return NewSummary(cfg) },
+		Fold: func(s *Summary, out Outcome) *Summary {
+			s.Fold(out)
+			return s
+		},
+		Merge: func(a, b *Summary) *Summary {
+			if err := a.Merge(b); err != nil {
+				panic(err) // impossible: all shards share one layout
+			}
+			return a
+		},
+	}
+}
+
+// RunSummary runs the jobs and reduces them into the standard Summary.
+func RunSummary(jobs []Job, opts Options, cfg SummaryConfig) (*Summary, error) {
+	return Run(jobs, opts, SummaryAccumulator(cfg))
+}
+
+// SeedStride spaces per-user seeds so adjacent users draw well-separated
+// RNG streams (the prime stride the experiments layer already used).
+const SeedStride = 104729
+
+// UserSeed returns the trace seed of user i in a cohort rooted at seed.
+func UserSeed(seed int64, i int) int64 { return seed + int64(i)*SeedStride }

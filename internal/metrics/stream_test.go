@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.N != int64(len(xs)) {
+		t.Fatalf("N=%d", s.N)
+	}
+	if !almost(s.Mean, 5, 1e-12) {
+		t.Fatalf("mean=%v", s.Mean)
+	}
+	if !almost(s.Variance(), 4, 1e-12) {
+		t.Fatalf("variance=%v", s.Variance())
+	}
+	if !almost(s.Std(), 2, 1e-12) {
+		t.Fatalf("std=%v", s.Std())
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min=%v max=%v", s.Min, s.Max)
+	}
+	if !almost(s.Sum(), 40, 1e-9) {
+		t.Fatalf("sum=%v", s.Sum())
+	}
+}
+
+func TestStreamMergeMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 17
+	}
+	var serial Stream
+	for _, x := range xs {
+		serial.Add(x)
+	}
+	// Split into uneven shards, merge in order.
+	var merged Stream
+	for _, bounds := range [][2]int{{0, 137}, {137, 4000}, {4000, 4001}, {4001, 10_000}} {
+		var shard Stream
+		for _, x := range xs[bounds[0]:bounds[1]] {
+			shard.Add(x)
+		}
+		merged.Merge(shard)
+	}
+	if merged.N != serial.N || merged.Min != serial.Min || merged.Max != serial.Max {
+		t.Fatalf("counts/extrema differ: %+v vs %+v", merged, serial)
+	}
+	if !almost(merged.Mean, serial.Mean, 1e-9) {
+		t.Fatalf("mean %v vs %v", merged.Mean, serial.Mean)
+	}
+	if !almost(merged.Variance(), serial.Variance(), 1e-6) {
+		t.Fatalf("variance %v vs %v", merged.Variance(), serial.Variance())
+	}
+}
+
+func TestStreamMergeEmptySides(t *testing.T) {
+	var a, b Stream
+	b.Add(3)
+	b.Add(5)
+	a.Merge(b) // empty <- full adopts
+	if a.N != 2 || a.Mean != 4 {
+		t.Fatalf("adopt failed: %+v", a)
+	}
+	before := a
+	a.Merge(Stream{}) // full <- empty is a no-op
+	if a != before {
+		t.Fatalf("no-op merge changed stream: %+v", a)
+	}
+}
+
+func TestStreamAddDuration(t *testing.T) {
+	var s Stream
+	s.AddDuration(1500 * time.Millisecond)
+	s.AddDuration(500 * time.Millisecond)
+	if !almost(s.Mean, 1.0, 1e-12) {
+		t.Fatalf("mean=%v", s.Mean)
+	}
+}
+
+func TestHistogramBinningAndQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 10) // 0.0 .. 9.9 uniformly
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	for i, c := range h.Counts {
+		if c != 10 {
+			t.Fatalf("bin %d count %d, want 10", i, c)
+		}
+	}
+	if q := h.Quantile(0.5); !almost(q, 5, 1e-9) {
+		t.Fatalf("median=%v", q)
+	}
+	if q := h.Quantile(1); !almost(q, 10, 1e-9) {
+		t.Fatalf("q100=%v", q)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(99)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 || h.Count() != 2 {
+		t.Fatalf("edge clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 10, 5)
+	for i := 0; i < 50; i++ {
+		a.Add(float64(i % 10))
+		b.Add(float64(i % 10))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 100 {
+		t.Fatalf("merged count=%d", a.Count())
+	}
+	bad := NewHistogram(0, 20, 5)
+	bad.Add(1)
+	if err := a.Merge(bad); err == nil {
+		t.Fatal("layout mismatch not detected")
+	}
+	// Merging an empty mismatched histogram is a harmless no-op.
+	if err := a.Merge(NewHistogram(0, 20, 5)); err != nil {
+		t.Fatalf("empty merge: %v", err)
+	}
+}

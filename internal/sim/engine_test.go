@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// TestEngineReuseMatchesFreshRuns replays the same traces through one
+// long-lived Engine and through the package-level Run and requires
+// bit-identical accounting: buffer reuse must not leak state across runs.
+func TestEngineReuseMatchesFreshRuns(t *testing.T) {
+	prof := power.Verizon3G
+	e := NewEngine()
+	for i, u := range workload.Verizon3GUsers()[:3] {
+		tr := u.Generate(int64(100+i), 30*time.Minute)
+		for _, withActive := range []bool{false, true} {
+			mk := func() policy.DemotePolicy {
+				mi, err := policy.NewMakeIdle(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return mi
+			}
+			var a1, a2 policy.ActivePolicy
+			if withActive {
+				a1, a2 = policy.NewLearnedDelay(), policy.NewLearnedDelay()
+			}
+			got, err := e.Run(tr, prof, mk(), a1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(tr, prof, mk(), a2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Breakdown != want.Breakdown || got.Promotions != want.Promotions ||
+				got.Demotions != want.Demotions || got.Episodes != want.Episodes ||
+				got.Packets != want.Packets || got.Duration != want.Duration {
+				t.Fatalf("user %d active=%v: reused engine %+v differs from fresh run %+v",
+					i, withActive, got, want)
+			}
+			if len(got.BurstDelays) != len(want.BurstDelays) {
+				t.Fatalf("burst delay counts differ: %d vs %d",
+					len(got.BurstDelays), len(want.BurstDelays))
+			}
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs checks the engine's replay loop does not
+// allocate per run beyond the Result it hands back.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	prof := power.Verizon3G
+	tr := workload.Verizon3GUsers()[0].Generate(1, 30*time.Minute)
+	e := NewEngine()
+	if _, err := e.Run(tr, prof, policy.StatusQuo{}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.Run(tr, prof, policy.StatusQuo{}, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One Result plus the bursts view of the trace; anything beyond a small
+	// constant means a reuse regression on the hot path.
+	if allocs > 25 {
+		t.Fatalf("engine allocates %v objects per run; scratch reuse regressed", allocs)
+	}
+}

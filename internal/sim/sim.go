@@ -32,6 +32,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/energy"
@@ -122,10 +123,69 @@ type Result struct {
 // TotalJ is the total energy consumed.
 func (r *Result) TotalJ() float64 { return r.Breakdown.Total() }
 
+// enginePool recycles engines (and their scratch buffers) across Run calls.
+var enginePool = sync.Pool{New: func() interface{} { return NewEngine() }}
+
 // Run simulates a trace under the given policies. demote must be non-nil
 // (use policy.StatusQuo{} for the deployed behaviour); active may be nil to
 // disable batching. Policies are Reset before the run.
+//
+// Run draws a reusable Engine from an internal pool; callers replaying many
+// traces on one goroutine (fleet workers, sweeps) can hold their own Engine
+// instead and skip the pool round-trip.
 func Run(tr trace.Trace, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) (*Result, error) {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	return e.Run(tr, prof, demote, active, opts)
+}
+
+// Engine replays traces. An Engine is reusable: each Run resets its state
+// and recycles its internal scratch buffers, so a long-lived Engine replays
+// traces with near-zero steady-state allocation (only the Result and its
+// caller-visible slices are fresh per run). An Engine is not safe for
+// concurrent use; use one per goroutine.
+type Engine struct {
+	prof      *power.Profile
+	demote    policy.DemotePolicy
+	active    policy.ActivePolicy
+	lookahead policy.GapLookahead
+	opts      *Options
+	res       *Result
+	tail      time.Duration
+
+	started bool
+	lastT   time.Duration // time of the last processed packet
+	lastTx  time.Duration // transmission time of the last packet
+	pending time.Duration // dormancy wait decided after the last packet
+	decided bool          // whether pending is valid for lastT
+	packets int
+
+	// Scratch buffers reused across runs (never escape to the Result).
+	group    []trace.Burst
+	merged   trace.Trace
+	arrivals []time.Duration
+}
+
+// NewEngine returns a reusable replay engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Reset clears all per-run state while keeping scratch buffer capacity.
+// Run calls it implicitly; it is exported for callers that want to drop
+// references to policies/profiles between runs.
+func (e *Engine) Reset() {
+	// Zero the burst scratch before truncating: its elements alias the
+	// last trace's packet slices, which would otherwise stay pinned in an
+	// idle pooled engine. merged/arrivals hold only value types.
+	for i := range e.group {
+		e.group[i] = trace.Burst{}
+	}
+	group, merged, arrivals := e.group[:0], e.merged[:0], e.arrivals[:0]
+	*e = Engine{group: group, merged: merged, arrivals: arrivals}
+}
+
+// Run replays one trace on this engine. Semantics are identical to the
+// package-level Run.
+func (e *Engine) Run(tr trace.Trace, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) (*Result, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
@@ -148,45 +208,27 @@ func Run(tr trace.Trace, prof power.Profile, demote policy.DemotePolicy, active 
 		return res, nil
 	}
 
-	e := &engine{
-		prof:   &prof,
-		demote: demote,
-		active: active,
-		opts:   opts,
-		res:    res,
-		tail:   prof.Tail(),
-	}
+	e.Reset()
+	e.prof = &prof
+	e.demote = demote
+	e.active = active
+	e.opts = opts
+	e.res = res
+	e.tail = prof.Tail()
 	e.lookahead, _ = demote.(policy.GapLookahead)
 	e.run(tr.Bursts(opts.burstGap()))
 
 	res.Packets = e.packets
 	res.Duration = e.lastT
+	e.Reset() // drop policy/profile/result references until the next run
 	return res, nil
-}
-
-// engine holds the mutable state of one run.
-type engine struct {
-	prof      *power.Profile
-	demote    policy.DemotePolicy
-	active    policy.ActivePolicy
-	lookahead policy.GapLookahead
-	opts      *Options
-	res       *Result
-	tail      time.Duration
-
-	started bool
-	lastT   time.Duration // time of the last processed packet
-	lastTx  time.Duration // transmission time of the last packet
-	pending time.Duration // dormancy wait decided after the last packet
-	decided bool          // whether pending is valid for lastT
-	packets int
 }
 
 // ensureDecision fixes the demote decision for the gap that began at the
 // last packet, if not already made. nextAt is the best current estimate of
 // when the next packet arrives (policy.Never at end of trace); clairvoyant
 // policies receive it as the upcoming gap.
-func (e *engine) ensureDecision(nextAt time.Duration) {
+func (e *Engine) ensureDecision(nextAt time.Duration) {
 	if e.decided || !e.started {
 		return
 	}
@@ -207,7 +249,7 @@ func (e *engine) ensureDecision(nextAt time.Duration) {
 
 // idleAt returns the absolute time the radio reaches Idle after the last
 // packet, given the pending decision (which must have been ensured).
-func (e *engine) idleAt() time.Duration {
+func (e *Engine) idleAt() time.Duration {
 	w := e.pending
 	if w > e.tail {
 		w = e.tail
@@ -217,7 +259,7 @@ func (e *engine) idleAt() time.Duration {
 
 // horizon returns the learning horizon for episode observations: the
 // maximum delay the active policy might propose.
-func (e *engine) horizon(chosen time.Duration) time.Duration {
+func (e *Engine) horizon(chosen time.Duration) time.Duration {
 	type maxDelayer interface{ MaxDelay() time.Duration }
 	if md, ok := e.active.(maxDelayer); ok {
 		if h := md.MaxDelay(); h > chosen {
@@ -227,7 +269,7 @@ func (e *engine) horizon(chosen time.Duration) time.Duration {
 	return chosen
 }
 
-func (e *engine) run(bursts []trace.Burst) {
+func (e *Engine) run(bursts []trace.Burst) {
 	i := 0
 	for i < len(bursts) {
 		b := bursts[i]
@@ -250,14 +292,14 @@ func (e *engine) run(bursts []trace.Burst) {
 
 // batch opens a batching window at bursts[i] and processes the batched
 // group; it returns the index of the first unconsumed burst.
-func (e *engine) batch(bursts []trace.Burst, i int) int {
+func (e *Engine) batch(bursts []trace.Burst, i int) int {
 	b := bursts[i]
 	d := e.active.Delay(b.Start)
 	if d < 0 {
 		d = 0
 	}
 	release := b.Start + d
-	group := []trace.Burst{b}
+	group := append(e.group[:0], b)
 	j := i + 1
 	for j < len(bursts) && bursts[j].Start < release {
 		group = append(group, bursts[j])
@@ -265,16 +307,18 @@ func (e *engine) batch(bursts []trace.Burst, i int) int {
 	}
 	// Feed the learner all arrivals within its horizon, including those
 	// beyond the chosen window: the device observes traffic regardless,
-	// so counterfactual experts can be scored.
+	// so counterfactual experts can be scored. The slice is scratch: the
+	// policy must not retain it past the ObserveEpisode call.
 	hor := e.horizon(d)
-	var arrivals []time.Duration
+	arrivals := e.arrivals[:0]
 	for k := i; k < len(bursts) && bursts[k].Start <= b.Start+hor; k++ {
 		arrivals = append(arrivals, bursts[k].Start-b.Start)
 	}
+	e.arrivals = arrivals
 	e.active.ObserveEpisode(d, arrivals)
 
 	// Shift each grouped burst to the release point and merge.
-	var merged trace.Trace
+	merged := e.merged[:0]
 	for _, g := range group {
 		delta := release - g.Start
 		e.res.BurstDelays = append(e.res.BurstDelays, delta)
@@ -288,6 +332,7 @@ func (e *engine) batch(bursts []trace.Burst, i int) int {
 	if e.opts.recordEpisodes() {
 		e.res.EpisodeLog = append(e.res.EpisodeLog, Episode{At: b.Start, Delay: d, Buffered: len(group)})
 	}
+	e.group, e.merged = group, merged
 	e.processPackets(merged)
 	return j
 }
@@ -296,7 +341,7 @@ func (e *engine) batch(bursts []trace.Burst, i int) int {
 // precede the engine clock slightly when a batching release overlaps the
 // next burst; such packets are clamped to the clock (they arrive while the
 // radio is certainly active, so only their data energy matters).
-func (e *engine) processPackets(pkts trace.Trace) {
+func (e *Engine) processPackets(pkts trace.Trace) {
 	for _, p := range pkts {
 		t := p.T
 		if e.started && t < e.lastT {
@@ -307,7 +352,7 @@ func (e *engine) processPackets(pkts trace.Trace) {
 }
 
 // step processes one packet at (possibly clamped) time t.
-func (e *engine) step(t time.Duration, p trace.Packet) {
+func (e *Engine) step(t time.Duration, p trace.Packet) {
 	if !e.started {
 		// The radio begins Idle: the first packet pays a promotion.
 		e.promote()
@@ -328,7 +373,7 @@ func (e *engine) step(t time.Duration, p trace.Packet) {
 
 // accountGap charges the energy of the gap that just closed, under the
 // pending dormancy wait.
-func (e *engine) accountGap(gap time.Duration) {
+func (e *Engine) accountGap(gap time.Duration) {
 	w := e.pending
 	if w > e.tail {
 		w = e.tail // the timers demote at the tail end regardless
@@ -360,7 +405,7 @@ func (e *engine) accountGap(gap time.Duration) {
 }
 
 // promote charges one Idle->Active promotion and its packet delay.
-func (e *engine) promote() {
+func (e *Engine) promote() {
 	e.res.Breakdown.SwitchJ += e.prof.PromotionJ()
 	e.res.Promotions++
 	e.res.PromotedPackets++
@@ -369,7 +414,7 @@ func (e *engine) promote() {
 
 // finish settles the trailing tail after the last packet: the radio rides
 // out min(pending, tail) and demotes (no promotion follows).
-func (e *engine) finish() {
+func (e *Engine) finish() {
 	if !e.started {
 		return
 	}
