@@ -23,7 +23,6 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
@@ -125,33 +124,11 @@ func readTrace(path string) (trace.Trace, error) {
 }
 
 func makeDemote(name string, tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
-	switch name {
-	case "statusquo":
-		return policy.StatusQuo{}, nil
-	case "4.5s":
-		return policy.NewFourPointFive(), nil
-	case "95iat":
-		return policy.NewPercentileIAT(tr, 0.95), nil
-	case "oracle":
-		return policy.NewOracle(energy.Threshold(&prof)), nil
-	case "makeidle":
-		return policy.NewMakeIdle(prof)
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
+	return fleet.NamedDemote(name, tr, prof)
 }
 
 func makeActive(name string, tr trace.Trace, prof power.Profile, burstGap time.Duration) (policy.ActivePolicy, error) {
-	switch name {
-	case "none":
-		return nil, nil
-	case "learn":
-		return policy.NewLearnedDelay(), nil
-	case "fix":
-		return policy.NewFixedDelay(tr, &prof, burstGap), nil
-	default:
-		return nil, fmt.Errorf("unknown active policy %q", name)
-	}
+	return fleet.NamedActive(name, tr, prof, burstGap)
 }
 
 func printResult(sq, res *sim.Result) {
@@ -222,31 +199,7 @@ func runFleet(prof power.Profile, users int, seed int64, duration time.Duration,
 
 // fleetScheme adapts the CLI policy names to a fleet scheme.
 func fleetScheme(polName, actName string, burstGap time.Duration) (fleet.Scheme, error) {
-	// Validate the names eagerly on an empty trace so typos fail before the
-	// fleet spins up.
-	if _, err := makeDemote(polName, nil, power.Verizon3G); err != nil {
-		return fleet.Scheme{}, err
-	}
-	if _, err := makeActive(actName, nil, power.Verizon3G, burstGap); err != nil {
-		return fleet.Scheme{}, err
-	}
-	name := polName
-	if actName != "none" {
-		name += "+" + actName
-	}
-	s := fleet.Scheme{
-		Name: name,
-		Demote: func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
-			return makeDemote(polName, tr, prof)
-		},
-	}
-	if actName != "none" {
-		s.Active = func(tr trace.Trace, prof power.Profile) policy.ActivePolicy {
-			a, _ := makeActive(actName, tr, prof, burstGap)
-			return a
-		}
-	}
-	return s, nil
+	return fleet.NamedScheme(polName, actName, burstGap)
 }
 
 func fatal(err error) {

@@ -1,0 +1,89 @@
+// Command rrcsimd is the long-running simulation service: an HTTP daemon
+// that accepts cohort replay jobs, runs them asynchronously on the sharded
+// fleet runtime, streams merged partial aggregates while they run, and
+// serves finished summaries as JSON/CSV/text. Identical submissions
+// (matched by the deterministic job fingerprint) are served from an LRU
+// result cache with byte-identical responses.
+//
+// Usage:
+//
+//	rrcsimd -addr :8080 -parallel 0 -queue-depth 32 -cache-size 128
+//
+// Then, from any HTTP client:
+//
+//	curl -s localhost:8080/jobs -d '{"users": 1000, "seed": 1, "duration": "4h"}'
+//	curl -s localhost:8080/jobs/job-000001/stream      # NDJSON progress
+//	curl -s localhost:8080/jobs/job-000001/result      # final JSON
+//	curl -s localhost:8080/jobs/job-000001/result?format=csv
+//	curl -s -X DELETE localhost:8080/jobs/job-000001   # cancel
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight jobs are
+// canceled at the fleet's next between-jobs checkpoint and the listener
+// drains before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		parallel   = flag.Int("parallel", 0, "fleet workers per job (0 = all cores; never changes results)")
+		queueDepth = flag.Int("queue-depth", 32, "max queued jobs before submissions get 503")
+		cacheSize  = flag.Int("cache-size", 128, "fingerprint result cache entries (LRU; negative disables)")
+		runners    = flag.Int("runners", 1, "jobs executing concurrently (each parallelizes internally)")
+	)
+	flag.Parse()
+
+	manager := jobs.NewManager(jobs.Config{
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+		Runners:    *runners,
+		Workers:    *parallel,
+	})
+	srv := &http.Server{Addr: *addr, Handler: server.New(manager)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("rrcsimd: serving on %s (queue %d, cache %d, runners %d)\n",
+			*addr, *queueDepth, *cacheSize, *runners)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("rrcsimd: shutting down")
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "rrcsimd: shutdown:", err)
+	}
+	manager.Close()
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "rrcsimd:", err)
+	os.Exit(1)
+}

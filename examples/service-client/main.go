@@ -1,0 +1,148 @@
+// Service-client: drive the simulation service end to end. The example
+// starts an in-process rrcsimd-equivalent server on an ephemeral localhost
+// port (so it is runnable standalone), then talks to it purely over HTTP
+// exactly as an external client would: submit a cohort replay job, follow
+// the NDJSON progress stream as shard-merged partials arrive, fetch the
+// final summary as JSON, and resubmit the same spec to show the
+// fingerprint cache answering instantly with byte-identical bytes.
+//
+// Against a real daemon, replace the in-process listener with its address:
+//
+//	go run ./cmd/rrcsimd -addr :8080 &
+//	go run ./examples/service-client -addr localhost:8080
+//
+//	go run ./examples/service-client
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "address of a running rrcsimd (empty = start one in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		base = startInProcess()
+	}
+	url := "http://" + base
+
+	// 1. Submit a cohort job: 200 diurnal users, 2 h each, MakeIdle +
+	// learned MakeActive on Verizon 3G.
+	spec := `{"users": 200, "seed": 42, "duration": "2h", "policy": "makeidle", "active": "learn"}`
+	st := submit(url, spec)
+	fmt.Printf("submitted %s (state %s, fingerprint %s...)\n",
+		st.ID, st.State, st.Fingerprint[:12])
+
+	// 2. Follow the progress stream: one NDJSON line per shard batch,
+	// carrying merged partial aggregates.
+	streamProgress(url, st.ID)
+
+	// 3. Fetch the final summary as JSON (and CSV, for plotting tools).
+	coldJSON := fetch(url + "/jobs/" + st.ID + "/result")
+	var stats jobs.SummaryStats
+	if err := json.Unmarshal(coldJSON, &stats); err != nil {
+		log.Fatal(err)
+	}
+	for name, s := range stats.Schemes {
+		fmt.Printf("%-28s %d users, mean %.1f J/user, mean savings %.1f%%\n",
+			name, s.EnergyJ.N, s.EnergyJ.Mean, s.SavingsPct.Mean)
+	}
+	csv := fetch(url + "/jobs/" + st.ID + "/result?format=csv")
+	fmt.Printf("CSV header: %s\n", strings.SplitN(string(csv), "\n", 2)[0])
+
+	// 4. Resubmit the identical spec: the fingerprint cache answers
+	// without replaying anything, byte-identical to the cold run.
+	warm := submit(url, spec)
+	if !warm.CacheHit {
+		log.Fatalf("expected a cache hit, got %+v", warm)
+	}
+	warmJSON := fetch(url + "/jobs/" + warm.ID + "/result")
+	fmt.Printf("resubmission %s served from cache: byte-identical=%t\n",
+		warm.ID, bytes.Equal(coldJSON, warmJSON))
+}
+
+// startInProcess boots the service on an ephemeral port and returns its
+// address — the same wiring cmd/rrcsimd does, minus the flags and signals.
+func startInProcess() string {
+	manager := jobs.NewManager(jobs.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, server.New(manager))
+	fmt.Printf("started in-process service on %s\n", ln.Addr())
+	return ln.Addr().String()
+}
+
+func submit(url, spec string) jobs.Status {
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+func streamProgress(url, id string) {
+	resp, err := http.Get(url + "/jobs/" + id + "/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev server.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s shards %3d/%3d  users %4d/%4d",
+			ev.State, ev.Progress.DoneShards, ev.Progress.Shards,
+			ev.Progress.DoneJobs, ev.Progress.TotalJobs)
+		for name, p := range ev.Partial {
+			fmt.Printf("  [%s: %.1f J/user, %.1f%% saved]", name, p.EnergyMeanJ, p.SavingsPctMean)
+		}
+		fmt.Println()
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fetch(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}

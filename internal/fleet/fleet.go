@@ -1,28 +1,7 @@
-// Package fleet is the sharded, parallel multi-user simulation runtime: it
-// fans (trace × profile × policy) replay jobs across a worker pool and
-// reduces per-job outcomes into mergeable aggregates without retaining
-// per-user results.
-//
-// # Determinism
-//
-// Results are bit-identical for any worker count. Jobs are partitioned into
-// contiguous shards by submission order; a shard is the unit of scheduling,
-// and within a shard jobs run sequentially in order. Each shard folds its
-// outcomes into its own accumulator, and shard accumulators merge in shard
-// index order after all workers finish. Worker count therefore only decides
-// which goroutine runs a shard, never the order of any floating-point
-// reduction. Changing the shard count regroups the reduction and may move
-// results by float-rounding noise; changing the worker count cannot.
-//
-// # Memory
-//
-// Each worker owns one reusable sim.Engine, and each shard holds one
-// accumulator. Aggregating an n-user cohort therefore costs O(workers +
-// shards) live state, not O(n): traces are generated in-worker from the
-// job's seed, replayed, folded, and dropped.
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -41,6 +20,19 @@ import (
 // negligible.
 const DefaultShards = 64
 
+// ErrCanceled is returned by Run when Options.Cancel closes before every
+// shard completes. Wrapped errors satisfy errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("fleet: run canceled")
+
+// Progress counts a run's completed work. Shard counts are the unit of
+// observation because the shard is the unit of scheduling and reduction.
+type Progress struct {
+	// DoneShards / Shards count completed vs total shards.
+	DoneShards, Shards int
+	// DoneJobs / TotalJobs count replays inside completed shards.
+	DoneJobs, TotalJobs int
+}
+
 // Options tunes a fleet run. The zero value gives GOMAXPROCS workers and
 // DefaultShards shards.
 type Options struct {
@@ -52,6 +44,17 @@ type Options struct {
 	// DefaultShards. More shards expose more parallelism; the shard count
 	// (not the worker count) fixes the reduction grouping.
 	Shards int
+	// OnShard, when non-nil, is called after each shard completes
+	// successfully. Calls are serialized (never concurrent) and arrive in
+	// shard completion order, which varies run to run; the counts
+	// themselves are monotone. The callback runs on a worker goroutine, so
+	// it should be quick.
+	OnShard func(Progress)
+	// Cancel, when non-nil, aborts the run once closed. Cancellation is
+	// observed between jobs: in-flight replays finish, no further job
+	// starts, and Run returns ErrCanceled. The final aggregate is
+	// discarded — a canceled run never exposes a partial total.
+	Cancel <-chan struct{}
 }
 
 func (o Options) workers() int {
@@ -131,6 +134,15 @@ type Accumulator[A any] struct {
 // Run executes every job across the worker pool and returns the merged
 // accumulator. It fails on the first job error (reported in job order).
 func Run[A any](jobs []Job, opts Options, acc Accumulator[A]) (A, error) {
+	return runHooked(jobs, opts, acc, nil)
+}
+
+// runHooked is Run plus an optional per-shard hook receiving the completed
+// shard's index and (read-only) partial accumulator along with the progress
+// counts. The hook runs under the same serialization lock as
+// Options.OnShard; the partial it sees is final — no goroutine touches a
+// shard accumulator after its shard completes until the end-of-run merge.
+func runHooked[A any](jobs []Job, opts Options, acc Accumulator[A], hook func(shard int, partial A, p Progress)) (A, error) {
 	var zero A
 	for i := range jobs {
 		if jobs[i].Trace == nil && jobs[i].Gen == nil {
@@ -152,6 +164,10 @@ func Run[A any](jobs []Job, opts Options, acc Accumulator[A]) (A, error) {
 
 	partials := make([]A, nshards)
 	errs := make([]error, nshards)
+	var (
+		mu       sync.Mutex
+		progress = Progress{Shards: nshards, TotalJobs: len(jobs)}
+	)
 	shardCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -160,7 +176,22 @@ func Run[A any](jobs []Job, opts Options, acc Accumulator[A]) (A, error) {
 			defer wg.Done()
 			engine := sim.NewEngine()
 			for s := range shardCh {
-				partials[s], errs[s] = runShard(jobs, s, nshards, engine, acc)
+				partials[s], errs[s] = runShard(jobs, s, nshards, engine, acc, opts.Cancel)
+				if errs[s] != nil || (hook == nil && opts.OnShard == nil) {
+					continue
+				}
+				lo, hi := shardRange(len(jobs), s, nshards)
+				mu.Lock()
+				progress.DoneShards++
+				progress.DoneJobs += hi - lo
+				p := progress
+				if hook != nil {
+					hook(s, partials[s], p)
+				}
+				if opts.OnShard != nil {
+					opts.OnShard(p)
+				}
+				mu.Unlock()
 			}
 		}()
 	}
@@ -180,6 +211,19 @@ func Run[A any](jobs []Job, opts Options, acc Accumulator[A]) (A, error) {
 		merged = acc.Merge(merged, partials[s])
 	}
 	return merged, nil
+}
+
+// canceled reports whether the (possibly nil) cancel channel is closed.
+func canceled(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
 }
 
 // Map runs fn(0..n-1) across the worker pool and returns the results in
@@ -260,11 +304,15 @@ func shardRange(jobs, s, nshards int) (lo, hi int) {
 }
 
 // runShard replays the shard's jobs in order on one engine, folding each
-// outcome as it completes.
-func runShard[A any](jobs []Job, s, nshards int, engine *sim.Engine, acc Accumulator[A]) (A, error) {
+// outcome as it completes. Cancellation is checked before every job.
+func runShard[A any](jobs []Job, s, nshards int, engine *sim.Engine, acc Accumulator[A], cancel <-chan struct{}) (A, error) {
 	a := acc.New()
 	lo, hi := shardRange(len(jobs), s, nshards)
 	for i := lo; i < hi; i++ {
+		if canceled(cancel) {
+			var zero A
+			return zero, fmt.Errorf("fleet: shard %d at job %d: %w", s, i, ErrCanceled)
+		}
 		out, err := runJob(&jobs[i], i, engine)
 		if err != nil {
 			var zero A

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Policy and active-policy names accepted by NamedScheme, shared by every
+// surface that takes policy names (cmd/rrcsim flags, the job service).
+const (
+	PolicyStatusQuo = "statusquo"
+	PolicyFourFive  = "4.5s"
+	Policy95IAT     = "95iat"
+	PolicyOracle    = "oracle"
+	PolicyMakeIdle  = "makeidle"
+
+	ActiveNone  = "none"
+	ActiveLearn = "learn"
+	ActiveFix   = "fix"
+)
+
+// NamedDemote maps a CLI/service policy name to a demote policy for a
+// concrete trace and profile. Trace-fitted policies (95iat) accept a nil
+// trace for eager name validation but need the real one to replay.
+func NamedDemote(name string, tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
+	switch name {
+	case PolicyStatusQuo:
+		return policy.StatusQuo{}, nil
+	case PolicyFourFive:
+		return policy.NewFourPointFive(), nil
+	case Policy95IAT:
+		return policy.NewPercentileIAT(tr, 0.95), nil
+	case PolicyOracle:
+		return policy.NewOracle(energy.Threshold(&prof)), nil
+	case PolicyMakeIdle:
+		return policy.NewMakeIdle(prof)
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// NamedActive maps a CLI/service batching-policy name to an active policy;
+// ActiveNone yields nil (batching disabled).
+func NamedActive(name string, tr trace.Trace, prof power.Profile, burstGap time.Duration) (policy.ActivePolicy, error) {
+	switch name {
+	case ActiveNone:
+		return nil, nil
+	case ActiveLearn:
+		return policy.NewLearnedDelay(), nil
+	case ActiveFix:
+		return policy.NewFixedDelay(tr, &prof, burstGap), nil
+	default:
+		return nil, fmt.Errorf("unknown active policy %q", name)
+	}
+}
+
+// NamedScheme builds the fleet scheme for a (policy, active) name pair,
+// validating both names eagerly (on a nil trace) so typos fail before a
+// fleet spins up. The scheme label is "policy" or "policy+active".
+func NamedScheme(polName, actName string, burstGap time.Duration) (Scheme, error) {
+	if _, err := NamedDemote(polName, nil, power.Verizon3G); err != nil {
+		return Scheme{}, err
+	}
+	if _, err := NamedActive(actName, nil, power.Verizon3G, burstGap); err != nil {
+		return Scheme{}, err
+	}
+	name := polName
+	if actName != ActiveNone {
+		name += "+" + actName
+	}
+	s := Scheme{
+		Name: name,
+		Demote: func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
+			return NamedDemote(polName, tr, prof)
+		},
+	}
+	if actName != ActiveNone {
+		s.Active = func(tr trace.Trace, prof power.Profile) policy.ActivePolicy {
+			a, _ := NamedActive(actName, tr, prof, burstGap)
+			return a
+		}
+	}
+	return s, nil
+}

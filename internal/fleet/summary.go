@@ -203,6 +203,38 @@ func RunSummary(jobs []Job, opts Options, cfg SummaryConfig) (*Summary, error) {
 	return Run(jobs, opts, SummaryAccumulator(cfg))
 }
 
+// RunSummaryWithProgress is RunSummary plus a merged-partial feed: after
+// each shard completes, onPartial receives a freshly merged Summary over
+// every shard finished so far plus the progress counts. Partial snapshots
+// are built by merging completed shard accumulators in shard index order,
+// so a snapshot's content is a deterministic function of the *set* of
+// completed shards (only the arrival order of snapshots varies run to
+// run), and the final result remains bit-identical to RunSummary — the
+// shard accumulators feeding the end-of-run reduction are never mutated by
+// snapshotting. Each snapshot is an independent Summary the callback may
+// retain. onPartial runs serialized on a worker goroutine; keep it quick.
+func RunSummaryWithProgress(jobs []Job, opts Options, cfg SummaryConfig, onPartial func(partial *Summary, p Progress)) (*Summary, error) {
+	if onPartial == nil {
+		return RunSummary(jobs, opts, cfg)
+	}
+	cfg = cfg.withDefaults()
+	done := make(map[int]*Summary)
+	hook := func(shard int, partial *Summary, p Progress) {
+		// Serialized by runHooked's lock, so the map needs no extra one.
+		done[shard] = partial
+		merged := NewSummary(cfg)
+		for s := 0; s < p.Shards; s++ {
+			if d := done[s]; d != nil {
+				if err := merged.Merge(d); err != nil {
+					panic(err) // impossible: all shards share one layout
+				}
+			}
+		}
+		onPartial(merged, p)
+	}
+	return runHooked(jobs, opts, SummaryAccumulator(cfg), hook)
+}
+
 // SeedStride spaces per-user seeds so adjacent users draw well-separated
 // RNG streams (the prime stride the experiments layer already used).
 const SeedStride = 104729

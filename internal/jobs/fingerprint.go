@@ -1,0 +1,184 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("4h30m"), so job specs read naturally over the HTTP API. Integer
+// nanoseconds are also accepted on input.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its canonical Go string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a Go duration string or nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("jobs: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("jobs: duration must be a string or nanoseconds: %w", err)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Spec describes one cohort replay job: the synthetic population (users,
+// seed, per-user duration, diurnal mask), the carrier profile, the policy
+// pair, and the shard count that pins the reduction grouping. A Spec is
+// the entire job input — two equal normalized Specs denote the same
+// computation, which is what makes the fingerprint a sound cache key.
+type Spec struct {
+	// Users is the cohort size (required, > 0).
+	Users int `json:"users"`
+	// Seed roots every per-user trace seed (fleet.UserSeed spacing).
+	Seed int64 `json:"seed"`
+	// Duration is the per-user trace length (default 4h).
+	Duration Duration `json:"duration"`
+	// Diurnal wraps users in the day/night activity mask (default true —
+	// population-scale runs model day-scale load).
+	Diurnal *bool `json:"diurnal,omitempty"`
+	// Profile is the carrier profile name (default "Verizon 3G").
+	Profile string `json:"profile"`
+	// Policy is the demote policy name (default "makeidle"); see
+	// fleet.NamedDemote for the accepted set.
+	Policy string `json:"policy"`
+	// Active is the batching policy name (default "none").
+	Active string `json:"active"`
+	// BurstGap is the session segmentation gap (default 1s).
+	BurstGap Duration `json:"burst_gap"`
+	// Shards is the aggregate partition count (default
+	// fleet.DefaultShards). Part of the fingerprint: the shard count fixes
+	// the floating-point reduction grouping, so two runs that differ only
+	// in shards may differ in float rounding and must not share a cache
+	// entry.
+	Shards int `json:"shards"`
+}
+
+// withDefaults returns the normalized spec: every optional field resolved
+// to its default so equal jobs normalize to equal specs.
+func (s Spec) withDefaults() Spec {
+	if s.Duration <= 0 {
+		s.Duration = Duration(4 * time.Hour)
+	}
+	if s.Diurnal == nil {
+		t := true
+		s.Diurnal = &t
+	}
+	if s.Profile == "" {
+		s.Profile = power.Verizon3G.Name
+	}
+	if s.Policy == "" {
+		s.Policy = fleet.PolicyMakeIdle
+	}
+	if s.Active == "" {
+		s.Active = fleet.ActiveNone
+	}
+	if s.BurstGap <= 0 {
+		s.BurstGap = Duration(time.Second)
+	}
+	if s.Shards <= 0 {
+		s.Shards = fleet.DefaultShards
+	}
+	return s
+}
+
+// Admission bounds on a single job: a spec is one HTTP request, so its
+// resource footprint must be bounded before it reaches a runner. MaxUsers
+// bounds the O(users) job-slice allocation (~150 MB at the limit);
+// MaxDuration bounds per-user trace length; MaxShards bounds the partial
+// accumulator array (the fleet clamps shards to the job count anyway).
+const (
+	MaxUsers    = 1_000_000
+	MaxDuration = Duration(30 * 24 * time.Hour)
+	MaxShards   = 1 << 16
+)
+
+// validate rejects unusable specs with a client-attributable error. The
+// spec must already be normalized.
+func (s Spec) validate() error {
+	if s.Users <= 0 {
+		return fmt.Errorf("jobs: users must be > 0")
+	}
+	if s.Users > MaxUsers {
+		return fmt.Errorf("jobs: users %d exceeds the limit of %d", s.Users, MaxUsers)
+	}
+	if s.Duration > MaxDuration {
+		return fmt.Errorf("jobs: duration %s exceeds the limit of %s",
+			time.Duration(s.Duration), time.Duration(MaxDuration))
+	}
+	if s.Shards > MaxShards {
+		return fmt.Errorf("jobs: shards %d exceeds the limit of %d", s.Shards, MaxShards)
+	}
+	if _, ok := power.ByName(s.Profile); !ok {
+		return fmt.Errorf("jobs: unknown profile %q", s.Profile)
+	}
+	if _, err := fleet.NamedScheme(s.Policy, s.Active, time.Duration(s.BurstGap)); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	return nil
+}
+
+// TraceHash digests the trace-generator inputs: the cohort's users, seed,
+// per-user duration and diurnal flag fully determine every generated
+// per-user trace (workload mixes cycle deterministically), so this hash
+// stands in for hashing the traces themselves without materializing them.
+func (s Spec) TraceHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "trace|users=%d|seed=%d|dur=%s|diurnal=%t",
+		s.Users, s.Seed, time.Duration(s.Duration), s.Diurnal != nil && *s.Diurnal)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprint is the deterministic cache key of the normalized spec:
+// sha256 over (trace hash, profile, policy, seed, users, shards) plus the
+// remaining replay parameters (active policy, burst gap) that change the
+// output. Equal fingerprints imply byte-identical results, because the
+// computation is deterministic given the spec and the shard count is part
+// of the key.
+func (s Spec) Fingerprint() string {
+	s = s.withDefaults()
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|trace=%s|profile=%s|policy=%s|active=%s|burstgap=%s|seed=%d|users=%d|shards=%d",
+		s.TraceHash(), s.Profile, s.Policy, s.Active,
+		time.Duration(s.BurstGap), s.Seed, s.Users, s.Shards)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fleetJobs expands the normalized spec into the cohort's fleet jobs.
+func (s Spec) fleetJobs() ([]fleet.Job, error) {
+	scheme, err := fleet.NamedScheme(s.Policy, s.Active, time.Duration(s.BurstGap))
+	if err != nil {
+		return nil, err
+	}
+	prof, ok := power.ByName(s.Profile)
+	if !ok {
+		return nil, fmt.Errorf("jobs: unknown profile %q", s.Profile)
+	}
+	cohort := fleet.Cohort{
+		Users:    s.Users,
+		Seed:     s.Seed,
+		Duration: time.Duration(s.Duration),
+		Diurnal:  s.Diurnal != nil && *s.Diurnal,
+		Opts:     &sim.Options{BurstGap: time.Duration(s.BurstGap)},
+	}
+	return cohort.Jobs(prof, []fleet.Scheme{scheme}), nil
+}

@@ -1,0 +1,557 @@
+// Package jobs is the asynchronous job layer between the HTTP service and
+// the fleet runtime: a bounded queue of cohort replay jobs, per-job
+// lifecycle state (queued → running → done/failed/canceled), cooperative
+// cancellation that propagates into the fleet via its Cancel channel, and
+// a result cache keyed by the deterministic job fingerprint — (trace hash,
+// profile, policy, seed, users, shards) — so resubmitting an identical
+// spec is served from cache with byte-identical rendered output.
+//
+// Results are rendered (JSON/CSV/text) exactly once, when a job finishes;
+// cache hits share the rendered bytes. Because the fleet reduction is
+// deterministic and the shard count is part of the fingerprint, a cache
+// hit returns the same bytes a cold rerun would have produced.
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states. Queued and Running are live; the rest are
+// terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue has no room.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// Progress mirrors fleet.Progress with JSON field names for the API.
+type Progress struct {
+	DoneShards int `json:"done_shards"`
+	Shards     int `json:"shards"`
+	DoneJobs   int `json:"done_jobs"`
+	TotalJobs  int `json:"total_jobs"`
+}
+
+func progressOf(p fleet.Progress) Progress {
+	return Progress{DoneShards: p.DoneShards, Shards: p.Shards, DoneJobs: p.DoneJobs, TotalJobs: p.TotalJobs}
+}
+
+// Status is a point-in-time snapshot of a job, safe to serialize.
+type Status struct {
+	ID          string   `json:"id"`
+	State       State    `json:"state"`
+	Fingerprint string   `json:"fingerprint"`
+	CacheHit    bool     `json:"cache_hit"`
+	Spec        Spec     `json:"spec"`
+	Progress    Progress `json:"progress"`
+	Error       string   `json:"error,omitempty"`
+	SubmittedAt string   `json:"submitted_at,omitempty"`
+	StartedAt   string   `json:"started_at,omitempty"`
+	FinishedAt  string   `json:"finished_at,omitempty"`
+}
+
+// Job is one submitted simulation. All mutable state is behind mu;
+// external readers use Status, Partial, Result and Done.
+type Job struct {
+	id          string
+	spec        Spec
+	fingerprint string
+
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	done       chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	cacheHit  bool
+	progress  Progress
+	partial   *fleet.Summary
+	result    *Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		Fingerprint: j.fingerprint,
+		CacheHit:    j.cacheHit,
+		Spec:        j.spec,
+		Progress:    j.progress,
+		SubmittedAt: rfc3339(j.submitted),
+		StartedAt:   rfc3339(j.started),
+		FinishedAt:  rfc3339(j.finished),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Partial returns the latest merged partial summary (nil before the first
+// shard completes). The returned summary is an immutable snapshot.
+func (j *Job) Partial() *fleet.Summary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.partial
+}
+
+// Result returns the rendered result, or nil unless the job is done.
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Err returns the failure (or cancellation) error, nil while live or done.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state State, res *Result, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// runFleetFunc is the seam between the job layer and the fleet runtime;
+// tests substitute a controllable fake to exercise the lifecycle without
+// replaying real cohorts.
+type runFleetFunc func(fjobs []fleet.Job, opts fleet.Options, cfg fleet.SummaryConfig,
+	onPartial func(*fleet.Summary, fleet.Progress)) (*fleet.Summary, error)
+
+// Config tunes a Manager. The zero value gives a 32-deep queue, a
+// 128-entry cache, one job runner, and all-core fleet workers per job.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting to run (default 32).
+	// Submissions beyond it fail fast with ErrQueueFull — backpressure,
+	// not unbounded buffering.
+	QueueDepth int
+	// CacheSize bounds the fingerprint → result cache (default 128
+	// entries, LRU eviction). Negative disables caching.
+	CacheSize int
+	// Runners is the number of jobs executing concurrently (default 1;
+	// each job already parallelizes internally across Workers).
+	Runners int
+	// Workers is the fleet worker count per job (<= 0 = all cores).
+	// Worker count never changes results.
+	Workers int
+	// MaxRecords bounds the job registry (default 1024): once exceeded,
+	// the oldest *terminal* jobs are forgotten (their id returns 404).
+	// Live jobs are never evicted, so the registry — and with it the
+	// memory pinned by retained results — cannot grow without bound on a
+	// long-running daemon.
+	MaxRecords int
+
+	// runFleet overrides the fleet call in tests; nil means the real one.
+	runFleet runFleetFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.Runners <= 0 {
+		c.Runners = 1
+	}
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = 1024
+	}
+	if c.runFleet == nil {
+		c.runFleet = fleet.RunSummaryWithProgress
+	}
+	return c
+}
+
+// Manager owns the queue, the runners, the job registry and the result
+// cache. Create with NewManager, dispose with Close.
+type Manager struct {
+	cfg Config
+	wg  sync.WaitGroup
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals pending work or shutdown to runners
+	// pending is the FIFO of jobs awaiting a runner. Canceled entries stay
+	// until popped (and skipped), but QueueDepth admission counts only
+	// still-queued jobs, so canceling frees its slot immediately.
+	pending []*Job
+	closed  bool
+	nextID  int
+	jobs    map[string]*Job
+	order   []string
+	cache   *resultCache
+}
+
+// NewManager starts a manager with cfg.Runners runner goroutines.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:   cfg,
+		jobs:  make(map[string]*Job),
+		cache: newResultCache(cfg.CacheSize),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.Runners; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for {
+				m.mu.Lock()
+				for len(m.pending) == 0 && !m.closed {
+					m.cond.Wait()
+				}
+				if len(m.pending) == 0 { // closed and drained
+					m.mu.Unlock()
+					return
+				}
+				job := m.pending[0]
+				m.pending = m.pending[1:]
+				m.mu.Unlock()
+				m.runJob(job)
+			}
+		}()
+	}
+	return m
+}
+
+// Close stops accepting submissions, cancels every live job, and waits for
+// the runners to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	live := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		live = append(live, j)
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, j := range live {
+		j.requestCancel()
+	}
+	m.wg.Wait()
+}
+
+// Submit validates and enqueues a job. A fingerprint already in the result
+// cache short-circuits: the returned job is born done with CacheHit set
+// and shares the cached rendered bytes. A full queue fails fast with
+// ErrQueueFull and registers nothing.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	fp := spec.Fingerprint()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if res, ok := m.cache.get(fp); ok {
+		job := m.newJobLocked(spec, fp)
+		job.state = StateDone
+		job.cacheHit = true
+		job.result = res
+		job.finished = job.submitted
+		job.progress = Progress{
+			DoneShards: res.Progress.Shards, Shards: res.Progress.Shards,
+			DoneJobs: res.Progress.TotalJobs, TotalJobs: res.Progress.TotalJobs,
+		}
+		close(job.done)
+		m.registerLocked(job)
+		return job, nil
+	}
+	// Admission counts only still-queued pending jobs: canceled entries
+	// linger in the FIFO until a runner pops them but hold no capacity.
+	live := 0
+	for _, j := range m.pending {
+		if j.currentState() == StateQueued {
+			live++
+		}
+	}
+	if live >= m.cfg.QueueDepth {
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+	}
+	job := m.newJobLocked(spec, fp)
+	m.pending = append(m.pending, job)
+	m.registerLocked(job)
+	m.cond.Signal()
+	return job, nil
+}
+
+// currentState reads the job's state under its lock.
+func (j *Job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (m *Manager) newJobLocked(spec Spec, fp string) *Job {
+	m.nextID++
+	return &Job{
+		id:          fmt.Sprintf("job-%06d", m.nextID),
+		spec:        spec,
+		fingerprint: fp,
+		state:       StateQueued,
+		cancel:      make(chan struct{}),
+		done:        make(chan struct{}),
+		submitted:   time.Now(),
+	}
+}
+
+func (m *Manager) registerLocked(job *Job) {
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	// Retention: evict the oldest terminal jobs beyond MaxRecords so the
+	// registry (and the results it pins) stays bounded. Live jobs are
+	// never evicted; if every record is live the registry may transiently
+	// exceed the cap by the number of live jobs, which QueueDepth bounds.
+	for len(m.order) > m.cfg.MaxRecords {
+		evicted := false
+		for i, id := range m.order {
+			if m.jobs[id].currentState().Terminal() {
+				delete(m.jobs, id)
+				m.order = append(m.order[:i:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List snapshots every job in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	snapshot := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		snapshot = append(snapshot, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, 0, len(snapshot))
+	for _, j := range snapshot {
+		out = append(out, j.Status())
+	}
+	return out
+}
+
+// Cancel requests cancellation. A queued job cancels immediately; a
+// running job cancels at the fleet's next between-jobs check. Canceling a
+// terminal job is a no-op. The second return reports whether the job
+// exists.
+func (m *Manager) Cancel(id string) (Status, bool) {
+	j, ok := m.Get(id)
+	if !ok {
+		return Status{}, false
+	}
+	j.requestCancel()
+	return j.Status(), true
+}
+
+// requestCancel closes the cancel channel and terminates the job at once
+// when it is not running (queued jobs must not wait for a runner to pop
+// them to report canceled).
+func (j *Job) requestCancel() {
+	j.cancelOnce.Do(func() { close(j.cancel) })
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if queued {
+		j.finish(StateCanceled, nil, fleet.ErrCanceled)
+	}
+}
+
+// runJob executes one popped job against the fleet runtime.
+func (m *Manager) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state.Terminal() { // canceled while queued
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	spec := job.spec
+	job.mu.Unlock()
+
+	fjobs, err := spec.fleetJobs()
+	if err != nil {
+		job.finish(StateFailed, nil, err)
+		return
+	}
+	opts := fleet.Options{
+		Workers: m.cfg.Workers,
+		Shards:  spec.Shards,
+		Cancel:  job.cancel,
+	}
+	var last fleet.Progress
+	sum, err := m.cfg.runFleet(fjobs, opts, fleet.SummaryConfig{},
+		func(partial *fleet.Summary, p fleet.Progress) {
+			job.mu.Lock()
+			job.partial = partial
+			job.progress = progressOf(p)
+			last = p
+			job.mu.Unlock()
+		})
+	if err != nil {
+		if errors.Is(err, fleet.ErrCanceled) {
+			job.finish(StateCanceled, nil, err)
+		} else {
+			job.finish(StateFailed, nil, err)
+		}
+		return
+	}
+	res, err := renderResult(sum)
+	if err != nil {
+		job.finish(StateFailed, nil, err)
+		return
+	}
+	if last.Shards > 0 {
+		res.Progress = progressOf(last)
+	} else { // fake runners may skip partials; synthesize terminal counts
+		res.Progress = Progress{DoneJobs: len(fjobs), TotalJobs: len(fjobs)}
+	}
+	job.mu.Lock()
+	job.progress = res.Progress
+	job.mu.Unlock()
+	m.mu.Lock()
+	m.cache.put(job.fingerprint, res)
+	m.mu.Unlock()
+	job.finish(StateDone, res, nil)
+}
+
+// resultCache is a small LRU of fingerprint → rendered result. Guarded by
+// the manager's lock.
+type resultCache struct {
+	cap     int
+	entries map[string]*Result
+	// lru holds fingerprints, least recent first.
+	lru []string
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultCache{cap: capacity, entries: make(map[string]*Result)}
+}
+
+func (c *resultCache) get(fp string) (*Result, bool) {
+	res, ok := c.entries[fp]
+	if ok {
+		c.touch(fp)
+	}
+	return res, ok
+}
+
+func (c *resultCache) put(fp string, res *Result) {
+	if c.cap == 0 {
+		return
+	}
+	if _, ok := c.entries[fp]; ok {
+		c.entries[fp] = res
+		c.touch(fp)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		oldest := c.lru[0]
+		c.lru = c.lru[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[fp] = res
+	c.lru = append(c.lru, fp)
+}
+
+func (c *resultCache) touch(fp string) {
+	for i, f := range c.lru {
+		if f == fp {
+			c.lru = append(append(c.lru[:i:i], c.lru[i+1:]...), fp)
+			return
+		}
+	}
+}
+
+// CacheLen reports the number of cached results (for the health endpoint).
+func (m *Manager) CacheLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cache.entries)
+}
+
+// Len reports the number of registered jobs without materializing their
+// statuses (for the health endpoint).
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// QueueDepth returns the configured queue bound.
+func (m *Manager) QueueDepth() int { return m.cfg.QueueDepth }

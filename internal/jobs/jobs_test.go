@@ -1,0 +1,322 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func testSpec(users int) Spec {
+	return Spec{Users: users, Seed: 7, Duration: Duration(15 * time.Minute)}
+}
+
+// blockingRunner returns a fake fleet runner that reports one partial,
+// signals `started`, then blocks until its Cancel channel closes (returning
+// ErrCanceled) or `release` closes (returning an empty summary).
+func blockingRunner(started, release chan struct{}) runFleetFunc {
+	return func(fjobs []fleet.Job, opts fleet.Options, cfg fleet.SummaryConfig,
+		onPartial func(*fleet.Summary, fleet.Progress)) (*fleet.Summary, error) {
+		if onPartial != nil {
+			onPartial(fleet.NewSummary(cfg),
+				fleet.Progress{DoneShards: 1, Shards: 4, DoneJobs: 1, TotalJobs: len(fjobs)})
+		}
+		if started != nil {
+			started <- struct{}{}
+		}
+		select {
+		case <-opts.Cancel:
+			return nil, fleet.ErrCanceled
+		case <-release:
+			return fleet.NewSummary(cfg), nil
+		}
+	}
+}
+
+// TestQueueFullRejection fills the bounded queue behind a blocked runner
+// and expects ErrQueueFull — fail-fast backpressure, not buffering.
+func TestQueueFullRejection(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := NewManager(Config{QueueDepth: 2, Runners: 1, CacheSize: -1,
+		runFleet: blockingRunner(started, release)})
+	defer m.Close()
+
+	// First job occupies the runner; the queue is empty again once popped.
+	if _, err := m.Submit(testSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// Two more fill the depth-2 queue (distinct specs: caching is off but
+	// fingerprints must differ anyway to mirror real traffic).
+	for i := 2; i <= 3; i++ {
+		if _, err := m.Submit(testSpec(i)); err != nil {
+			t.Fatalf("job %d should queue: %v", i, err)
+		}
+	}
+	_, err := m.Submit(testSpec(4))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+}
+
+// TestCancelRunningJob cancels a job mid-run (the fake runner is blocked
+// between shards on the fleet Cancel channel) and expects the canceled
+// terminal state with ErrCanceled.
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := NewManager(Config{Runners: 1, CacheSize: -1,
+		runFleet: blockingRunner(started, release)})
+	defer m.Close()
+
+	job, err := m.Submit(testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if st := job.Status(); st.State != StateRunning || st.Progress.DoneShards != 1 {
+		t.Fatalf("before cancel: %+v", st)
+	}
+	if job.Partial() == nil {
+		t.Fatal("no partial snapshot before cancel")
+	}
+	if _, ok := m.Cancel(job.ID()); !ok {
+		t.Fatal("cancel: job not found")
+	}
+	<-job.Done()
+	st := job.Status()
+	if st.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", st.State)
+	}
+	if !errors.Is(job.Err(), fleet.ErrCanceled) {
+		t.Fatalf("err %v, want ErrCanceled", job.Err())
+	}
+	if job.Result() != nil {
+		t.Fatal("canceled job exposes a result")
+	}
+}
+
+// TestCancelQueuedJob cancels a job still in the queue: it must terminate
+// immediately, before any runner touches it, and the runner must skip it.
+func TestCancelQueuedJob(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	m := NewManager(Config{Runners: 1, CacheSize: -1,
+		runFleet: blockingRunner(started, release)})
+	defer m.Close()
+
+	if _, err := m.Submit(testSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Cancel(queued.ID()); !ok {
+		t.Fatal("cancel: job not found")
+	}
+	<-queued.Done()
+	if st := queued.Status(); st.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", st.State)
+	}
+	close(release) // let the first job finish; the runner must skip job 2
+	<-mustGet(t, m, "job-000001").Done()
+	if st := queued.Status(); st.State != StateCanceled {
+		t.Fatalf("runner resurrected a canceled job: %+v", st)
+	}
+}
+
+// TestCancelFreesQueueSlot cancels a queued job and expects its queue
+// capacity back immediately — canceled entries must not hold admission
+// slots while they wait to be popped and discarded.
+func TestCancelFreesQueueSlot(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := NewManager(Config{QueueDepth: 1, Runners: 1, CacheSize: -1,
+		runFleet: blockingRunner(started, release)})
+	defer m.Close()
+
+	if _, err := m.Submit(testSpec(1)); err != nil { // occupies the runner
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit(testSpec(2)) // fills the depth-1 queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(testSpec(3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue should be full, got %v", err)
+	}
+	if _, ok := m.Cancel(queued.ID()); !ok {
+		t.Fatal("cancel: job not found")
+	}
+	<-queued.Done()
+	if _, err := m.Submit(testSpec(3)); err != nil {
+		t.Fatalf("canceled job still holds its queue slot: %v", err)
+	}
+}
+
+// TestRegistryRetention bounds the job registry: beyond MaxRecords the
+// oldest terminal jobs are forgotten, live ones never.
+func TestRegistryRetention(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := NewManager(Config{QueueDepth: 16, Runners: 1, CacheSize: -1, MaxRecords: 3,
+		runFleet: blockingRunner(started, release)})
+	defer m.Close()
+
+	running, err := m.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var canceled []*Job
+	for i := 2; i <= 6; i++ {
+		j, err := m.Submit(testSpec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Cancel(j.ID())
+		<-j.Done()
+		canceled = append(canceled, j)
+	}
+	if n := m.Len(); n > 3 {
+		t.Fatalf("registry holds %d jobs, want <= MaxRecords(3)", n)
+	}
+	if _, ok := m.Get(running.ID()); !ok {
+		t.Fatal("live job was evicted")
+	}
+	if _, ok := m.Get(canceled[0].ID()); ok {
+		t.Fatal("oldest terminal job not evicted")
+	}
+}
+
+// TestSpecLimits rejects jobs whose admitted footprint is unbounded.
+func TestSpecLimits(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	for _, spec := range []Spec{
+		{Users: MaxUsers + 1},
+		{Users: 1, Duration: MaxDuration + 1},
+		{Users: 1, Shards: MaxShards + 1},
+	} {
+		if _, err := m.Submit(spec); err == nil {
+			t.Fatalf("oversized spec %+v accepted", spec)
+		}
+	}
+}
+
+// TestCacheHitIsByteIdentical runs a real (small) cohort cold, resubmits
+// the same spec, and requires a cache hit whose rendered JSON/CSV bytes
+// are identical to the cold run's — the service's acceptance criterion.
+func TestCacheHitIsByteIdentical(t *testing.T) {
+	m := NewManager(Config{Runners: 1})
+	defer m.Close()
+	spec := Spec{Users: 3, Seed: 11, Duration: Duration(10 * time.Minute), Shards: 4}
+
+	cold, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-cold.Done()
+	if st := cold.Status(); st.State != StateDone || st.CacheHit {
+		t.Fatalf("cold run: %+v (err %v)", st, cold.Err())
+	}
+	warm, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-warm.Done()
+	st := warm.Status()
+	if st.State != StateDone || !st.CacheHit {
+		t.Fatalf("warm run not a cache hit: %+v", st)
+	}
+	if st.Fingerprint != cold.Status().Fingerprint {
+		t.Fatal("fingerprints differ for identical specs")
+	}
+	cr, wr := cold.Result(), warm.Result()
+	if cr == nil || wr == nil {
+		t.Fatal("missing results")
+	}
+	if !bytes.Equal(cr.JSON, wr.JSON) {
+		t.Fatalf("cache hit JSON differs:\n%s\nvs\n%s", cr.JSON, wr.JSON)
+	}
+	if !bytes.Equal(cr.CSV, wr.CSV) {
+		t.Fatal("cache hit CSV differs")
+	}
+	if len(cr.JSON) == 0 || cr.Stats.Jobs != 3 {
+		t.Fatalf("implausible result: %d JSON bytes, %d jobs", len(cr.JSON), cr.Stats.Jobs)
+	}
+	// A different spec must not hit the cache.
+	other, err := m.Submit(Spec{Users: 3, Seed: 12, Duration: Duration(10 * time.Minute), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Status().CacheHit {
+		t.Fatal("different seed produced a cache hit")
+	}
+	<-other.Done()
+}
+
+// TestFingerprintSensitivity checks every cache-key component moves the
+// fingerprint, and that normalization (defaults) does not.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Spec{Users: 10, Seed: 1}.withDefaults()
+	fp := base.Fingerprint()
+	if explicit := base.Fingerprint(); explicit != fp {
+		t.Fatal("fingerprint not stable")
+	}
+	if (Spec{Users: 10, Seed: 1}).Fingerprint() != fp {
+		t.Fatal("normalization changed the fingerprint")
+	}
+	mutate := []Spec{
+		{Users: 11, Seed: 1},
+		{Users: 10, Seed: 2},
+		{Users: 10, Seed: 1, Duration: Duration(time.Hour)},
+		{Users: 10, Seed: 1, Profile: "AT&T 3G"},
+		{Users: 10, Seed: 1, Policy: fleet.PolicyOracle},
+		{Users: 10, Seed: 1, Active: fleet.ActiveLearn},
+		{Users: 10, Seed: 1, Shards: 7},
+	}
+	seen := map[string]bool{fp: true}
+	for i, s := range mutate {
+		got := s.Fingerprint()
+		if seen[got] {
+			t.Fatalf("mutation %d did not change the fingerprint", i)
+		}
+		seen[got] = true
+	}
+}
+
+// TestSubmitValidation rejects bad specs before they reach the queue.
+func TestSubmitValidation(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	for _, spec := range []Spec{
+		{},                                   // no users
+		{Users: 1, Profile: "Nokia 1G"},      // unknown profile
+		{Users: 1, Policy: "extra-fast"},     // unknown policy
+		{Users: 1, Active: "procrastinator"}, // unknown active policy
+	} {
+		if _, err := m.Submit(spec); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func mustGet(t *testing.T, m *Manager, id string) *Job {
+	t.Helper()
+	j, ok := m.Get(id)
+	if !ok {
+		t.Fatalf("job %s not found", id)
+	}
+	return j
+}

@@ -1,0 +1,32 @@
+// Package metrics turns simulation results into the numbers the paper's
+// figures report — energy savings over the status quo, state switches
+// normalized by the status quo, energy saved per extra switch, false/missed
+// switch rates against the Oracle ground truth (§6.3), and session-delay
+// statistics (§6.4) — and provides the mergeable streaming aggregates the
+// fleet runtime reduces cohorts into.
+//
+// # Merge semantics
+//
+// Stream and Histogram are the two mergeable aggregates. Both are designed
+// so that folding a million samples into S shard-local aggregates and then
+// merging the S partials gives the same answer as one aggregate fed every
+// sample:
+//
+//   - Stream tracks count, mean and the Welford M2 (sum of squared
+//     deviations) plus min/max. Merge combines two streams with the
+//     parallel-variance update of Chan, Golub & LeVeque, which is exact up
+//     to float rounding: a merged stream's mean and variance equal the
+//     single-stream values up to the rounding introduced by the merge
+//     order. Holding the merge order fixed (as the fleet's shard-ordered
+//     reduction does) therefore makes merged moments bit-reproducible.
+//   - Histogram is a fixed-bin count array over [Lo, Hi); below-range
+//     samples clamp into the first bin and at-or-above-range into the
+//     last, so no sample is ever dropped and merged totals are exact
+//     integer sums. Merge refuses histograms with different layouts
+//     (bounds or bin count) instead of silently misbinning: all shards of
+//     a run must share one layout.
+//
+// Both merges treat the right operand as read-only, which is what lets the
+// fleet snapshot partial merges mid-run without corrupting the shard
+// accumulators feeding the final reduction.
+package metrics

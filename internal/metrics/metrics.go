@@ -1,8 +1,3 @@
-// Package metrics turns simulation results into the numbers the paper's
-// figures report: energy savings over the status quo, state switches
-// normalized by the status quo, energy saved per extra switch, false/missed
-// switch rates against the Oracle ground truth (§6.3), and session-delay
-// statistics (§6.4).
 package metrics
 
 import (

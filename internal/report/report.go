@@ -1,10 +1,14 @@
-// Package report renders experiment output as fixed-width text tables and
-// simple data series, so cmd/experiments can print rows that correspond
-// one-to-one with the paper's figures and tables.
+// Package report renders simulation output for its consumers: fixed-width
+// text tables and simple data series for cmd/experiments (rows correspond
+// one-to-one with the paper's figures and tables), CSV for plotting tools,
+// and deterministic JSON for the simulation service — the same value always
+// serializes to the same bytes, which is what lets the job cache return
+// byte-identical responses.
 package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -121,6 +125,27 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// JSON renders v as indented JSON with a trailing newline. The encoding is
+// deterministic — encoding/json sorts map keys — so equal values produce
+// byte-identical output, the property the simulation service's result
+// cache relies on.
+func JSON(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// CSVBytes renders the table via WriteCSV into a byte slice.
+func (t *Table) CSVBytes() ([]byte, error) {
+	var sb strings.Builder
+	if err := t.WriteCSV(&sb); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
 }
 
 // Series is a labelled (x, y) data series, the textual analogue of one

@@ -1,0 +1,245 @@
+// Package server exposes the job manager over HTTP — the
+// simulation-as-a-service surface of the fleet runtime. The API is plain
+// JSON over stdlib net/http:
+//
+//	POST   /jobs              submit a cohort replay spec → 202 + job status
+//	                          (200 when served from the fingerprint cache)
+//	GET    /jobs              list all jobs in submission order
+//	GET    /jobs/{id}         one job's status + progress
+//	GET    /jobs/{id}/stream  NDJSON feed of progress + merged partials,
+//	                          terminated by the job's final state
+//	GET    /jobs/{id}/result  final summary; ?format=json (default),
+//	                          csv, or text
+//	DELETE /jobs/{id}         cancel (queued cancels at once, running at
+//	                          the fleet's next between-jobs check)
+//	GET    /healthz           liveness + queue/cache gauges
+//
+// Result bytes are rendered once per fingerprint by the jobs layer, so a
+// cache-hit response is byte-identical to the cold run that populated it.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// pollInterval paces the stream endpoint's progress checks; tests shrink
+// it. Watchers also wake immediately on job completion.
+var pollInterval = 150 * time.Millisecond
+
+// Server routes HTTP requests to a jobs.Manager.
+type Server struct {
+	manager *jobs.Manager
+	mux     *http.ServeMux
+}
+
+// New builds the HTTP handler over a running manager.
+func New(m *jobs.Manager) *Server {
+	s := &Server{manager: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("POST /jobs", s.submit)
+	s.mux.HandleFunc("GET /jobs", s.list)
+	s.mux.HandleFunc("GET /jobs/{id}", s.get)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.stream)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"jobs":        s.manager.Len(),
+		"queue_depth": s.manager.QueueDepth(),
+		"cache_len":   s.manager.CacheLen(),
+	})
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		return
+	}
+	job, err := s.manager.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	st := job.Status()
+	code := http.StatusAccepted
+	if st.CacheHit {
+		code = http.StatusOK // already complete, served from cache
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.List())
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.manager.Cancel(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	st := job.Status()
+	switch st.State {
+	case jobs.StateDone:
+	case jobs.StateFailed:
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("job failed: %s", st.Error))
+		return
+	case jobs.StateCanceled:
+		httpError(w, http.StatusGone, fmt.Errorf("job canceled"))
+		return
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; poll or stream until done", st.ID, st.State))
+		return
+	}
+	res := job.Result()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(res.JSON)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		w.Write(res.CSV)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.Text)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json, csv, text)", format))
+	}
+}
+
+// StreamEvent is one NDJSON line of the stream endpoint: the job's state
+// and progress, plus compact per-scheme partial aggregates once the first
+// shard lands. The final line of a stream carries a terminal state.
+type StreamEvent struct {
+	ID       string                  `json:"id"`
+	State    jobs.State              `json:"state"`
+	Progress jobs.Progress           `json:"progress"`
+	Partial  map[string]PartialStats `json:"partial,omitempty"`
+	Error    string                  `json:"error,omitempty"`
+}
+
+// PartialStats summarizes one scheme's merged partial aggregate.
+type PartialStats struct {
+	Jobs           int64   `json:"jobs"`
+	EnergyMeanJ    float64 `json:"energy_mean_j"`
+	SavingsPctMean float64 `json:"savings_pct_mean"`
+}
+
+func eventFor(job *jobs.Job) StreamEvent {
+	st := job.Status()
+	ev := StreamEvent{ID: st.ID, State: st.State, Progress: st.Progress, Error: st.Error}
+	if partial := job.Partial(); partial != nil {
+		ev.Partial = make(map[string]PartialStats, len(partial.Schemes))
+		for _, name := range partial.SchemeNames() {
+			a := partial.Schemes[name]
+			ev.Partial[name] = PartialStats{
+				Jobs:           a.Energy.N,
+				EnergyMeanJ:    a.Energy.Mean,
+				SavingsPctMean: a.SavingsPct.Mean,
+			}
+		}
+	}
+	return ev
+}
+
+// stream writes an NDJSON event per observed progress change until the job
+// terminates (its final event closes the stream) or the client goes away.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev StreamEvent) {
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	last := eventFor(job)
+	emit(last)
+	if last.State.Terminal() {
+		return
+	}
+	ticker := time.NewTicker(pollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			emit(eventFor(job))
+			return
+		case <-ticker.C:
+			ev := eventFor(job)
+			if ev.State != last.State || ev.Progress != last.Progress {
+				emit(ev)
+				last = ev
+			}
+			if ev.State.Terminal() {
+				return
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# check_pkgdoc.sh asserts every internal/* package carries a proper godoc
+# package comment: some .go file in the package (conventionally doc.go or
+# the lead file) must begin a comment with "// Package <name> ". Run from
+# the repository root; exits non-zero listing offenders.
+set -eu
+
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -l "^// Package $pkg " "$dir"*.go >/dev/null 2>&1; then
+        echo "missing package comment: $dir (want '// Package $pkg ...')" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "godoc audit failed: add the package comment (doc.go) to the packages above" >&2
+    exit 1
+fi
+echo "package comments: all internal packages documented"
