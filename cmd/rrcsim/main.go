@@ -6,20 +6,31 @@
 //	tracegen -app Email -o email.trc
 //	rrcsim -trace email.trc -carrier "Verizon 3G" -policy makeidle -active learn
 //	rrcsim -trace email.trc -policy all        # compare every scheme
+//	rrcsim -trace month.rrcstream -stream      # O(1)-memory streamed replay
 //	rrcsim -users 1000 -policy makeidle -parallel 0   # synthetic fleet replay
 //
 // Policies: statusquo, 4.5s, 95iat, oracle, makeidle, all.
 // Active (batching): none, learn, fix.
 //
+// With -stream the trace is pulled through the replay engine packet by
+// packet: rrcstream files — and pcap captures when -device-ip names the
+// phone — replay in memory independent of trace length; other formats
+// fall back to a single materializing decode. Trace-fitted policies
+// (95iat, active=fix) need the whole trace and refuse -stream.
+//
 // With -users N (no -trace) rrcsim replays an N-user synthetic diurnal
 // cohort on the sharded fleet runtime and prints streaming aggregates;
-// -parallel bounds the worker count (results are identical for any value)
-// and -shards fixes the aggregate partitioning.
+// per-user traffic is streamed from the seeded generators, so memory is
+// independent of -duration; -parallel bounds the worker count (results
+// are identical for any value) and -shards fixes the aggregate
+// partitioning.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
 	"time"
 
@@ -40,6 +51,8 @@ func main() {
 		polName   = flag.String("policy", "makeidle", "statusquo | 4.5s | 95iat | oracle | makeidle | all")
 		actName   = flag.String("active", "none", "none | learn | fix (MakeActive batching)")
 		burstGap  = flag.Duration("burstgap", time.Second, "session segmentation gap")
+		stream    = flag.Bool("stream", false, "pull the trace through the engine packet-by-packet (O(1) memory for rrcstream files, and for pcap with -device-ip)")
+		deviceIP  = flag.String("device-ip", "", "with -stream on a pcap capture: the device's IP address, enabling O(1)-memory pcap decode (otherwise the capture is materialized)")
 		users     = flag.Int("users", 0, "fleet mode: replay this many synthetic diurnal users instead of -trace")
 		duration  = flag.Duration("duration", 4*time.Hour, "fleet mode: per-user trace length")
 		seed      = flag.Int64("seed", 1, "fleet mode: cohort seed")
@@ -68,6 +81,14 @@ func main() {
 	if *tracePath == "" {
 		fatal(fmt.Errorf("-trace is required (or -users N for fleet mode)"))
 	}
+
+	if *stream {
+		if err := runStreamed(*tracePath, *deviceIP, prof, *polName, *actName, *burstGap, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	tr, err := readTrace(*tracePath)
 	if err != nil {
 		fatal(err)
@@ -100,8 +121,9 @@ func main() {
 	printResult(sq, res)
 }
 
-// readTrace auto-detects the trace format: the binary container, a pcap
-// capture (e.g. straight from tcpdump), or the line-oriented text form.
+// readTrace auto-detects the trace format: the binary container, the
+// framed streaming format, a pcap capture (e.g. straight from tcpdump), or
+// the line-oriented text form.
 func readTrace(path string) (trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -114,6 +136,16 @@ func readTrace(path string) (trace.Trace, error) {
 	if _, err := f.Seek(0, 0); err != nil {
 		return nil, err
 	}
+	if tr, err := trace.ReadStream(f); err == nil {
+		return tr, nil
+	} else if !errors.Is(err, trace.ErrNotStream) {
+		// The magic matched but the frames are bad: surface the real
+		// corruption diagnostic instead of a misleading text-parse error.
+		return nil, err
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
 	if tr, err := trace.ReadPcap(f, nil); err == nil {
 		return tr, nil
 	}
@@ -121,6 +153,121 @@ func readTrace(path string) (trace.Trace, error) {
 		return nil, err
 	}
 	return trace.ReadText(f)
+}
+
+// runStreamed replays the trace file by pulling packets through the
+// engine's bounded lookahead: first the status-quo baseline, then the
+// chosen policy pair, each over a fresh source. rrcstream files — and
+// pcap captures when deviceIP names the phone — decode packet-by-packet
+// in O(1) memory; other formats are decoded once (they need the whole
+// file to sort or resolve directions) and replayed from the slice.
+// Results are byte-identical to the materialized path on the same file.
+func runStreamed(path, deviceIP string, prof power.Profile, polName, actName string, burstGap time.Duration, opts *sim.Options) error {
+	if polName == "all" {
+		return fmt.Errorf("-stream replays one policy pair; pick a policy")
+	}
+	if fleet.TraceFitted(polName) {
+		return fmt.Errorf("policy %q is fitted to the whole trace and cannot stream; drop -stream", polName)
+	}
+	if fleet.ActiveTraceFitted(actName) {
+		return fmt.Errorf("active policy %q is fitted to the whole trace and cannot stream; drop -stream", actName)
+	}
+	var pcapOpts *trace.PcapOptions
+	if deviceIP != "" {
+		addr, err := netip.ParseAddr(deviceIP)
+		if err != nil {
+			return fmt.Errorf("bad -device-ip: %w", err)
+		}
+		pcapOpts = &trace.PcapOptions{DeviceIP: addr}
+	}
+
+	// Probe the format once; the fallback materializes once, not per replay.
+	open, err := probeStreamFormat(path, pcapOpts)
+	if err != nil {
+		return err
+	}
+	replay := func(demote policy.DemotePolicy, active policy.ActivePolicy) (*sim.Result, error) {
+		src, closeSrc, err := open()
+		if err != nil {
+			return nil, err
+		}
+		defer closeSrc()
+		return sim.RunSource(src, prof, demote, active, opts)
+	}
+	sq, err := replay(policy.StatusQuo{}, nil)
+	if err != nil {
+		return err
+	}
+	demote, err := fleet.NamedDemote(polName, nil, prof)
+	if err != nil {
+		return err
+	}
+	active, err := fleet.NamedActive(actName, nil, prof, burstGap)
+	if err != nil {
+		return err
+	}
+	res, err := replay(demote, active)
+	if err != nil {
+		return err
+	}
+	printResult(sq, res)
+	return nil
+}
+
+// probeStreamFormat decides how -stream will read the file and returns a
+// per-replay source opener: an rrcstream decoder, a streaming pcap
+// decoder (when pcapOpts carries the device address), or — for formats
+// that cannot stream — a slice source over one up-front decode.
+func probeStreamFormat(path string, pcapOpts *trace.PcapOptions) (func() (trace.Source, func() error, error), error) {
+	probe, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	_, serr := trace.NewStreamReader(probe)
+	probe.Close()
+	if serr == nil {
+		return func() (trace.Source, func() error, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			sr, err := trace.NewStreamReader(f)
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			return sr, f.Close, nil
+		}, nil
+	}
+	if pcapOpts != nil {
+		probe, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		_, perr := trace.NewPcapSource(probe, pcapOpts)
+		probe.Close()
+		if perr == nil {
+			return func() (trace.Source, func() error, error) {
+				f, err := os.Open(path)
+				if err != nil {
+					return nil, nil, err
+				}
+				ps, err := trace.NewPcapSource(f, pcapOpts)
+				if err != nil {
+					f.Close()
+					return nil, nil, err
+				}
+				return ps, f.Close, nil
+			}, nil
+		}
+	}
+	tr, err := readTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	return func() (trace.Source, func() error, error) {
+		return tr.Source(), func() error { return nil }, nil
+	}, nil
 }
 
 func makeDemote(name string, tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
@@ -191,9 +338,9 @@ func runFleet(prof power.Profile, users int, seed int64, duration time.Duration,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fleet: %d users x %d schemes on %s (%s traces) in %s\n",
+	fmt.Printf("fleet: %d users x %d schemes on %s (%s traces, streamed) in %s\n",
 		users, len(schemes), prof.Name, duration, time.Since(start).Round(time.Millisecond))
-	fmt.Print(sum.String())
+	fmt.Print(report.SummaryTable(sum).String())
 	return nil
 }
 

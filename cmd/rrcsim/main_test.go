@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -49,6 +50,44 @@ func TestReadTraceAllFormats(t *testing.T) {
 func TestReadTraceMissing(t *testing.T) {
 	if _, err := readTrace("/nonexistent/file"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestReadTraceTinyTextFile: a text trace shorter than the 8-byte stream
+// magic must still parse (the stream probe reports not-a-stream, not a
+// hard error).
+func TestReadTraceTinyTextFile(t *testing.T) {
+	path := writeTempTrace(t, func(f *os.File) error {
+		_, err := f.WriteString("0 in 5\n")
+		return err
+	})
+	tr, err := readTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 1 || tr[0].Size != 5 {
+		t.Fatalf("tiny trace parsed as %+v", tr)
+	}
+}
+
+// TestReadTraceCorruptStream: a truncated rrcstream file must surface the
+// stream corruption diagnostic, not fall through to a text-parse error.
+func TestReadTraceCorruptStream(t *testing.T) {
+	full := writeTempTrace(t, func(f *os.File) error {
+		return trace.WriteStream(f, workload.Generate(workload.Email(), 2, time.Hour))
+	})
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := writeTempTrace(t, func(f *os.File) error {
+		_, err := f.Write(data[:len(data)-1])
+		return err
+	})
+	if _, err := readTrace(trunc); err == nil {
+		t.Fatal("truncated stream accepted")
+	} else if !strings.Contains(err.Error(), "stream frame") {
+		t.Fatalf("got %v, want a stream-frame diagnostic", err)
 	}
 }
 

@@ -5,16 +5,21 @@
 //
 //	tracegen -app Email -seed 1 -duration 2h -o email.trc
 //	tracegen -user user3 -cohort 3g -seed 1 -duration 24h -format bin -o user3.trc
+//	tracegen -user user3 -diurnal -duration 720h -format stream -o user3.rrcstream
 //	tracegen -list
 //
 // The text format is one "<seconds> <in|out> <bytes>" line per packet; the
-// binary format is the compact rrcbin container. Both are read back by
+// binary format is the compact rrcbin container; the stream format is the
+// framed rrcstream codec, emitted packet-by-packet straight from the
+// generator — memory stays O(1) no matter how long the trace, so month-
+// scale captures are limited by disk, not RAM. All are read back by
 // cmd/rrcsim.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -30,7 +35,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed")
 		duration = flag.Duration("duration", 2*time.Hour, "trace duration")
 		diurnal  = flag.Bool("diurnal", false, "apply a day/night activity mask (for multi-day traces)")
-		format   = flag.String("format", "text", "output format: text, bin or pcap")
+		format   = flag.String("format", "text", "output format: text, bin, pcap or stream")
 		out      = flag.String("o", "-", "output file (- for stdout)")
 		list     = flag.Bool("list", false, "list available apps and users")
 	)
@@ -52,7 +57,7 @@ func main() {
 		return
 	}
 
-	tr, err := generate(*app, *user, *cohort, *seed, *duration, *diurnal)
+	src, err := sourceFor(*app, *user, *cohort, *seed, *duration, *diurnal)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,7 +76,34 @@ func main() {
 		w = f
 	}
 
-	switch *format {
+	n, span, err := write(w, *format, src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d packets spanning %v\n", n, span)
+}
+
+// write renders the source in the chosen format. The stream format pipes
+// packets straight from the generator in O(1) memory; the slice formats
+// materialize first (their encodings need the whole trace).
+func write(w io.Writer, format string, src trace.Source) (n int, span time.Duration, err error) {
+	if format == "stream" {
+		sw, err := trace.NewStreamWriter(w)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, span, err = trace.CopySource(sw, src)
+		if err != nil {
+			return n, span, err
+		}
+		return n, span, sw.Flush()
+	}
+
+	tr, err := trace.Collect(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch format {
 	case "text":
 		err = trace.WriteText(w, tr)
 	case "bin":
@@ -79,15 +111,13 @@ func main() {
 	case "pcap":
 		err = trace.WritePcap(w, tr)
 	default:
-		err = fmt.Errorf("unknown format %q", *format)
+		err = fmt.Errorf("unknown format %q", format)
 	}
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "wrote %d packets spanning %v\n", len(tr), tr.Duration())
+	return len(tr), tr.Duration(), err
 }
 
-func generate(app, user, cohort string, seed int64, d time.Duration, diurnal bool) (trace.Trace, error) {
+// sourceFor resolves the generator selection to a lazy packet source.
+func sourceFor(app, user, cohort string, seed int64, d time.Duration, diurnal bool) (trace.Source, error) {
 	switch {
 	case app != "" && user != "":
 		return nil, fmt.Errorf("specify -app or -user, not both")
@@ -99,7 +129,7 @@ func generate(app, user, cohort string, seed int64, d time.Duration, diurnal boo
 		if diurnal {
 			m = workload.Diurnal{Model: m, WakeHour: 8, SleepHour: 23, NightFraction: 0.15, JitterMinutes: 45}
 		}
-		return workload.Generate(m, seed, d), nil
+		return workload.Stream(m, seed, d), nil
 	case user != "":
 		var users []workload.User
 		switch cohort {
@@ -117,10 +147,20 @@ func generate(app, user, cohort string, seed int64, d time.Duration, diurnal boo
 		if diurnal {
 			u = workload.DayUser(u)
 		}
-		return u.Generate(seed, d), nil
+		return u.Stream(seed, d), nil
 	default:
 		return nil, fmt.Errorf("specify -app or -user (try -list)")
 	}
+}
+
+// generate materializes sourceFor's stream (kept for callers and tests
+// that want the slice form).
+func generate(app, user, cohort string, seed int64, d time.Duration, diurnal bool) (trace.Trace, error) {
+	src, err := sourceFor(app, user, cohort, seed, d, diurnal)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(src)
 }
 
 func fatal(err error) {

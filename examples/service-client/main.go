@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/jobs"
+	"repro/internal/report"
 	"repro/internal/server"
 )
 
@@ -53,7 +54,7 @@ func main() {
 
 	// 3. Fetch the final summary as JSON (and CSV, for plotting tools).
 	coldJSON := fetch(url + "/jobs/" + st.ID + "/result")
-	var stats jobs.SummaryStats
+	var stats report.SummaryStats
 	if err := json.Unmarshal(coldJSON, &stats); err != nil {
 		log.Fatal(err)
 	}

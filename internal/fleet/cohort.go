@@ -12,11 +12,15 @@ import (
 
 // Scheme couples a label with the policy factories that realize it. The
 // factories receive the job's trace and profile so trace-fitted baselines
-// (95% IAT, MakeActive-Fix) can be built inside the worker.
+// (95% IAT, MakeActive-Fix) can be built inside the worker; FitTrace marks
+// schemes that actually need that trace, forcing streaming jobs to
+// materialize (see Job.FitTrace). Schemes whose policies learn online
+// leave it unset and replay in O(1) memory.
 type Scheme struct {
-	Name   string
-	Demote func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error)
-	Active func(tr trace.Trace, prof power.Profile) policy.ActivePolicy
+	Name     string
+	Demote   func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error)
+	Active   func(tr trace.Trace, prof power.Profile) policy.ActivePolicy
+	FitTrace bool
 }
 
 // Cohort describes a synthetic multi-user population to fan out.
@@ -37,9 +41,11 @@ type Cohort struct {
 }
 
 // Jobs expands the cohort into one job per (user, scheme) against the
-// profile. Jobs carry generators, not traces: each worker builds a user's
-// trace from its seed on demand, replays it once per scheme, and drops it.
-// Baselines are enabled so summaries get relative metrics.
+// profile. Jobs carry source constructors, not traces: each worker streams
+// its user's packets from the seed on demand, replays them once per
+// scheme, and never holds the trace — per-worker memory is independent of
+// c.Duration (except under FitTrace schemes, which materialize). Baselines
+// are enabled so summaries get relative metrics.
 func (c Cohort) Jobs(prof power.Profile, schemes []Scheme) []Job {
 	mixes := workload.Verizon3GUsers()
 	jobs := make([]Job, 0, c.Users*len(schemes))
@@ -48,17 +54,18 @@ func (c Cohort) Jobs(prof power.Profile, schemes []Scheme) []Job {
 		if c.Diurnal {
 			u = workload.DayUser(u)
 		}
-		gen := func(u workload.User) func(int64) trace.Trace {
-			return func(seed int64) trace.Trace { return u.Generate(seed, c.Duration) }
+		src := func(u workload.User) func(int64) trace.Source {
+			return func(seed int64) trace.Source { return u.Stream(seed, c.Duration) }
 		}(u)
 		for _, s := range schemes {
 			jobs = append(jobs, Job{
 				Seed:     UserSeed(c.Seed, i),
-				Gen:      gen,
+				Source:   src,
 				Profile:  prof,
 				Scheme:   s.Name,
 				Demote:   s.Demote,
 				Active:   s.Active,
+				FitTrace: s.FitTrace,
 				Opts:     c.Opts,
 				Baseline: true,
 			})

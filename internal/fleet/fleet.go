@@ -78,28 +78,45 @@ func (o Options) shards(jobs int) int {
 	return s
 }
 
-// Job is one replay: a trace (explicit, or generated in-worker from the
-// seed), a carrier profile, and the policy pair to replay it under.
+// Job is one replay: a packet source (streamed from a constructor,
+// generated in-worker from the seed, or an explicit trace), a carrier
+// profile, and the policy pair to replay it under.
 type Job struct {
-	// Seed is passed to Gen; it also identifies the job in reports. Seeds
-	// are the caller's contract for determinism: same seed, same trace.
+	// Seed is passed to Source/Gen; it also identifies the job in reports.
+	// Seeds are the caller's contract for determinism: same seed, same
+	// packets.
 	Seed int64
-	// Trace is the packet trace to replay. Leave nil and set Gen to build
-	// the trace inside the worker (preferred at fleet scale: the trace
-	// lives only for the duration of the job).
+	// Trace is a materialized packet trace to replay. Prefer Source at
+	// fleet scale.
 	Trace trace.Trace
-	// Gen builds the job's trace from Seed. Required when Trace is nil.
+	// Gen builds the job's trace from Seed inside the worker (the trace
+	// lives only for the duration of the job).
 	Gen func(seed int64) trace.Trace
+	// Source constructs a streaming packet source from Seed. This is the
+	// preferred form at fleet scale: the worker pulls packets on demand,
+	// so per-worker memory is independent of trace duration. The
+	// constructor is invoked once per replay (twice with Baseline set), so
+	// it must be deterministic in Seed. At least one of Trace, Gen or
+	// Source must be set; when several are, Trace wins over Gen, which
+	// wins over Source (a materialized form always takes precedence).
+	Source func(seed int64) trace.Source
 	// Profile is the carrier power profile to replay against.
 	Profile power.Profile
 	// Scheme labels the policy pair in aggregates (e.g. "MakeIdle").
 	Scheme string
 	// Demote constructs the demote policy for this job. Called once per
 	// job with the job's trace, so trace-fitted baselines (95% IAT) work;
-	// must return a fresh policy (jobs share nothing).
+	// must return a fresh policy (jobs share nothing). Streaming jobs
+	// call it with a nil trace unless FitTrace is set.
 	Demote func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error)
 	// Active constructs the batching policy; nil disables batching.
 	Active func(tr trace.Trace, prof power.Profile) policy.ActivePolicy
+	// FitTrace marks policy factories that must see the materialized
+	// trace (95% IAT quantile fitting, MakeActive-Fix). A Source job with
+	// FitTrace set is collected into a slice inside the worker — correct,
+	// but O(trace) in memory, so fleet-scale cohorts should prefer
+	// policies that learn online.
+	FitTrace bool
 	// Opts are the simulation options for both the run and its baseline.
 	Opts *sim.Options
 	// Baseline also replays the trace under policy.StatusQuo so the fold
@@ -145,8 +162,8 @@ func Run[A any](jobs []Job, opts Options, acc Accumulator[A]) (A, error) {
 func runHooked[A any](jobs []Job, opts Options, acc Accumulator[A], hook func(shard int, partial A, p Progress)) (A, error) {
 	var zero A
 	for i := range jobs {
-		if jobs[i].Trace == nil && jobs[i].Gen == nil {
-			return zero, fmt.Errorf("fleet: job %d has neither Trace nor Gen", i)
+		if jobs[i].Trace == nil && jobs[i].Gen == nil && jobs[i].Source == nil {
+			return zero, fmt.Errorf("fleet: job %d has no Trace, Gen or Source", i)
 		}
 		if jobs[i].Demote == nil {
 			return zero, fmt.Errorf("fleet: job %d has no Demote factory", i)
@@ -324,12 +341,23 @@ func runShard[A any](jobs []Job, s, nshards int, engine *sim.Engine, acc Accumul
 	return a, nil
 }
 
-// runJob builds the job's trace and replays it (plus its baseline) on the
-// worker's engine.
+// runJob replays the job (plus its baseline) on the worker's engine:
+// streaming straight from the source constructor when it can, falling back
+// to a materialized trace for explicit traces, Gen jobs, and trace-fitted
+// policies.
 func runJob(job *Job, index int, engine *sim.Engine) (Outcome, error) {
+	if job.Source != nil && job.Trace == nil && job.Gen == nil && !job.FitTrace {
+		return runJobStreaming(job, index, engine)
+	}
 	tr := job.Trace
-	if tr == nil {
+	if tr == nil && job.Gen != nil {
 		tr = job.Gen(job.Seed)
+	}
+	if tr == nil {
+		var err error
+		if tr, err = trace.Collect(job.Source(job.Seed)); err != nil {
+			return Outcome{Index: index, Job: job}, fmt.Errorf("collecting source: %w", err)
+		}
 	}
 	out := Outcome{Index: index, Job: job}
 	if job.Baseline {
@@ -348,6 +376,35 @@ func runJob(job *Job, index int, engine *sim.Engine) (Outcome, error) {
 		active = job.Active(tr, job.Profile)
 	}
 	res, err := engine.Run(tr, job.Profile, demote, active, job.Opts)
+	if err != nil {
+		return out, err
+	}
+	out.Result = res
+	return out, nil
+}
+
+// runJobStreaming replays a Source job without materializing: each replay
+// pulls a fresh source from the constructor, so worker memory stays
+// bounded by burst structure regardless of trace duration. Policy
+// factories receive a nil trace (FitTrace jobs never reach this path).
+func runJobStreaming(job *Job, index int, engine *sim.Engine) (Outcome, error) {
+	out := Outcome{Index: index, Job: job}
+	if job.Baseline {
+		base, err := engine.RunSource(job.Source(job.Seed), job.Profile, policy.StatusQuo{}, nil, job.Opts)
+		if err != nil {
+			return out, fmt.Errorf("baseline: %w", err)
+		}
+		out.Baseline = base
+	}
+	demote, err := job.Demote(nil, job.Profile)
+	if err != nil {
+		return out, err
+	}
+	var active policy.ActivePolicy
+	if job.Active != nil {
+		active = job.Active(nil, job.Profile)
+	}
+	res, err := engine.RunSource(job.Source(job.Seed), job.Profile, demote, active, job.Opts)
 	if err != nil {
 		return out, err
 	}

@@ -175,8 +175,11 @@ func TestEmptyJobList(t *testing.T) {
 // trace-fitted baseline, as cmd/rrcsim submits them.
 func TestExplicitTraceJobs(t *testing.T) {
 	base := Cohort{Users: 1, Seed: 3, Duration: 15 * time.Minute}
-	gen := base.Jobs(power.Verizon3G, []Scheme{MakeIdleScheme()})[0].Gen
-	fixed := gen(base.Seed)
+	src := base.Jobs(power.Verizon3G, []Scheme{MakeIdleScheme()})[0].Source
+	fixed, err := trace.Collect(src(base.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
 	jobs := []Job{{
 		Seed:    1,
 		Trace:   fixed,

@@ -24,6 +24,15 @@ const (
 	ActiveFix   = "fix"
 )
 
+// TraceFitted reports whether the named demote policy must be fitted to
+// the materialized trace before replay (so streaming jobs have to collect
+// their source first). Unknown names report false; NamedDemote is the
+// authority on name validity.
+func TraceFitted(polName string) bool { return polName == Policy95IAT }
+
+// ActiveTraceFitted is TraceFitted for batching-policy names.
+func ActiveTraceFitted(actName string) bool { return actName == ActiveFix }
+
 // NamedDemote maps a CLI/service policy name to a demote policy for a
 // concrete trace and profile. Trace-fitted policies (95iat) accept a nil
 // trace for eager name validation but need the real one to replay.
@@ -78,6 +87,7 @@ func NamedScheme(polName, actName string, burstGap time.Duration) (Scheme, error
 		Demote: func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
 			return NamedDemote(polName, tr, prof)
 		},
+		FitTrace: TraceFitted(polName) || ActiveTraceFitted(actName),
 	}
 	if actName != ActiveNone {
 		s.Active = func(tr trace.Trace, prof power.Profile) policy.ActivePolicy {

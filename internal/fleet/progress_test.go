@@ -93,15 +93,16 @@ func TestRunSummaryWithProgressMatchesPlainRun(t *testing.T) {
 }
 
 // TestCancelMidShard closes the cancel channel while a shard is mid-flight
-// (a job's Gen blocks until cancellation is requested) and expects
+// (a job's Source blocks until cancellation is requested) and expects
 // ErrCanceled: the in-flight job finishes, the next one never starts.
 func TestCancelMidShard(t *testing.T) {
 	jobs := testJobs(t, 4)
 	cancel := make(chan struct{})
 	entered := make(chan struct{})
-	inner := jobs[1].Gen
-	jobs[1].Gen = func(seed int64) trace.Trace {
-		close(entered)
+	var once sync.Once
+	inner := jobs[1].Source
+	jobs[1].Source = func(seed int64) trace.Source {
+		once.Do(func() { close(entered) })
 		<-cancel
 		return inner(seed)
 	}
@@ -120,9 +121,9 @@ func TestCancelMidShard(t *testing.T) {
 func TestCancelBeforeStart(t *testing.T) {
 	jobs := testJobs(t, 4)
 	ran := false
-	jobs[0].Gen = func(seed int64) trace.Trace {
+	jobs[0].Source = func(seed int64) trace.Source {
 		ran = true
-		return testCohort(1).Jobs(power.Verizon3G, []Scheme{MakeIdleScheme()})[0].Gen(seed)
+		return testCohort(1).Jobs(power.Verizon3G, []Scheme{MakeIdleScheme()})[0].Source(seed)
 	}
 	cancel := make(chan struct{})
 	close(cancel)

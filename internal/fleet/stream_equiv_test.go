@@ -1,0 +1,122 @@
+package fleet_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/trace"
+
+	"repro/internal/fleet"
+)
+
+// summaryJSON renders a summary the way the HTTP service does, so
+// equality here is the service-level byte-identity guarantee.
+func summaryJSON(t *testing.T, s *fleet.Summary) []byte {
+	t.Helper()
+	b, err := report.JSON(report.SummaryStatsOf(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// materialize converts Source jobs into Gen jobs (the pre-streaming form)
+// without changing anything else.
+func materialize(jobs []fleet.Job) []fleet.Job {
+	out := make([]fleet.Job, len(jobs))
+	for i, j := range jobs {
+		src := j.Source
+		j.Source = nil
+		j.Gen = func(seed int64) trace.Trace {
+			tr, err := trace.Collect(src(seed))
+			if err != nil {
+				panic(err)
+			}
+			return tr
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// TestStreamedCohortMatchesMaterialized is the fleet-level determinism
+// property: the same cohort replayed from source constructors (streaming,
+// O(1) per worker) and from materialized traces produces byte-identical
+// rendered summaries at every worker count.
+func TestStreamedCohortMatchesMaterialized(t *testing.T) {
+	cohort := fleet.Cohort{Users: 10, Seed: 5, Duration: 45 * time.Minute, Diurnal: true}
+	schemes := []fleet.Scheme{fleet.MakeIdleScheme(), fleet.CombinedScheme()}
+	streamed := cohort.Jobs(power.Verizon3G, schemes)
+	slices := materialize(cohort.Jobs(power.Verizon3G, schemes))
+
+	var want []byte
+	for _, workers := range []int{1, 3, 8} {
+		opts := fleet.Options{Workers: workers, Shards: 4}
+		s1, err := fleet.RunSummary(streamed, opts, fleet.SummaryConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := fleet.RunSummary(slices, opts, fleet.SummaryConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j1, j2 := summaryJSON(t, s1), summaryJSON(t, s2)
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("workers=%d: streamed and materialized summaries differ:\n%s\nvs\n%s", workers, j1, j2)
+		}
+		if want == nil {
+			want = j1
+		} else if !bytes.Equal(want, j1) {
+			t.Fatalf("workers=%d: summary differs from workers=1 run", workers)
+		}
+	}
+}
+
+// TestFitTraceSchemeStreams: a trace-fitted scheme (95% IAT) on Source
+// jobs materializes in-worker and still matches the Gen-backed run.
+func TestFitTraceSchemeStreams(t *testing.T) {
+	scheme, err := fleet.NamedScheme(fleet.Policy95IAT, fleet.ActiveNone, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scheme.FitTrace {
+		t.Fatal("95iat scheme not marked trace-fitted")
+	}
+	cohort := fleet.Cohort{Users: 4, Seed: 9, Duration: 30 * time.Minute}
+	streamed := cohort.Jobs(power.Verizon3G, []fleet.Scheme{scheme})
+	slices := materialize(cohort.Jobs(power.Verizon3G, []fleet.Scheme{scheme}))
+	s1, err := fleet.RunSummary(streamed, fleet.Options{Workers: 2, Shards: 2}, fleet.SummaryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fleet.RunSummary(slices, fleet.Options{Workers: 2, Shards: 2}, fleet.SummaryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(summaryJSON(t, s1), summaryJSON(t, s2)) {
+		t.Fatal("trace-fitted streamed run differs from materialized run")
+	}
+	if s1.Schemes[scheme.Name].Energy.N != 4 {
+		t.Fatalf("folded %d users, want 4", s1.Schemes[scheme.Name].Energy.N)
+	}
+}
+
+// TestOnlineSchemesNotMarkedFitted: the fleet-scale schemes stay
+// streaming-eligible.
+func TestOnlineSchemesNotMarkedFitted(t *testing.T) {
+	for _, name := range []string{fleet.PolicyStatusQuo, fleet.PolicyFourFive, fleet.PolicyOracle, fleet.PolicyMakeIdle} {
+		s, err := fleet.NamedScheme(name, fleet.ActiveLearn, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.FitTrace {
+			t.Errorf("%s+learn wrongly marked trace-fitted", name)
+		}
+	}
+	if s, _ := fleet.NamedScheme(fleet.PolicyMakeIdle, fleet.ActiveFix, time.Second); !s.FitTrace {
+		t.Error("active=fix not marked trace-fitted")
+	}
+}

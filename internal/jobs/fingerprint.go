@@ -137,19 +137,29 @@ func (s Spec) validate() error {
 	return nil
 }
 
-// TraceHash digests the trace-generator inputs: the cohort's users, seed,
-// per-user duration and diurnal flag fully determine every generated
-// per-user trace (workload mixes cycle deterministically), so this hash
-// stands in for hashing the traces themselves without materializing them.
-func (s Spec) TraceHash() string {
-	h := sha256.New()
-	fmt.Fprintf(h, "trace|users=%d|seed=%d|dur=%s|diurnal=%t",
+// SourceSpec is the canonical description of the job's packet source: a
+// source kind plus every parameter that determines the packets it emits.
+// The fleet streams cohort traffic straight from source constructors, so
+// there is never a materialized trace to hash — instead the cache key
+// digests this spec, which identifies the packet streams exactly (same
+// kind, params and seed ⇒ same packets, by the workload determinism
+// contract).
+func (s Spec) SourceSpec() string {
+	s = s.withDefaults()
+	return fmt.Sprintf("kind=synthetic-cohort|users=%d|seed=%d|dur=%s|diurnal=%t",
 		s.Users, s.Seed, time.Duration(s.Duration), s.Diurnal != nil && *s.Diurnal)
+}
+
+// SourceHash digests the source spec; it stands in for hashing the traces
+// themselves, which streaming never materializes.
+func (s Spec) SourceHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s", s.SourceSpec())
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Fingerprint is the deterministic cache key of the normalized spec:
-// sha256 over (trace hash, profile, policy, seed, users, shards) plus the
+// sha256 over (source hash, profile, policy, seed, users, shards) plus the
 // remaining replay parameters (active policy, burst gap) that change the
 // output. Equal fingerprints imply byte-identical results, because the
 // computation is deterministic given the spec and the shard count is part
@@ -157,8 +167,8 @@ func (s Spec) TraceHash() string {
 func (s Spec) Fingerprint() string {
 	s = s.withDefaults()
 	h := sha256.New()
-	fmt.Fprintf(h, "v1|trace=%s|profile=%s|policy=%s|active=%s|burstgap=%s|seed=%d|users=%d|shards=%d",
-		s.TraceHash(), s.Profile, s.Policy, s.Active,
+	fmt.Fprintf(h, "v2|source=%s|profile=%s|policy=%s|active=%s|burstgap=%s|seed=%d|users=%d|shards=%d",
+		s.SourceHash(), s.Profile, s.Policy, s.Active,
 		time.Duration(s.BurstGap), s.Seed, s.Users, s.Shards)
 	return hex.EncodeToString(h.Sum(nil))
 }

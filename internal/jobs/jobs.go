@@ -2,9 +2,11 @@
 // the fleet runtime: a bounded queue of cohort replay jobs, per-job
 // lifecycle state (queued → running → done/failed/canceled), cooperative
 // cancellation that propagates into the fleet via its Cancel channel, and
-// a result cache keyed by the deterministic job fingerprint — (trace hash,
-// profile, policy, seed, users, shards) — so resubmitting an identical
-// spec is served from cache with byte-identical rendered output.
+// a result cache keyed by the deterministic job fingerprint — (source
+// spec hash, profile, policy, seed, users, shards), where the source spec
+// identifies the streamed packet source by kind + params + seed rather
+// than requiring a materialized trace to hash — so resubmitting an
+// identical spec is served from cache with byte-identical rendered output.
 //
 // Results are rendered (JSON/CSV/text) exactly once, when a job finishes;
 // cache hits share the rendered bytes. Because the fleet reduction is

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+// This file is the one serializable/tabular view of a fleet.Summary. The
+// HTTP service renders job results through it and the CLIs render fleet
+// runs through it, so the two surfaces cannot drift apart.
+
+// StreamStats is the serializable view of a metrics.Stream.
+type StreamStats struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Sum  float64 `json:"sum"`
+}
+
+// StreamStatsOf converts a metrics.Stream into its serializable view.
+func StreamStatsOf(s metrics.Stream) StreamStats {
+	return StreamStats{N: s.N, Mean: s.Mean, Std: s.Std(), Min: s.Min, Max: s.Max, Sum: s.Sum()}
+}
+
+// HistogramStats is the serializable view of a metrics.Histogram.
+type HistogramStats struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Count  int64   `json:"count"`
+	Counts []int64 `json:"counts"`
+}
+
+// HistogramStatsOf converts a metrics.Histogram into its serializable view.
+func HistogramStatsOf(h *metrics.Histogram) HistogramStats {
+	return HistogramStats{Lo: h.Lo, Hi: h.Hi, Count: h.Count(), Counts: h.Counts}
+}
+
+// SchemeStats aggregates one scheme over the whole cohort.
+type SchemeStats struct {
+	EnergyJ     StreamStats    `json:"energy_j"`
+	SavingsPct  StreamStats    `json:"savings_pct"`
+	SwitchRatio StreamStats    `json:"switch_ratio"`
+	Promotions  StreamStats    `json:"promotions"`
+	BurstDelayS StreamStats    `json:"burst_delay_s"`
+	DelayP50S   float64        `json:"delay_p50_s"`
+	DelayP95S   float64        `json:"delay_p95_s"`
+	EnergyHist  HistogramStats `json:"energy_hist"`
+	DelayHist   HistogramStats `json:"delay_hist"`
+	SignalHist  HistogramStats `json:"signal_hist"`
+}
+
+// SummaryStats is the serializable view of a fleet.Summary.
+type SummaryStats struct {
+	Jobs    int64                  `json:"jobs"`
+	Schemes map[string]SchemeStats `json:"schemes"`
+}
+
+// SummaryStatsOf converts a fleet summary into its serializable view.
+func SummaryStatsOf(s *fleet.Summary) SummaryStats {
+	out := SummaryStats{Jobs: s.Jobs, Schemes: make(map[string]SchemeStats, len(s.Schemes))}
+	for _, name := range s.SchemeNames() {
+		a := s.Schemes[name]
+		out.Schemes[name] = SchemeStats{
+			EnergyJ:     StreamStatsOf(a.Energy),
+			SavingsPct:  StreamStatsOf(a.SavingsPct),
+			SwitchRatio: StreamStatsOf(a.SwitchRatio),
+			Promotions:  StreamStatsOf(a.Promotions),
+			BurstDelayS: StreamStatsOf(a.BurstDelay),
+			DelayP50S:   a.DelayHist.Quantile(0.5),
+			DelayP95S:   a.DelayHist.Quantile(0.95),
+			EnergyHist:  HistogramStatsOf(a.EnergyHist),
+			DelayHist:   HistogramStatsOf(a.DelayHist),
+			SignalHist:  HistogramStatsOf(a.SignalHist),
+		}
+	}
+	return out
+}
+
+// SummaryTable renders the per-scheme aggregate as a report table, one row
+// per scheme in sorted label order.
+func SummaryTable(s *fleet.Summary) *Table {
+	t := NewTable("fleet summary",
+		"scheme", "users", "energy_mean_j", "energy_std_j", "savings_pct_mean",
+		"switch_ratio_mean", "promotions_mean", "delay_p50_s", "delay_p95_s")
+	for _, name := range s.SchemeNames() {
+		a := s.Schemes[name]
+		t.AddRowf(name, a.Energy.N, a.Energy.Mean, a.Energy.Std(),
+			a.SavingsPct.Mean, a.SwitchRatio.Mean, a.Promotions.Mean,
+			a.DelayHist.Quantile(0.5), a.DelayHist.Quantile(0.95))
+	}
+	return t
+}

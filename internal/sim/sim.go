@@ -27,6 +27,15 @@
 // Demote decisions are made lazily, at the first event that needs them,
 // which lets clairvoyant policies (the Oracle) receive the exact upcoming
 // gap via policy.GapLookahead without a second pass.
+//
+// # Streaming replay
+//
+// The engine pulls packets from a trace.Source through a bounded
+// burst-segmentation lookahead window (see burstWindow), so replay memory
+// is a function of burst structure and the active policy's horizon — never
+// of trace length. The slice API (Run) adapts the trace to a source and
+// uses the same path, which is what makes materialized and streamed
+// replays of identical packets byte-identical in every Result field.
 package sim
 
 import (
@@ -139,6 +148,16 @@ func Run(tr trace.Trace, prof power.Profile, demote policy.DemotePolicy, active 
 	return e.Run(tr, prof, demote, active, opts)
 }
 
+// RunSource is Run for a streaming packet source: the replay pulls packets
+// on demand through the engine's bounded burst lookahead, so memory is
+// independent of trace length. A slice-backed source and a streaming
+// source yielding the same packets produce byte-identical Results.
+func RunSource(src trace.Source, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) (*Result, error) {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	return e.RunSource(src, prof, demote, active, opts)
+}
+
 // Engine replays traces. An Engine is reusable: each Run resets its state
 // and recycles its internal scratch buffers, so a long-lived Engine replays
 // traces with near-zero steady-state allocation (only the Result and its
@@ -164,6 +183,8 @@ type Engine struct {
 	group    []trace.Burst
 	merged   trace.Trace
 	arrivals []time.Duration
+	window   burstWindow
+	slice    trace.SliceSource
 }
 
 // NewEngine returns a reusable replay engine.
@@ -174,26 +195,46 @@ func NewEngine() *Engine { return &Engine{} }
 // references to policies/profiles between runs.
 func (e *Engine) Reset() {
 	// Zero the burst scratch before truncating: its elements alias the
-	// last trace's packet slices, which would otherwise stay pinned in an
+	// window's recycled packet buffers and must not pin stale data in an
 	// idle pooled engine. merged/arrivals hold only value types.
 	for i := range e.group {
 		e.group[i] = trace.Burst{}
 	}
 	group, merged, arrivals := e.group[:0], e.merged[:0], e.arrivals[:0]
-	*e = Engine{group: group, merged: merged, arrivals: arrivals}
+	window := e.window
+	window.reset(nil, 0) // recycle burst buffers, drop the source reference
+	// The slice adapter survives Reset unrewound: RunSource resets the
+	// engine after wiring it up, so zeroing it here would drop the very
+	// trace Run is about to replay. Run clears it once the replay ends.
+	slice := e.slice
+	*e = Engine{group: group, merged: merged, arrivals: arrivals, window: window, slice: slice}
 }
 
-// Run replays one trace on this engine. Semantics are identical to the
-// package-level Run.
+// Run replays one materialized trace on this engine. Semantics are
+// identical to the package-level Run; internally the trace is replayed
+// through the same streaming path RunSource uses, so the two agree bit for
+// bit on identical packets.
 func (e *Engine) Run(tr trace.Trace, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) (*Result, error) {
+	e.slice.Reset(tr)
+	res, err := e.RunSource(&e.slice, prof, demote, active, opts)
+	e.slice.Reset(nil) // drop the trace reference until the next run
+	return res, err
+}
+
+// RunSource replays a streaming packet source on this engine. Semantics
+// are identical to the package-level RunSource. Invalid input (unsorted or
+// negative timestamps, bad directions, negative sizes) is rejected with
+// the same errors Trace.Validate reports, discovered at the offending
+// packet.
+func (e *Engine) RunSource(src trace.Source, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) (*Result, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
 	if demote == nil {
 		return nil, fmt.Errorf("sim: demote policy is nil")
 	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
+	if src == nil {
+		return nil, fmt.Errorf("sim: source is nil")
 	}
 	demote.Reset()
 	if active != nil {
@@ -204,9 +245,6 @@ func (e *Engine) Run(tr trace.Trace, prof power.Profile, demote policy.DemotePol
 	if active != nil {
 		res.Active = active.Name()
 	}
-	if len(tr) == 0 {
-		return res, nil
-	}
 
 	e.Reset()
 	e.prof = &prof
@@ -216,7 +254,11 @@ func (e *Engine) Run(tr trace.Trace, prof power.Profile, demote policy.DemotePol
 	e.res = res
 	e.tail = prof.Tail()
 	e.lookahead, _ = demote.(policy.GapLookahead)
-	e.run(tr.Bursts(opts.burstGap()))
+	e.window.reset(src, opts.burstGap())
+	if err := e.run(); err != nil {
+		e.Reset()
+		return nil, err
+	}
 
 	res.Packets = e.packets
 	res.Duration = e.lastT
@@ -269,41 +311,57 @@ func (e *Engine) horizon(chosen time.Duration) time.Duration {
 	return chosen
 }
 
-func (e *Engine) run(bursts []trace.Burst) {
-	i := 0
-	for i < len(bursts) {
-		b := bursts[i]
+// run drives the replay loop off the burst window: one burst at a time,
+// opening a batching episode whenever the active policy finds the radio
+// idle at a burst arrival.
+func (e *Engine) run() error {
+	for {
+		b, ok, err := e.window.burst(0)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
 
 		if e.active != nil {
 			// Radio idle at this arrival? Fix the pending decision using
 			// the burst arrival as the next-packet estimate.
 			e.ensureDecision(b.Start)
 			if !e.started || b.Start > e.idleAt() {
-				i = e.batch(bursts, i)
+				if err := e.batch(b); err != nil {
+					return err
+				}
 				continue
 			}
 		}
 
 		e.processPackets(b.Packets)
-		i++
+		e.window.drop(1)
 	}
 	e.finish()
+	return nil
 }
 
-// batch opens a batching window at bursts[i] and processes the batched
-// group; it returns the index of the first unconsumed burst.
-func (e *Engine) batch(bursts []trace.Burst, i int) int {
-	b := bursts[i]
+// batch opens a batching window at burst b (the window's first burst),
+// looks ahead through the window for the bursts inside the batching delay
+// and the learning horizon, and processes the batched group.
+func (e *Engine) batch(b trace.Burst) error {
 	d := e.active.Delay(b.Start)
 	if d < 0 {
 		d = 0
 	}
 	release := b.Start + d
 	group := append(e.group[:0], b)
-	j := i + 1
-	for j < len(bursts) && bursts[j].Start < release {
-		group = append(group, bursts[j])
-		j++
+	for {
+		nb, ok, err := e.window.burst(len(group))
+		if err != nil {
+			return err
+		}
+		if !ok || nb.Start >= release {
+			break
+		}
+		group = append(group, nb)
 	}
 	// Feed the learner all arrivals within its horizon, including those
 	// beyond the chosen window: the device observes traffic regardless,
@@ -311,8 +369,15 @@ func (e *Engine) batch(bursts []trace.Burst, i int) int {
 	// policy must not retain it past the ObserveEpisode call.
 	hor := e.horizon(d)
 	arrivals := e.arrivals[:0]
-	for k := i; k < len(bursts) && bursts[k].Start <= b.Start+hor; k++ {
-		arrivals = append(arrivals, bursts[k].Start-b.Start)
+	for k := 0; ; k++ {
+		nb, ok, err := e.window.burst(k)
+		if err != nil {
+			return err
+		}
+		if !ok || nb.Start > b.Start+hor {
+			break
+		}
+		arrivals = append(arrivals, nb.Start-b.Start)
 	}
 	e.arrivals = arrivals
 	e.active.ObserveEpisode(d, arrivals)
@@ -334,7 +399,8 @@ func (e *Engine) batch(bursts []trace.Burst, i int) int {
 	}
 	e.group, e.merged = group, merged
 	e.processPackets(merged)
-	return j
+	e.window.drop(len(group))
+	return nil
 }
 
 // processPackets feeds packets through the per-gap accounting. Packets may

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// burstWindow is the engine's bounded burst-segmentation lookahead buffer:
+// it pulls packets from a trace.Source one at a time, segments them into
+// bursts incrementally (a burst ends at the first inter-arrival beyond the
+// gap), and exposes a small window of upcoming bursts to the replay loop.
+//
+// The window is what bounds streaming replay memory. Without batching the
+// engine only ever holds the burst in flight; with MakeActive it holds the
+// bursts whose starts fall inside the current batching window plus the
+// active policy's learning horizon (MaxDelay), and one burst beyond — the
+// one whose first packet proved the lookahead bound was passed. Memory is
+// therefore O(packets per burst x bursts per batching horizon), a function
+// of traffic shape and policy bounds, never of trace length.
+//
+// Packets are validated as they are pulled (the same invariants
+// trace.Validate enforces on slices), so both replay paths reject exactly
+// the traces the slice API rejects.
+type burstWindow struct {
+	src trace.Source
+	gap time.Duration
+
+	peek    trace.Packet // first packet of the burst after the window
+	have    bool
+	srcDone bool
+
+	lastT time.Duration // stream-wide monotonicity check
+	idx   int           // packets pulled, for error positions
+
+	bursts []trace.Burst // window entries [head, len)
+	head   int
+	free   []trace.Trace // recycled packet buffers
+}
+
+// reset points the window at a new source, recycling every buffer.
+func (bw *burstWindow) reset(src trace.Source, gap time.Duration) {
+	for i := bw.head; i < len(bw.bursts); i++ {
+		bw.free = append(bw.free, bw.bursts[i].Packets[:0])
+		bw.bursts[i] = trace.Burst{}
+	}
+	for i := 0; i < bw.head; i++ {
+		bw.bursts[i] = trace.Burst{}
+	}
+	bw.src, bw.gap = src, gap
+	bw.bursts, bw.head = bw.bursts[:0], 0
+	bw.peek, bw.have, bw.srcDone = trace.Packet{}, false, false
+	bw.lastT, bw.idx = 0, 0
+}
+
+// pull reads and validates one packet from the source.
+func (bw *burstWindow) pull() (trace.Packet, bool, error) {
+	if bw.srcDone {
+		return trace.Packet{}, false, nil
+	}
+	p, ok, err := bw.src.Next()
+	if err != nil {
+		return trace.Packet{}, false, err
+	}
+	if !ok {
+		bw.srcDone = true
+		return trace.Packet{}, false, nil
+	}
+	if p.T < 0 {
+		return trace.Packet{}, false, fmt.Errorf("%w: packet %d at %v", trace.ErrNegativeTime, bw.idx, p.T)
+	}
+	if p.T < bw.lastT {
+		return trace.Packet{}, false, fmt.Errorf("%w: packet %d at %v after %v", trace.ErrUnsorted, bw.idx, p.T, bw.lastT)
+	}
+	if !p.Dir.Valid() {
+		return trace.Packet{}, false, fmt.Errorf("%w: packet %d", trace.ErrBadDirection, bw.idx)
+	}
+	if p.Size < 0 {
+		return trace.Packet{}, false, fmt.Errorf("%w: packet %d", trace.ErrNegativeSize, bw.idx)
+	}
+	bw.lastT = p.T
+	bw.idx++
+	return p, true, nil
+}
+
+// fill appends the next complete burst to the window; ok=false at end of
+// stream.
+func (bw *burstWindow) fill() (bool, error) {
+	var pkts trace.Trace
+	if n := len(bw.free); n > 0 {
+		pkts, bw.free = bw.free[n-1][:0], bw.free[:n-1]
+	}
+	var first trace.Packet
+	if bw.have {
+		first, bw.have = bw.peek, false
+	} else {
+		p, ok, err := bw.pull()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+		first = p
+	}
+	pkts = append(pkts, first)
+	last := first.T
+	for {
+		p, ok, err := bw.pull()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			break
+		}
+		if p.T-last > bw.gap {
+			bw.peek, bw.have = p, true
+			break
+		}
+		pkts = append(pkts, p)
+		last = p.T
+	}
+	bw.bursts = append(bw.bursts, trace.Burst{Start: pkts[0].T, End: last, Packets: pkts})
+	return true, nil
+}
+
+// burst returns the i-th unconsumed burst, loading lazily; ok=false when
+// the stream ends before burst i exists.
+func (bw *burstWindow) burst(i int) (trace.Burst, bool, error) {
+	for bw.head+i >= len(bw.bursts) {
+		ok, err := bw.fill()
+		if err != nil {
+			return trace.Burst{}, false, err
+		}
+		if !ok {
+			return trace.Burst{}, false, nil
+		}
+	}
+	return bw.bursts[bw.head+i], true, nil
+}
+
+// drop consumes the window's first n bursts, recycling their buffers.
+func (bw *burstWindow) drop(n int) {
+	for i := 0; i < n; i++ {
+		b := bw.bursts[bw.head]
+		bw.free = append(bw.free, b.Packets[:0])
+		bw.bursts[bw.head] = trace.Burst{}
+		bw.head++
+	}
+	if bw.head == len(bw.bursts) {
+		bw.bursts, bw.head = bw.bursts[:0], 0
+	} else if bw.head >= 64 && 2*bw.head >= len(bw.bursts) {
+		m := copy(bw.bursts, bw.bursts[bw.head:])
+		for i := m; i < len(bw.bursts); i++ {
+			bw.bursts[i] = trace.Burst{}
+		}
+		bw.bursts, bw.head = bw.bursts[:m], 0
+	}
+}

@@ -17,7 +17,7 @@ func corpusSeeds(t *testing.T) [][]byte {
 		{T: 0, Dir: Out, Size: 100},
 		{T: time.Second, Dir: In, Size: 1400},
 	}
-	var bin, pc, txt bytes.Buffer
+	var bin, pc, txt, strm bytes.Buffer
 	if err := WriteBinary(&bin, tr); err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,10 @@ func corpusSeeds(t *testing.T) [][]byte {
 	if err := WriteText(&txt, tr); err != nil {
 		t.Fatal(err)
 	}
-	return [][]byte{bin.Bytes(), pc.Bytes(), txt.Bytes()}
+	if err := WriteStream(&strm, tr); err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{bin.Bytes(), pc.Bytes(), txt.Bytes(), strm.Bytes()}
 }
 
 func mutate(r *rand.Rand, b []byte) []byte {
@@ -75,6 +78,50 @@ func TestReadersSurviveMutatedInputs(t *testing.T) {
 			if err := tr.Validate(); err != nil {
 				t.Fatalf("ReadText returned invalid trace: %v", err)
 			}
+		}
+		if tr, err := ReadStream(bytes.NewReader(data)); err == nil {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("ReadStream returned invalid trace: %v", err)
+			}
+		}
+	}
+}
+
+// TestStreamCodecRoundTripFuzz drives random valid traces through the
+// streaming codec: every decode must reproduce the packets exactly, and
+// re-encoding the decode must reproduce the bytes exactly.
+func TestStreamCodecRoundTripFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		n := r.Intn(120)
+		tr := make(Trace, n)
+		var ts time.Duration
+		for i := range tr {
+			ts += time.Duration(r.Int63n(int64(time.Minute)))
+			tr[i] = Packet{T: ts, Dir: Direction(r.Intn(2)), Size: r.Intn(1 << 20)}
+		}
+		var enc bytes.Buffer
+		if err := WriteStream(&enc, tr); err != nil {
+			t.Fatalf("round %d: encode: %v", round, err)
+		}
+		dec, err := ReadStream(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		if len(dec) != len(tr) {
+			t.Fatalf("round %d: %d packets decoded, want %d", round, len(dec), len(tr))
+		}
+		for i := range dec {
+			if dec[i] != tr[i] {
+				t.Fatalf("round %d: packet %d: %+v vs %+v", round, i, dec[i], tr[i])
+			}
+		}
+		var re bytes.Buffer
+		if err := WriteStream(&re, dec); err != nil {
+			t.Fatalf("round %d: re-encode: %v", round, err)
+		}
+		if !bytes.Equal(enc.Bytes(), re.Bytes()) {
+			t.Fatalf("round %d: re-encoding not byte-stable", round)
 		}
 	}
 }

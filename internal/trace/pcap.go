@@ -269,6 +269,109 @@ func inferDevice(each func(func(src, dst netip.Addr))) netip.Addr {
 	return best
 }
 
+// PcapSource is a streaming pcap decoder: it parses records one at a time
+// and yields packets in O(1) memory, never materializing the capture.
+//
+// Two things the materializing ReadPcap does are impossible in one
+// streaming pass and are therefore traded away:
+//
+//   - Device inference needs the whole capture, so PcapSource requires
+//     PcapOptions.DeviceIP (NewPcapSource errors without it).
+//   - Out-of-order captures cannot be re-sorted, so a timestamp regression
+//     is an error rather than silently reordered. tcpdump single-interface
+//     captures are in order; fall back to ReadPcap otherwise.
+type PcapSource struct {
+	br     *bufio.Reader
+	hdr    pcapHeader
+	device netip.Addr
+	keep   bool
+	based  bool
+	base   time.Duration
+	last   time.Duration
+	idx    int
+	body   []byte
+	err    error
+	done   bool
+}
+
+// NewPcapSource parses the global header and returns a streaming Source
+// over the capture's records. opts.DeviceIP is required (see PcapSource).
+func NewPcapSource(r io.Reader, opts *PcapOptions) (*PcapSource, error) {
+	if opts == nil || !opts.DeviceIP.IsValid() {
+		return nil, errors.New("trace: streaming pcap requires PcapOptions.DeviceIP (device inference needs the whole capture; use ReadPcap)")
+	}
+	br := bufio.NewReader(r)
+	hdr, err := readPcapHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	return &PcapSource{br: br, hdr: hdr, device: opts.DeviceIP, keep: opts.KeepUnparsed}, nil
+}
+
+// Next implements Source.
+func (ps *PcapSource) Next() (Packet, bool, error) {
+	for {
+		if ps.done || ps.err != nil {
+			return Packet{}, false, ps.err
+		}
+		var rec [16]byte
+		if _, err := io.ReadFull(ps.br, rec[:]); err != nil {
+			if err == io.EOF {
+				ps.done = true
+				return Packet{}, false, nil
+			}
+			return ps.fail(fmt.Errorf("trace: pcap record %d header: %w", ps.idx, err))
+		}
+		sec := ps.hdr.order.Uint32(rec[0:4])
+		frac := ps.hdr.order.Uint32(rec[4:8])
+		caplen := ps.hdr.order.Uint32(rec[8:12])
+		origlen := ps.hdr.order.Uint32(rec[12:16])
+		const maxFrame = 256 * 1024
+		if caplen > maxFrame {
+			return ps.fail(fmt.Errorf("trace: pcap record %d: caplen %d implausible", ps.idx, caplen))
+		}
+		if cap(ps.body) < int(caplen) {
+			ps.body = make([]byte, caplen)
+		}
+		body := ps.body[:caplen]
+		if _, err := io.ReadFull(ps.br, body); err != nil {
+			return ps.fail(fmt.Errorf("trace: pcap record %d body: %w", ps.idx, err))
+		}
+		ts := time.Duration(sec) * time.Second
+		if ps.hdr.nanos {
+			ts += time.Duration(frac)
+		} else {
+			ts += time.Duration(frac) * time.Microsecond
+		}
+		if !ps.based {
+			ps.base, ps.based = ts, true
+		}
+		if ts < ps.base+ps.last {
+			return ps.fail(fmt.Errorf("trace: pcap record %d out of order (%v after %v); streaming decode needs an in-order capture, use ReadPcap", ps.idx, ts-ps.base, ps.last))
+		}
+		ps.idx++
+		src, _, parsed := parseNetwork(ps.hdr.link, body)
+		if !parsed && !ps.keep {
+			continue
+		}
+		dir := In
+		if parsed && src == ps.device {
+			dir = Out
+		}
+		size := int(origlen)
+		if !parsed {
+			size = 0
+		}
+		ps.last = ts - ps.base
+		return Packet{T: ps.last, Dir: dir, Size: size}, true, nil
+	}
+}
+
+func (ps *PcapSource) fail(err error) (Packet, bool, error) {
+	ps.err = err
+	return Packet{}, false, err
+}
+
 // Synthetic endpoints used by WritePcap.
 var (
 	pcapDeviceIP = netip.AddrFrom4([4]byte{10, 0, 0, 1})

@@ -1,6 +1,6 @@
 // Package trace provides the packet-trace substrate used throughout the
-// library: packet records, whole traces, burst/session segmentation, and
-// summary statistics.
+// library: packet records, whole traces, pull-based streaming sources,
+// burst/session segmentation, and summary statistics.
 //
 // The algorithms in this repository (MakeIdle, MakeActive and the baselines
 // they are compared against) consume nothing but packet timestamps,

@@ -13,6 +13,10 @@ import (
 // keep ticking. Diurnal wraps any AppModel with an activity mask so the
 // generators above compose into realistic multi-day traces.
 
+// diurnalBurstGap segments the underlying traffic into the bursts the mask
+// keeps or drops whole (masking sessions, not individual packets).
+const diurnalBurstGap = time.Second
+
 // Diurnal masks an underlying model with a daily activity cycle: during
 // "awake" hours the model's full traffic passes; during "asleep" hours
 // only a configurable fraction of wake-ups survive (background syncs still
@@ -34,14 +38,20 @@ type Diurnal struct {
 // Name implements AppModel.
 func (d Diurnal) Name() string { return d.Model.Name() + "+diurnal" }
 
-// Generate implements AppModel: it generates the underlying traffic for
-// the full duration, then applies the day mask burst-by-burst (masking
-// whole bursts, not individual packets, so surviving sessions stay intact).
+// Generate implements AppModel by draining Stream.
 func (d Diurnal) Generate(r *rand.Rand, duration time.Duration) trace.Trace {
-	base := d.Model.Generate(r, duration)
-	if len(base) == 0 {
-		return base
-	}
+	return collect(d.Stream(r, duration))
+}
+
+// span is one day's awake window.
+type span struct{ from, to time.Duration }
+
+// Stream implements StreamModel: the day mask is applied burst-by-burst as
+// the underlying stream flows, buffering only the burst in flight. The
+// day-boundary jitters are drawn up front (one pair per simulated day);
+// the per-burst night-survival draws interleave with the base stream in
+// burst order.
+func (d Diurnal) Stream(r *rand.Rand, duration time.Duration) trace.Source {
 	wake, sleep := d.WakeHour, d.SleepHour
 	if wake < 0 {
 		wake = 0
@@ -51,11 +61,10 @@ func (d Diurnal) Generate(r *rand.Rand, duration time.Duration) trace.Trace {
 	}
 	if wake >= sleep {
 		// Degenerate mask: pass everything through.
-		return base
+		return streamModel(d.Model).Stream(r, duration)
 	}
 
 	days := int(duration/(24*time.Hour)) + 1
-	type span struct{ from, to time.Duration }
 	awake := make([]span, days)
 	for day := range awake {
 		jitter := func() time.Duration {
@@ -68,23 +77,85 @@ func (d Diurnal) Generate(r *rand.Rand, duration time.Duration) trace.Trace {
 		end := time.Duration(day)*24*time.Hour + time.Duration(sleep)*time.Hour + jitter()
 		awake[day] = span{from: start, to: end}
 	}
-	isAwake := func(t time.Duration) bool {
-		day := int(t / (24 * time.Hour))
-		if day >= len(awake) {
-			day = len(awake) - 1
-		}
-		s := awake[day]
-		return t >= s.from && t < s.to
+	return &diurnalSource{
+		base:  streamModel(d.Model).Stream(r, duration),
+		r:     r,
+		awake: awake,
+		night: d.NightFraction,
 	}
+}
 
-	var out trace.Trace
-	for _, b := range base.Bursts(time.Second) {
-		if isAwake(b.Start) || r.Float64() < d.NightFraction {
-			out = append(out, b.Packets...)
+// diurnalSource filters a base stream burst-by-burst through the day mask.
+type diurnalSource struct {
+	base  trace.Source
+	r     *rand.Rand
+	awake []span
+	night float64
+
+	burst  trace.Trace // scratch for the burst being assembled
+	out    trace.Trace // kept burst being emitted
+	outIdx int
+	peek   trace.Packet // first packet of the next burst
+	have   bool
+	done   bool
+	err    error
+}
+
+func (ds *diurnalSource) isAwake(t time.Duration) bool {
+	day := int(t / (24 * time.Hour))
+	if day >= len(ds.awake) {
+		day = len(ds.awake) - 1
+	}
+	s := ds.awake[day]
+	return t >= s.from && t < s.to
+}
+
+// Next implements trace.Source.
+func (ds *diurnalSource) Next() (trace.Packet, bool, error) {
+	for {
+		if ds.outIdx < len(ds.out) {
+			p := ds.out[ds.outIdx]
+			ds.outIdx++
+			return p, true, nil
+		}
+		if ds.err != nil {
+			return trace.Packet{}, false, ds.err
+		}
+		if ds.done && !ds.have {
+			return trace.Packet{}, false, nil
+		}
+
+		// Assemble the next burst: the buffered peek (if any) plus packets
+		// until an inter-arrival beyond the burst gap.
+		burst := ds.burst[:0]
+		if ds.have {
+			burst = append(burst, ds.peek)
+			ds.have = false
+		}
+		for {
+			p, ok, err := ds.base.Next()
+			if err != nil {
+				ds.err = err
+				return trace.Packet{}, false, err
+			}
+			if !ok {
+				ds.done = true
+				break
+			}
+			if len(burst) > 0 && p.T-burst[len(burst)-1].T > diurnalBurstGap {
+				ds.peek, ds.have = p, true
+				break
+			}
+			burst = append(burst, p)
+		}
+		ds.burst = burst
+		if len(burst) == 0 {
+			continue // base exhausted with nothing buffered
+		}
+		if ds.isAwake(burst[0].T) || ds.r.Float64() < ds.night {
+			ds.out, ds.outIdx = burst, 0
 		}
 	}
-	out.Sort()
-	return out
 }
 
 // DayUser wraps a User's apps in Diurnal masks appropriate to each

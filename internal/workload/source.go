@@ -1,0 +1,322 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// This file is the streaming side of the generators: every AppModel (and
+// User mixes) can emit its traffic as a lazy trace.Source, synthesizing
+// packets on demand from the seeded RNG instead of materializing a slice.
+//
+// The slice API is defined on top of the streams — each model's Generate
+// is exactly Collect(Stream) — so materialized and streamed replays of the
+// same seed see the same packets by construction, which is the determinism
+// invariant the fleet's equivalence tests enforce.
+//
+// # How streaming preserves the sorted order
+//
+// The generators think in wake-ups: a periodic poll, a heartbeat, one
+// interactive exchange. Each wake-up emits a bounded batch of packets
+// whose timestamps may run past the next wake-up (a follow-up fetch, a
+// straggling response), which is why the slice path ends with a stable
+// sort. The streaming path reproduces that sort exactly with a bounded
+// reorder buffer: batches carry a floor — a lower bound on every packet
+// any future batch can emit — and a packet leaves the buffer only once
+// its timestamp is at or below the floor, ties broken by emission order.
+// Sorting by (timestamp, emission order) is precisely what a stable sort
+// of the concatenated emissions computes, so the two paths agree packet
+// for packet. The buffer holds only the packets of wake-ups still
+// overlapping the floor — O(burst), never O(duration).
+
+// StreamModel is an AppModel that can emit its traffic lazily. All models
+// in this package implement it; Generate is Collect(Stream) for each.
+type StreamModel interface {
+	AppModel
+	// Stream returns a source yielding the same packets Generate returns
+	// for the same RNG, in the same order, without materializing them.
+	Stream(r *rand.Rand, duration time.Duration) trace.Source
+}
+
+// Stream runs a model's lazy emission with a fresh deterministic RNG for
+// the seed — the streaming counterpart of Generate. Models that do not
+// implement StreamModel are generated eagerly and streamed from the slice.
+func Stream(m AppModel, seed int64, duration time.Duration) trace.Source {
+	return streamModel(m).Stream(rand.New(rand.NewSource(seed)), duration)
+}
+
+// collect materializes a generator stream. Generator sources never error
+// (they synthesize valid packets by construction), so this is total.
+func collect(src trace.Source) trace.Trace {
+	tr, err := trace.Collect(src)
+	if err != nil {
+		panic("workload: generator source failed: " + err.Error())
+	}
+	return tr
+}
+
+// stepFunc emits one wake-up's packets by appending to buf (which the
+// caller recycles) and returns the extended batch, a floor no future
+// emission will precede, and ok=false once the model is exhausted (the
+// other returns are then ignored).
+type stepFunc func(buf trace.Trace) (batch trace.Trace, floor time.Duration, ok bool)
+
+// stepSource adapts a stepFunc into a sorted trace.Source via the reorder
+// buffer described in the file comment.
+type stepSource struct {
+	step    stepFunc
+	buf     trace.Trace
+	pending pendingHeap
+	floor   time.Duration
+	drained bool
+	seq     uint64
+}
+
+func newStepSource(step stepFunc) *stepSource { return &stepSource{step: step} }
+
+// Next implements trace.Source.
+func (s *stepSource) Next() (trace.Packet, bool, error) {
+	for {
+		if len(s.pending) > 0 && (s.drained || s.pending[0].p.T <= s.floor) {
+			return s.pending.pop(), true, nil
+		}
+		if s.drained {
+			return trace.Packet{}, false, nil
+		}
+		batch, floor, ok := s.step(s.buf[:0])
+		if !ok {
+			s.drained = true
+			continue
+		}
+		s.buf = batch
+		for _, p := range batch {
+			s.pending.push(pendingPkt{p: p, seq: s.seq})
+			s.seq++
+		}
+		s.floor = floor
+	}
+}
+
+// pendingPkt orders buffered packets by (timestamp, emission sequence).
+type pendingPkt struct {
+	p   trace.Packet
+	seq uint64
+}
+
+func (a pendingPkt) less(b pendingPkt) bool {
+	if a.p.T != b.p.T {
+		return a.p.T < b.p.T
+	}
+	return a.seq < b.seq
+}
+
+// pendingHeap is a plain binary min-heap over pendingPkt. Hand-rolled
+// (rather than container/heap) so push/pop stay allocation-free on the
+// replay hot path.
+type pendingHeap []pendingPkt
+
+func (h *pendingHeap) push(x pendingPkt) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h)[i].less((*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *pendingHeap) pop() trace.Packet {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && old[l].less(old[min]) {
+			min = l
+		}
+		if r < n && old[r].less(old[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		old[i], old[min] = old[min], old[i]
+		i = min
+	}
+	return top.p
+}
+
+// Stream implements StreamModel: one poll exchange per step.
+func (p Periodic) Stream(r *rand.Rand, duration time.Duration) trace.Source {
+	t := jittered(r, p.Period, p.Jitter)
+	return newStepSource(func(buf trace.Trace) (trace.Trace, time.Duration, bool) {
+		if t >= duration {
+			return nil, 0, false
+		}
+		var end time.Duration
+		buf, end = p.Shape.Emit(r, buf, t)
+		if p.ExtraBurstP > 0 && r.Float64() < p.ExtraBurstP {
+			follow := end + secsDur(0.2+0.6*r.Float64())
+			buf, _ = p.Shape.Emit(r, buf, follow)
+		}
+		t += jittered(r, p.Period, p.Jitter)
+		return buf, t, true
+	})
+}
+
+// Stream implements StreamModel: one heartbeat interval per step.
+func (h Heartbeat) Stream(r *rand.Rand, duration time.Duration) trace.Source {
+	period := func() time.Duration {
+		span := h.MaxPeriod - h.MinPeriod
+		if span <= 0 {
+			return h.MinPeriod
+		}
+		return h.MinPeriod + time.Duration(r.Int63n(int64(span)))
+	}
+	t := period()
+	return newStepSource(func(buf trace.Trace) (trace.Trace, time.Duration, bool) {
+		if t >= duration {
+			return nil, 0, false
+		}
+		buf = append(buf, trace.Packet{T: t, Dir: trace.Out, Size: 78})
+		buf = append(buf, trace.Packet{T: t + secsDur(0.05+0.1*r.Float64()), Dir: trace.In, Size: 66})
+		if h.MessageP > 0 && r.Float64() < h.MessageP {
+			buf, _ = h.Message.Emit(r, buf, t+secsDur(1+2*r.Float64()))
+		}
+		t += period()
+		return buf, t, true
+	})
+}
+
+// Stream implements StreamModel: one exchange per step, sessions tracked
+// across steps.
+func (s Interactive) Stream(r *rand.Rand, duration time.Duration) trace.Source {
+	actions := s.ActionsMax
+	if actions < 1 {
+		actions = 1
+	}
+	think := func() time.Duration {
+		return secsDur(pareto(r, s.ThinkMin.Seconds(), s.ThinkAlpha, s.ThinkCap.Seconds()))
+	}
+	t := think()
+	remaining := 0 // exchanges left in the current session; 0 = between sessions
+	return newStepSource(func(buf trace.Trace) (trace.Trace, time.Duration, bool) {
+		if t >= duration {
+			return nil, 0, false
+		}
+		if remaining == 0 {
+			remaining = 1 + r.Intn(actions)
+		}
+		var end time.Duration
+		buf, end = s.Shape.Emit(r, buf, t)
+		// Short intra-session think time: 2-15 s.
+		t = end + secsDur(2+13*r.Float64())
+		remaining--
+		if remaining == 0 || t >= duration {
+			remaining = 0
+			t += think()
+		}
+		return buf, t, true
+	})
+}
+
+// Stream implements StreamModel: one tick per step.
+func (tk Ticker) Stream(r *rand.Rand, duration time.Duration) trace.Source {
+	t := jittered(r, tk.Period, tk.Jitter)
+	return newStepSource(func(buf trace.Trace) (trace.Trace, time.Duration, bool) {
+		if t >= duration {
+			return nil, 0, false
+		}
+		buf = append(buf, trace.Packet{T: t, Dir: trace.In, Size: tk.Size})
+		if r.Intn(10) == 0 {
+			buf = append(buf, trace.Packet{T: t + 30*time.Millisecond, Dir: trace.Out, Size: 120})
+		}
+		t += jittered(r, tk.Period, tk.Jitter)
+		return buf, t, true
+	})
+}
+
+// mergeSource is a k-way stable merge over sorted sources: it always
+// yields the earliest head packet, ties broken by source index — exactly
+// the order trace.Merge gives the concatenated materialized traces.
+type mergeSource struct {
+	srcs  []trace.Source
+	heads []trace.Packet
+	have  []bool
+	done  []bool
+}
+
+func newMergeSource(srcs []trace.Source) *mergeSource {
+	return &mergeSource{
+		srcs:  srcs,
+		heads: make([]trace.Packet, len(srcs)),
+		have:  make([]bool, len(srcs)),
+		done:  make([]bool, len(srcs)),
+	}
+}
+
+// Next implements trace.Source.
+func (m *mergeSource) Next() (trace.Packet, bool, error) {
+	best := -1
+	for i := range m.srcs {
+		if !m.have[i] && !m.done[i] {
+			p, ok, err := m.srcs[i].Next()
+			if err != nil {
+				return trace.Packet{}, false, err
+			}
+			if !ok {
+				m.done[i] = true
+				continue
+			}
+			m.heads[i], m.have[i] = p, true
+		}
+		if m.have[i] && (best < 0 || m.heads[i].T < m.heads[best].T) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return trace.Packet{}, false, nil
+	}
+	m.have[best] = false
+	return m.heads[best], true, nil
+}
+
+// Stream produces the user's merged traffic lazily: each app gets the same
+// independent seed-derived RNG as Generate, and the per-app streams merge
+// in time order with ties broken by app index — packet for packet the
+// trace Generate materializes.
+func (u User) Stream(seed int64, duration time.Duration) trace.Source {
+	srcs := make([]trace.Source, 0, len(u.Apps))
+	for i, a := range u.Apps {
+		r := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
+		srcs = append(srcs, streamModel(a).Stream(r, duration))
+	}
+	return newMergeSource(srcs)
+}
+
+// streamModel asserts that a model supports lazy emission. Every model in
+// this package does; a custom slice-only AppModel is wrapped to generate
+// eagerly and stream the slice (correct, but not O(1) in memory).
+func streamModel(a AppModel) StreamModel {
+	if sm, ok := a.(StreamModel); ok {
+		return sm
+	}
+	return sliceOnly{a}
+}
+
+// sliceOnly adapts a Generate-only AppModel to StreamModel by
+// materializing.
+type sliceOnly struct{ AppModel }
+
+func (s sliceOnly) Stream(r *rand.Rand, duration time.Duration) trace.Source {
+	return s.Generate(r, duration).Source()
+}

@@ -175,19 +175,10 @@ type Periodic struct {
 // Name implements AppModel.
 func (p Periodic) Name() string { return p.Label }
 
-// Generate implements AppModel.
+// Generate implements AppModel by draining Stream: the slice and streaming
+// paths share one emission sequence.
 func (p Periodic) Generate(r *rand.Rand, duration time.Duration) trace.Trace {
-	var tr trace.Trace
-	for t := jittered(r, p.Period, p.Jitter); t < duration; t += jittered(r, p.Period, p.Jitter) {
-		var end time.Duration
-		tr, end = p.Shape.Emit(r, tr, t)
-		if p.ExtraBurstP > 0 && r.Float64() < p.ExtraBurstP {
-			follow := end + secsDur(0.2+0.6*r.Float64())
-			tr, _ = p.Shape.Emit(r, tr, follow)
-		}
-	}
-	tr.Sort()
-	return tr
+	return collect(p.Stream(r, duration))
 }
 
 // Heartbeat models keep-alive traffic: a tiny uplink packet answered by a
@@ -205,25 +196,9 @@ type Heartbeat struct {
 // Name implements AppModel.
 func (h Heartbeat) Name() string { return h.Label }
 
-// Generate implements AppModel.
+// Generate implements AppModel by draining Stream.
 func (h Heartbeat) Generate(r *rand.Rand, duration time.Duration) trace.Trace {
-	var tr trace.Trace
-	period := func() time.Duration {
-		span := h.MaxPeriod - h.MinPeriod
-		if span <= 0 {
-			return h.MinPeriod
-		}
-		return h.MinPeriod + time.Duration(r.Int63n(int64(span)))
-	}
-	for t := period(); t < duration; t += period() {
-		tr = append(tr, trace.Packet{T: t, Dir: trace.Out, Size: 78})
-		tr = append(tr, trace.Packet{T: t + secsDur(0.05+0.1*r.Float64()), Dir: trace.In, Size: 66})
-		if h.MessageP > 0 && r.Float64() < h.MessageP {
-			tr, _ = h.Message.Emit(r, tr, t+secsDur(1+2*r.Float64()))
-		}
-	}
-	tr.Sort()
-	return tr
+	return collect(h.Stream(r, duration))
 }
 
 // Interactive models foreground use: sessions arrive after Pareto think
@@ -246,26 +221,9 @@ type Interactive struct {
 // Name implements AppModel.
 func (s Interactive) Name() string { return s.Label }
 
-// Generate implements AppModel.
+// Generate implements AppModel by draining Stream.
 func (s Interactive) Generate(r *rand.Rand, duration time.Duration) trace.Trace {
-	var tr trace.Trace
-	actions := s.ActionsMax
-	if actions < 1 {
-		actions = 1
-	}
-	t := secsDur(pareto(r, s.ThinkMin.Seconds(), s.ThinkAlpha, s.ThinkCap.Seconds()))
-	for t < duration {
-		n := 1 + r.Intn(actions)
-		for i := 0; i < n && t < duration; i++ {
-			var end time.Duration
-			tr, end = s.Shape.Emit(r, tr, t)
-			// Short intra-session think time: 2-15 s.
-			t = end + secsDur(2+13*r.Float64())
-		}
-		t += secsDur(pareto(r, s.ThinkMin.Seconds(), s.ThinkAlpha, s.ThinkCap.Seconds()))
-	}
-	tr.Sort()
-	return tr
+	return collect(s.Stream(r, duration))
 }
 
 // Ticker models high-frequency foreground updates (the paper's Finance
@@ -280,18 +238,9 @@ type Ticker struct {
 // Name implements AppModel.
 func (tk Ticker) Name() string { return tk.Label }
 
-// Generate implements AppModel.
+// Generate implements AppModel by draining Stream.
 func (tk Ticker) Generate(r *rand.Rand, duration time.Duration) trace.Trace {
-	var tr trace.Trace
-	for t := jittered(r, tk.Period, tk.Jitter); t < duration; t += jittered(r, tk.Period, tk.Jitter) {
-		tr = append(tr, trace.Packet{T: t, Dir: trace.In, Size: tk.Size})
-		// Occasional uplink refresh request.
-		if r.Intn(10) == 0 {
-			tr = append(tr, trace.Packet{T: t + 30*time.Millisecond, Dir: trace.Out, Size: 120})
-		}
-	}
-	tr.Sort()
-	return tr
+	return collect(tk.Stream(r, duration))
 }
 
 // The seven application categories of §6.1. Parameters follow the paper's
@@ -412,14 +361,10 @@ type User struct {
 
 // Generate produces the user's merged trace: each app gets an independent
 // RNG derived from the user seed, and the per-app traces are merged in time
-// order, mirroring several apps running on one phone.
+// order, mirroring several apps running on one phone. It drains Stream, so
+// materialized and streamed user traffic agree packet for packet.
 func (u User) Generate(seed int64, duration time.Duration) trace.Trace {
-	traces := make([]trace.Trace, 0, len(u.Apps))
-	for i, a := range u.Apps {
-		r := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
-		traces = append(traces, a.Generate(r, duration))
-	}
-	return trace.Merge(traces...)
+	return collect(u.Stream(seed, duration))
 }
 
 // Verizon3GUsers returns the six synthetic users standing in for the
