@@ -7,6 +7,7 @@
 //	experiments -run fig9
 //	experiments -run all -seed 3 -user-duration 8h
 //	experiments -run fleet -users 1000 -parallel 0 -shards 64
+//	experiments -run sweep -users 100    # dormancy-tail grid via policy specs
 //
 // Output is text: tables whose rows correspond to the bars/points of the
 // paper's figures. EXPERIMENTS.md records a reference run next to the

@@ -6,17 +6,24 @@
 //	tracegen -app Email -o email.trc
 //	rrcsim -trace email.trc -carrier "Verizon 3G" -policy makeidle -active learn
 //	rrcsim -trace email.trc -policy all        # compare every scheme
+//	rrcsim -trace email.trc -policy 'fixedtail(wait=2s)'   # parameterized
 //	rrcsim -trace month.rrcstream -stream      # O(1)-memory streamed replay
 //	rrcsim -users 1000 -policy makeidle -parallel 0   # synthetic fleet replay
 //
-// Policies: statusquo, 4.5s, 95iat, oracle, makeidle, all.
-// Active (batching): none, learn, fix.
+// -policy and -active take policy specs resolved against the policy
+// registry: a bare name (statusquo, fixedtail, pctiat, oracle, makeidle /
+// none, learn, fix — plus the legacy aliases 4.5s and 95iat), or
+// "name(param=value,...)" to override parameters, e.g.
+// 'pctiat(q=0.9)' or 'learn(maxdelay=5s,gamma=0.01)'. Unknown names and
+// out-of-range parameters fail with the registry's catalog of valid
+// policies and their parameter schemas. -policy all compares every paper
+// scheme.
 //
 // With -stream the trace is pulled through the replay engine packet by
 // packet: rrcstream files — and pcap captures when -device-ip names the
 // phone — replay in memory independent of trace length; other formats
 // fall back to a single materializing decode. Trace-fitted policies
-// (95iat, active=fix) need the whole trace and refuse -stream.
+// (pctiat/95iat, active=fix) need the whole trace and refuse -stream.
 //
 // With -users N (no -trace) rrcsim replays an N-user synthetic diurnal
 // cohort on the sharded fleet runtime and prints streaming aggregates;
@@ -32,6 +39,7 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -48,8 +56,8 @@ func main() {
 	var (
 		tracePath = flag.String("trace", "", "trace file (text or binary; required unless -users is set)")
 		carrier   = flag.String("carrier", "Verizon 3G", "carrier profile name (see Table 2)")
-		polName   = flag.String("policy", "makeidle", "statusquo | 4.5s | 95iat | oracle | makeidle | all")
-		actName   = flag.String("active", "none", "none | learn | fix (MakeActive batching)")
+		polName   = flag.String("policy", "makeidle", "demote policy spec, e.g. makeidle, 4.5s, 'fixedtail(wait=2s)', or all")
+		actName   = flag.String("active", "none", "batching policy spec, e.g. none, learn, 'learn(maxdelay=5s)', fix")
 		burstGap  = flag.Duration("burstgap", time.Second, "session segmentation gap")
 		stream    = flag.Bool("stream", false, "pull the trace through the engine packet-by-packet (O(1) memory for rrcstream files, and for pcap with -device-ip)")
 		deviceIP  = flag.String("device-ip", "", "with -stream on a pcap capture: the device's IP address, enabling O(1)-memory pcap decode (otherwise the capture is materialized)")
@@ -166,10 +174,14 @@ func runStreamed(path, deviceIP string, prof power.Profile, polName, actName str
 	if polName == "all" {
 		return fmt.Errorf("-stream replays one policy pair; pick a policy")
 	}
-	if fleet.TraceFitted(polName) {
+	if fitted, err := traceFitted(policy.RoleDemote, polName); err != nil {
+		return err
+	} else if fitted {
 		return fmt.Errorf("policy %q is fitted to the whole trace and cannot stream; drop -stream", polName)
 	}
-	if fleet.ActiveTraceFitted(actName) {
+	if fitted, err := traceFitted(policy.RoleActive, actName); err != nil {
+		return err
+	} else if fitted {
 		return fmt.Errorf("active policy %q is fitted to the whole trace and cannot stream; drop -stream", actName)
 	}
 	var pcapOpts *trace.PcapOptions
@@ -198,11 +210,11 @@ func runStreamed(path, deviceIP string, prof power.Profile, polName, actName str
 	if err != nil {
 		return err
 	}
-	demote, err := fleet.NamedDemote(polName, nil, prof)
+	demote, err := makeDemote(polName, nil, prof)
 	if err != nil {
 		return err
 	}
-	active, err := fleet.NamedActive(actName, nil, prof, burstGap)
+	active, err := makeActive(actName, nil, prof, burstGap)
 	if err != nil {
 		return err
 	}
@@ -270,12 +282,54 @@ func probeStreamFormat(path string, pcapOpts *trace.PcapOptions) (func() (trace.
 	}, nil
 }
 
+// makeDemote resolves a demote policy spec string through the registry.
+// Resolution failures carry the registry's catalog of valid policies and
+// their parameter schemas, so a typo answers with the whole menu.
 func makeDemote(name string, tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
-	return fleet.NamedDemote(name, tr, prof)
+	spec, err := policy.ParseSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := policy.Default().BuildDemote(spec, tr, prof)
+	if err != nil {
+		return nil, withUsage(err, policy.RoleDemote)
+	}
+	return d, nil
 }
 
+// makeActive is makeDemote for batching policies; "none" yields nil. The
+// trace-fitted "fix" policy inherits the -burstgap flag unless the spec
+// overrides it (fleet.WithFixBurstGap, the rule every surface shares).
 func makeActive(name string, tr trace.Trace, prof power.Profile, burstGap time.Duration) (policy.ActivePolicy, error) {
-	return fleet.NamedActive(name, tr, prof, burstGap)
+	spec, err := policy.ParseSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	spec = fleet.WithFixBurstGap(spec, burstGap)
+	a, err := policy.Default().BuildActive(spec, tr, prof)
+	if err != nil {
+		return nil, withUsage(err, policy.RoleActive)
+	}
+	return a, nil
+}
+
+// withUsage appends the registry's policy catalog to a resolution error.
+func withUsage(err error, role policy.Role) error {
+	return fmt.Errorf("%w\nvalid %s policies:\n%s", err, role, policy.Default().Usage(role))
+}
+
+// traceFitted reports whether a policy spec resolves to a trace-fitted
+// schema (the registry capability that forbids -stream).
+func traceFitted(role policy.Role, name string) (bool, error) {
+	spec, err := policy.ParseSpec(name)
+	if err != nil {
+		return false, err
+	}
+	schema, _, err := policy.Default().Resolve(role, spec)
+	if err != nil {
+		return false, withUsage(err, role)
+	}
+	return schema.TraceFitted, nil
 }
 
 func printResult(sq, res *sim.Result) {
@@ -344,9 +398,50 @@ func runFleet(prof power.Profile, users int, seed int64, duration time.Duration,
 	return nil
 }
 
-// fleetScheme adapts the CLI policy names to a fleet scheme.
+// fleetScheme adapts the CLI policy spec strings to a fleet scheme. Plain
+// flat names keep their legacy summary labels ("makeidle+learn");
+// parameterized specs get derived labels ("fixedtail(wait=2s)").
 func fleetScheme(polName, actName string, burstGap time.Duration) (fleet.Scheme, error) {
-	return fleet.NamedScheme(polName, actName, burstGap)
+	dspec, err := policy.ParseSpec(polName)
+	if err != nil {
+		return fleet.Scheme{}, err
+	}
+	if _, _, err := policy.Default().Resolve(policy.RoleDemote, dspec); err != nil {
+		return fleet.Scheme{}, withUsage(err, policy.RoleDemote)
+	}
+	aspec, err := policy.ParseSpec(actName)
+	if err != nil {
+		return fleet.Scheme{}, err
+	}
+	aspec = fleet.WithFixBurstGap(aspec, burstGap)
+	aschema, _, err := policy.Default().Resolve(policy.RoleActive, aspec)
+	if err != nil {
+		return fleet.Scheme{}, withUsage(err, policy.RoleActive)
+	}
+	// Summary labels are decided per flag half: a flat spelling keeps its
+	// legacy label (the ParseSpec-trimmed name, aliases included — "4.5s"
+	// stays "4.5s"), a parameterized spec gets the registry-derived one —
+	// so mixing the two forms never relabels the flat half.
+	labelFor := func(raw string, role policy.Role, spec policy.Spec) (string, error) {
+		if !strings.ContainsRune(raw, '(') {
+			return spec.Name, nil
+		}
+		return policy.Default().Label(role, spec)
+	}
+	label, err := labelFor(polName, policy.RoleDemote, dspec)
+	if err != nil {
+		return fleet.Scheme{}, err
+	}
+	ss := fleet.SchemeSpec{Label: label, Policy: dspec}
+	if aschema.Name != fleet.ActiveNone {
+		alabel, err := labelFor(actName, policy.RoleActive, aspec)
+		if err != nil {
+			return fleet.Scheme{}, err
+		}
+		ss.Label = label + "+" + alabel
+		ss.Active = &aspec
+	}
+	return fleet.SchemeFromSpec(policy.Default(), ss)
 }
 
 func fatal(err error) {

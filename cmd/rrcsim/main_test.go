@@ -94,7 +94,8 @@ func TestReadTraceCorruptStream(t *testing.T) {
 func TestMakeDemoteAll(t *testing.T) {
 	tr := workload.Generate(workload.Email(), 1, time.Hour)
 	prof := power.Verizon3G
-	for _, name := range []string{"statusquo", "4.5s", "95iat", "oracle", "makeidle"} {
+	for _, name := range []string{"statusquo", "4.5s", "95iat", "oracle", "makeidle",
+		"fixedtail(wait=2s)", "pctiat(q=0.9)", "makeidle(window=250)"} {
 		d, err := makeDemote(name, tr, prof)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -103,9 +104,26 @@ func TestMakeDemoteAll(t *testing.T) {
 			t.Fatalf("%s: nil policy", name)
 		}
 	}
-	if _, err := makeDemote("nonsense", tr, prof); err == nil {
-		t.Fatal("unknown policy accepted")
+	err := makeDemoteErr(t, "nonsense", tr, prof)
+	// The rejection must carry the registry's catalog: valid names and
+	// their parameter schemas, not a bare "unknown policy".
+	for _, want := range []string{"nonsense", "makeidle", "fixedtail", "wait", "default 4.5s", "95iat"} {
+		if !strings.Contains(err, want) {
+			t.Fatalf("unknown-policy error missing %q:\n%s", want, err)
+		}
 	}
+	if bad := makeDemoteErr(t, "fixedtail(wait=20m)", tr, prof); !strings.Contains(bad, "maximum") {
+		t.Fatalf("out-of-bounds error not explained:\n%s", bad)
+	}
+}
+
+func makeDemoteErr(t *testing.T, name string, tr trace.Trace, prof power.Profile) string {
+	t.Helper()
+	_, err := makeDemote(name, tr, prof)
+	if err == nil {
+		t.Fatalf("%s accepted", name)
+	}
+	return err.Error()
 }
 
 func TestMakeActiveAll(t *testing.T) {
@@ -114,13 +132,46 @@ func TestMakeActiveAll(t *testing.T) {
 	if a, err := makeActive("none", tr, prof, time.Second); err != nil || a != nil {
 		t.Fatalf("none: %v %v", a, err)
 	}
-	for _, name := range []string{"learn", "fix"} {
+	for _, name := range []string{"learn", "fix", "learn(maxdelay=5s,gamma=0.01)"} {
 		a, err := makeActive(name, tr, prof, time.Second)
 		if err != nil || a == nil {
 			t.Fatalf("%s: %v %v", name, a, err)
 		}
 	}
-	if _, err := makeActive("nonsense", tr, prof, time.Second); err == nil {
+	_, err := makeActive("nonsense", tr, prof, time.Second)
+	if err == nil {
 		t.Fatal("unknown active policy accepted")
+	}
+	for _, want := range []string{"learn", "fix", "maxdelay", "gamma"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-active error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+// TestFleetSchemeLabels: flat names keep legacy summary labels,
+// parameterized specs derive theirs.
+func TestFleetSchemeLabels(t *testing.T) {
+	cases := map[[2]string]string{
+		{"makeidle", "none"}:               "makeidle",
+		{"makeidle", "learn"}:              "makeidle+learn",
+		{"4.5s", "none"}:                   "4.5s",
+		{" makeidle ", "none"}:             "makeidle", // padded flags resolve trimmed
+		{"fixedtail(wait=2s)", "none"}:     "fixedtail(wait=2s)",
+		{"makeidle", "learn(maxdelay=5s)"}: "makeidle+learn(maxdelay=5s)",
+		// Mixed forms: the flat half keeps its legacy spelling.
+		{"4.5s", "learn(maxdelay=5s)"}: "4.5s+learn(maxdelay=5s)",
+	}
+	for in, want := range cases {
+		s, err := fleetScheme(in[0], in[1], time.Second)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if s.Name != want {
+			t.Errorf("fleetScheme(%v) label %q, want %q", in, s.Name, want)
+		}
+	}
+	if _, err := fleetScheme("makeidle", "procrastinate", time.Second); err == nil {
+		t.Fatal("unknown active accepted in fleet mode")
 	}
 }

@@ -1,21 +1,28 @@
 // Command rrcsimd is the long-running simulation service: an HTTP daemon
-// that accepts cohort replay jobs, runs them asynchronously on the sharded
-// fleet runtime, streams merged partial aggregates while they run, and
-// serves finished summaries as JSON/CSV/text. Identical submissions
-// (matched by the deterministic job fingerprint) are served from an LRU
-// result cache with byte-identical responses.
+// that accepts cohort replay jobs — single schemes or whole parameter
+// sweeps — runs them asynchronously on the sharded fleet runtime, streams
+// merged partial aggregates while they run, and serves finished summaries
+// as JSON/CSV/text. Identical submissions (matched by the deterministic
+// job fingerprint over canonical policy-spec encodings) are served from an
+// LRU result cache with byte-identical responses.
 //
 // Usage:
 //
 //	rrcsimd -addr :8080 -parallel 0 -queue-depth 32 -cache-size 128
 //
-// Then, from any HTTP client:
+// Then, from any HTTP client (the API is versioned under /v1; the
+// pre-versioning paths without the prefix remain as aliases):
 //
-//	curl -s localhost:8080/jobs -d '{"users": 1000, "seed": 1, "duration": "4h"}'
-//	curl -s localhost:8080/jobs/job-000001/stream      # NDJSON progress
-//	curl -s localhost:8080/jobs/job-000001/result      # final JSON
-//	curl -s localhost:8080/jobs/job-000001/result?format=csv
-//	curl -s -X DELETE localhost:8080/jobs/job-000001   # cancel
+//	curl -s localhost:8080/v1/policies                 # discover policies + knobs
+//	curl -s localhost:8080/v1/jobs -d '{"users": 1000, "seed": 1, "duration": "4h"}'
+//	curl -s localhost:8080/v1/jobs -d '{"users": 1000, "seed": 1, "schemes": [
+//	  {"policy": {"name": "fixedtail", "params": {"wait": "2s"}}},
+//	  {"policy": {"name": "fixedtail", "params": {"wait": "8s"}}},
+//	  {"policy": {"name": "makeidle"}}]}'              # a 3-scheme sweep
+//	curl -s localhost:8080/v1/jobs/job-000001/stream   # NDJSON progress
+//	curl -s localhost:8080/v1/jobs/job-000001/result   # final JSON
+//	curl -s localhost:8080/v1/jobs/job-000001/result?format=csv
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001  # cancel
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight jobs are
 // canceled at the fleet's next between-jobs checkpoint and the listener

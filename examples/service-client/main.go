@@ -1,10 +1,13 @@
-// Service-client: drive the simulation service end to end. The example
-// starts an in-process rrcsimd-equivalent server on an ephemeral localhost
-// port (so it is runnable standalone), then talks to it purely over HTTP
-// exactly as an external client would: submit a cohort replay job, follow
-// the NDJSON progress stream as shard-merged partials arrive, fetch the
-// final summary as JSON, and resubmit the same spec to show the
-// fingerprint cache answering instantly with byte-identical bytes.
+// Service-client: drive the simulation service end to end over the /v1
+// API. The example starts an in-process rrcsimd-equivalent server on an
+// ephemeral localhost port (so it is runnable standalone), then talks to
+// it purely over HTTP exactly as an external client would: discover the
+// policy registry via GET /v1/policies, submit a two-scheme sweep job
+// (MakeIdle+learned MakeActive vs a 2-second fixed tail, both replayed
+// against the same streamed cohort), follow the NDJSON progress stream as
+// shard-merged partials arrive, fetch the final per-scheme summaries as
+// JSON, and resubmit the same spec to show the fingerprint cache
+// answering instantly with byte-identical bytes.
 //
 // Against a real daemon, replace the in-process listener with its address:
 //
@@ -41,19 +44,45 @@ func main() {
 	}
 	url := "http://" + base
 
-	// 1. Submit a cohort job: 200 diurnal users, 2 h each, MakeIdle +
-	// learned MakeActive on Verizon 3G.
-	spec := `{"users": 200, "seed": 42, "duration": "2h", "policy": "makeidle", "active": "learn"}`
+	// 1. Discover the policy space: every registered policy with its
+	// parameter schema, straight from the registry.
+	var catalog struct {
+		Demote []struct {
+			Name   string `json:"name"`
+			Params []struct {
+				Name    string `json:"name"`
+				Kind    string `json:"kind"`
+				Default string `json:"default"`
+			} `json:"params"`
+		} `json:"demote"`
+	}
+	if err := json.Unmarshal(fetch(url+"/v1/policies"), &catalog); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("discovered demote policies:")
+	for _, p := range catalog.Demote {
+		fmt.Printf(" %s(%d knobs)", p.Name, len(p.Params))
+	}
+	fmt.Println()
+
+	// 2. Submit a sweep: 200 diurnal users, 2 h each, replayed under two
+	// schemes — MakeIdle + learned MakeActive, and a 2-second fixed tail
+	// — aggregated per scheme in one job.
+	spec := `{"users": 200, "seed": 42, "duration": "2h", "schemes": [
+		{"policy": {"name": "makeidle"}, "active": {"name": "learn"}},
+		{"policy": {"name": "fixedtail", "params": {"wait": "2s"}}}
+	]}`
 	st := submit(url, spec)
 	fmt.Printf("submitted %s (state %s, fingerprint %s...)\n",
 		st.ID, st.State, st.Fingerprint[:12])
 
-	// 2. Follow the progress stream: one NDJSON line per shard batch,
+	// 3. Follow the progress stream: one NDJSON line per shard batch,
 	// carrying merged partial aggregates.
 	streamProgress(url, st.ID)
 
-	// 3. Fetch the final summary as JSON (and CSV, for plotting tools).
-	coldJSON := fetch(url + "/jobs/" + st.ID + "/result")
+	// 4. Fetch the final per-scheme summaries as JSON (and CSV, for
+	// plotting tools).
+	coldJSON := fetch(url + "/v1/jobs/" + st.ID + "/result")
 	var stats report.SummaryStats
 	if err := json.Unmarshal(coldJSON, &stats); err != nil {
 		log.Fatal(err)
@@ -62,16 +91,16 @@ func main() {
 		fmt.Printf("%-28s %d users, mean %.1f J/user, mean savings %.1f%%\n",
 			name, s.EnergyJ.N, s.EnergyJ.Mean, s.SavingsPct.Mean)
 	}
-	csv := fetch(url + "/jobs/" + st.ID + "/result?format=csv")
+	csv := fetch(url + "/v1/jobs/" + st.ID + "/result?format=csv")
 	fmt.Printf("CSV header: %s\n", strings.SplitN(string(csv), "\n", 2)[0])
 
-	// 4. Resubmit the identical spec: the fingerprint cache answers
+	// 5. Resubmit the identical sweep: the fingerprint cache answers
 	// without replaying anything, byte-identical to the cold run.
 	warm := submit(url, spec)
 	if !warm.CacheHit {
 		log.Fatalf("expected a cache hit, got %+v", warm)
 	}
-	warmJSON := fetch(url + "/jobs/" + warm.ID + "/result")
+	warmJSON := fetch(url + "/v1/jobs/" + warm.ID + "/result")
 	fmt.Printf("resubmission %s served from cache: byte-identical=%t\n",
 		warm.ID, bytes.Equal(coldJSON, warmJSON))
 }
@@ -90,7 +119,7 @@ func startInProcess() string {
 }
 
 func submit(url, spec string) jobs.Status {
-	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(spec))
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(spec))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,7 +136,7 @@ func submit(url, spec string) jobs.Status {
 }
 
 func streamProgress(url, id string) {
-	resp, err := http.Get(url + "/jobs/" + id + "/stream")
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/stream")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,7 +13,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/energy"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/policy"
@@ -105,6 +104,7 @@ func All() []Experiment {
 		{"buf", "Extension (§8): base-station downlink buffering", DownlinkBufferingTrade},
 		{"life", "Conclusion: battery lifetime estimate", LifetimeEstimate},
 		{"fleet", "Extension: sharded fleet replay of a diurnal cohort", FleetReplay},
+		{"sweep", "Extension: dormancy-tail parameter sweep via policy specs", TailSweep},
 	}
 }
 
@@ -149,33 +149,39 @@ type SchemeResult struct {
 }
 
 // FleetSchemes returns the six evaluated schemes as fleet schemes, in
-// figure-legend order. burstGap parameterizes the trace-fitted MakeActive
-// bound (<= 0 means the simulator's 1 s default).
+// figure-legend order, built through the policy registry (the same specs
+// the CLI flags and the /v1 HTTP API resolve) with the paper's
+// figure-legend labels. burstGap parameterizes the trace-fitted
+// MakeActive bound (<= 0 means the simulator's 1 s default).
 func FleetSchemes(burstGap time.Duration) []fleet.Scheme {
 	if burstGap <= 0 {
 		burstGap = time.Second
 	}
-	mk := func(_ trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
-		return policy.NewMakeIdle(prof)
+	demote := func(label, name string) fleet.SchemeSpec {
+		return fleet.SchemeSpec{Label: label, Policy: policy.Spec{Name: name}}
 	}
-	return []fleet.Scheme{
-		{Name: SchemeFourFive, Demote: func(trace.Trace, power.Profile) (policy.DemotePolicy, error) {
-			return policy.NewFourPointFive(), nil
-		}},
-		{Name: Scheme95IAT, Demote: func(tr trace.Trace, _ power.Profile) (policy.DemotePolicy, error) {
-			return policy.NewPercentileIAT(tr, 0.95), nil
-		}},
-		{Name: SchemeMakeIdle, Demote: mk},
-		{Name: SchemeOracle, Demote: func(_ trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
-			return policy.NewOracle(energy.Threshold(&prof)), nil
-		}},
-		{Name: SchemeCombLearn, Demote: mk, Active: func(trace.Trace, power.Profile) policy.ActivePolicy {
-			return policy.NewLearnedDelay()
-		}},
-		{Name: SchemeCombFix, Demote: mk, Active: func(tr trace.Trace, prof power.Profile) policy.ActivePolicy {
-			return policy.NewFixedDelay(tr, &prof, burstGap)
-		}},
+	combined := func(label, active string, params map[string]any) fleet.SchemeSpec {
+		ss := demote(label, "makeidle")
+		ss.Active = &policy.Spec{Name: active, Params: params}
+		return ss
 	}
+	specs := []fleet.SchemeSpec{
+		demote(SchemeFourFive, "4.5s"),
+		demote(Scheme95IAT, "95iat"),
+		demote(SchemeMakeIdle, "makeidle"),
+		demote(SchemeOracle, "oracle"),
+		combined(SchemeCombLearn, "learn", nil),
+		combined(SchemeCombFix, "fix", map[string]any{"burstgap": burstGap}),
+	}
+	schemes := make([]fleet.Scheme, len(specs))
+	for i, ss := range specs {
+		s, err := fleet.SchemeFromSpec(policy.Default(), ss)
+		if err != nil {
+			panic(err) // impossible: the built-in registry resolves its own names
+		}
+		schemes[i] = s
+	}
+	return schemes
 }
 
 // statusQuoScheme is the baseline as a scheme row (always job 0 of a

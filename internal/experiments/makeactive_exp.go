@@ -61,12 +61,12 @@ func delayTable(title string, users []workload.User, prof power.Profile, cfg Con
 	traces, seeds := userTraces(users, cfg.Seed, cfg.UserDuration)
 	variants := []fleet.Scheme{
 		{Name: "learn", Demote: fleet.MakeIdleScheme().Demote,
-			Active: func(trace.Trace, power.Profile) policy.ActivePolicy {
-				return policy.NewLearnedDelay()
+			Active: func(trace.Trace, power.Profile) (policy.ActivePolicy, error) {
+				return policy.NewLearnedDelay(), nil
 			}},
 		{Name: "fixed", Demote: fleet.MakeIdleScheme().Demote,
-			Active: func(tr trace.Trace, prof power.Profile) policy.ActivePolicy {
-				return policy.NewFixedDelay(tr, &prof, time.Second)
+			Active: func(tr trace.Trace, prof power.Profile) (policy.ActivePolicy, error) {
+				return policy.NewFixedDelay(tr, &prof, time.Second), nil
 			}},
 	}
 	var jobs []fleet.Job

@@ -19,7 +19,7 @@ import (
 type Scheme struct {
 	Name     string
 	Demote   func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error)
-	Active   func(tr trace.Trace, prof power.Profile) policy.ActivePolicy
+	Active   func(tr trace.Trace, prof power.Profile) (policy.ActivePolicy, error)
 	FitTrace bool
 }
 
@@ -88,8 +88,8 @@ func MakeIdleScheme() Scheme {
 func CombinedScheme() Scheme {
 	s := MakeIdleScheme()
 	s.Name = "MakeIdle+MakeActive Learn"
-	s.Active = func(trace.Trace, power.Profile) policy.ActivePolicy {
-		return policy.NewLearnedDelay()
+	s.Active = func(trace.Trace, power.Profile) (policy.ActivePolicy, error) {
+		return policy.NewLearnedDelay(), nil
 	}
 	return s
 }

@@ -78,6 +78,12 @@ func (o Options) shards(jobs int) int {
 	return s
 }
 
+// NumShards reports the shard count a run of n jobs uses under these
+// options (the configured count clamped to the job count) — exported so
+// layers that split one submission into several fleet runs can total
+// progress denominators up front.
+func (o Options) NumShards(n int) int { return o.shards(n) }
+
 // Job is one replay: a packet source (streamed from a constructor,
 // generated in-worker from the seed, or an explicit trace), a carrier
 // profile, and the policy pair to replay it under.
@@ -109,13 +115,16 @@ type Job struct {
 	// must return a fresh policy (jobs share nothing). Streaming jobs
 	// call it with a nil trace unless FitTrace is set.
 	Demote func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error)
-	// Active constructs the batching policy; nil disables batching.
-	Active func(tr trace.Trace, prof power.Profile) policy.ActivePolicy
+	// Active constructs the batching policy; a nil factory (or a nil
+	// policy from it) disables batching. Errors fail the job like Demote
+	// errors do.
+	Active func(tr trace.Trace, prof power.Profile) (policy.ActivePolicy, error)
 	// FitTrace marks policy factories that must see the materialized
 	// trace (95% IAT quantile fitting, MakeActive-Fix). A Source job with
-	// FitTrace set is collected into a slice inside the worker — correct,
-	// but O(trace) in memory, so fleet-scale cohorts should prefer
-	// policies that learn online.
+	// FitTrace set collects its source into a slice for one fit pass —
+	// the policy factories run against it — then frees the slice and
+	// replays streaming, so only the fit itself is O(trace) in memory and
+	// both replays stay O(1) like any other Source job.
 	FitTrace bool
 	// Opts are the simulation options for both the run and its baseline.
 	Opts *sim.Options
@@ -342,22 +351,15 @@ func runShard[A any](jobs []Job, s, nshards int, engine *sim.Engine, acc Accumul
 }
 
 // runJob replays the job (plus its baseline) on the worker's engine:
-// streaming straight from the source constructor when it can, falling back
-// to a materialized trace for explicit traces, Gen jobs, and trace-fitted
-// policies.
+// streaming straight from the source constructor when one is given,
+// falling back to a materialized trace for explicit traces and Gen jobs.
 func runJob(job *Job, index int, engine *sim.Engine) (Outcome, error) {
-	if job.Source != nil && job.Trace == nil && job.Gen == nil && !job.FitTrace {
+	if job.Source != nil && job.Trace == nil && job.Gen == nil {
 		return runJobStreaming(job, index, engine)
 	}
 	tr := job.Trace
-	if tr == nil && job.Gen != nil {
-		tr = job.Gen(job.Seed)
-	}
 	if tr == nil {
-		var err error
-		if tr, err = trace.Collect(job.Source(job.Seed)); err != nil {
-			return Outcome{Index: index, Job: job}, fmt.Errorf("collecting source: %w", err)
-		}
+		tr = job.Gen(job.Seed)
 	}
 	out := Outcome{Index: index, Job: job}
 	if job.Baseline {
@@ -373,7 +375,9 @@ func runJob(job *Job, index int, engine *sim.Engine) (Outcome, error) {
 	}
 	var active policy.ActivePolicy
 	if job.Active != nil {
-		active = job.Active(tr, job.Profile)
+		if active, err = job.Active(tr, job.Profile); err != nil {
+			return out, err
+		}
 	}
 	res, err := engine.Run(tr, job.Profile, demote, active, job.Opts)
 	if err != nil {
@@ -386,9 +390,18 @@ func runJob(job *Job, index int, engine *sim.Engine) (Outcome, error) {
 // runJobStreaming replays a Source job without materializing: each replay
 // pulls a fresh source from the constructor, so worker memory stays
 // bounded by burst structure regardless of trace duration. Policy
-// factories receive a nil trace (FitTrace jobs never reach this path).
+// factories receive a nil trace, unless FitTrace is set — then the source
+// is collected once for the fit pass, the factories run against the
+// materialized trace, and the slice is dropped before the replays start,
+// so only the fit is O(trace) and the replays stream like any other job
+// (sim.RunSource and sim.Run are byte-identical on the same packets, so
+// fitting materialized and replaying streamed changes nothing).
 func runJobStreaming(job *Job, index int, engine *sim.Engine) (Outcome, error) {
 	out := Outcome{Index: index, Job: job}
+	demote, active, err := fitPolicies(job)
+	if err != nil {
+		return out, err
+	}
 	if job.Baseline {
 		base, err := engine.RunSource(job.Source(job.Seed), job.Profile, policy.StatusQuo{}, nil, job.Opts)
 		if err != nil {
@@ -396,18 +409,35 @@ func runJobStreaming(job *Job, index int, engine *sim.Engine) (Outcome, error) {
 		}
 		out.Baseline = base
 	}
-	demote, err := job.Demote(nil, job.Profile)
-	if err != nil {
-		return out, err
-	}
-	var active policy.ActivePolicy
-	if job.Active != nil {
-		active = job.Active(nil, job.Profile)
-	}
 	res, err := engine.RunSource(job.Source(job.Seed), job.Profile, demote, active, job.Opts)
 	if err != nil {
 		return out, err
 	}
 	out.Result = res
 	return out, nil
+}
+
+// fitPolicies constructs a streaming job's policy pair. For FitTrace jobs
+// the source is collected here so the fit-pass trace is a local that
+// becomes unreachable — and collectable — as soon as construction
+// returns, before any replay allocates its lookahead.
+func fitPolicies(job *Job) (policy.DemotePolicy, policy.ActivePolicy, error) {
+	var fit trace.Trace
+	if job.FitTrace {
+		var err error
+		if fit, err = trace.Collect(job.Source(job.Seed)); err != nil {
+			return nil, nil, fmt.Errorf("collecting source for fit: %w", err)
+		}
+	}
+	demote, err := job.Demote(fit, job.Profile)
+	if err != nil {
+		return nil, nil, err
+	}
+	var active policy.ActivePolicy
+	if job.Active != nil {
+		if active, err = job.Active(fit, job.Profile); err != nil {
+			return nil, nil, err
+		}
+	}
+	return demote, active, nil
 }

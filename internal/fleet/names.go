@@ -4,14 +4,15 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/energy"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/trace"
 )
 
-// Policy and active-policy names accepted by NamedScheme, shared by every
-// surface that takes policy names (cmd/rrcsim flags, the job service).
+// Legacy flat policy names, kept as the canonical spellings every
+// pre-registry surface accepted (CLI flags, flat job payloads). Each is
+// either a canonical schema name or a registered alias in
+// policy.Default(); LegacySchemeSpec maps them to parameterized specs.
 const (
 	PolicyStatusQuo = "statusquo"
 	PolicyFourFive  = "4.5s"
@@ -24,76 +25,157 @@ const (
 	ActiveFix   = "fix"
 )
 
-// TraceFitted reports whether the named demote policy must be fitted to
-// the materialized trace before replay (so streaming jobs have to collect
-// their source first). Unknown names report false; NamedDemote is the
-// authority on name validity.
-func TraceFitted(polName string) bool { return polName == Policy95IAT }
-
-// ActiveTraceFitted is TraceFitted for batching-policy names.
-func ActiveTraceFitted(actName string) bool { return actName == ActiveFix }
-
-// NamedDemote maps a CLI/service policy name to a demote policy for a
-// concrete trace and profile. Trace-fitted policies (95iat) accept a nil
-// trace for eager name validation but need the real one to replay.
-func NamedDemote(name string, tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
-	switch name {
-	case PolicyStatusQuo:
-		return policy.StatusQuo{}, nil
-	case PolicyFourFive:
-		return policy.NewFourPointFive(), nil
-	case Policy95IAT:
-		return policy.NewPercentileIAT(tr, 0.95), nil
-	case PolicyOracle:
-		return policy.NewOracle(energy.Threshold(&prof)), nil
-	case PolicyMakeIdle:
-		return policy.NewMakeIdle(prof)
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
+// SchemeSpec is the declarative form of a Scheme: a demote policy spec,
+// an optional batching policy spec, and a summary label. It is the unit
+// of the service's sweep jobs — one job carries a list of SchemeSpecs —
+// and serializes over the /v1 HTTP API.
+type SchemeSpec struct {
+	// Label keys the scheme in summaries; empty derives
+	// "demoteLabel[+activeLabel]" from the resolved specs (only
+	// non-default parameters appear, so "fixedtail(wait=2s)" and plain
+	// "fixedtail" stay distinct).
+	Label string `json:"label,omitempty"`
+	// Policy is the demote policy spec.
+	Policy policy.Spec `json:"policy"`
+	// Active is the batching policy spec; nil means "none".
+	Active *policy.Spec `json:"active,omitempty"`
 }
 
-// NamedActive maps a CLI/service batching-policy name to an active policy;
-// ActiveNone yields nil (batching disabled).
-func NamedActive(name string, tr trace.Trace, prof power.Profile, burstGap time.Duration) (policy.ActivePolicy, error) {
-	switch name {
-	case ActiveNone:
-		return nil, nil
-	case ActiveLearn:
-		return policy.NewLearnedDelay(), nil
-	case ActiveFix:
-		return policy.NewFixedDelay(tr, &prof, burstGap), nil
-	default:
-		return nil, fmt.Errorf("unknown active policy %q", name)
+// activeSpec returns the effective active spec ("none" when unset).
+func (ss SchemeSpec) activeSpec() policy.Spec {
+	if ss.Active == nil {
+		return policy.Spec{Name: ActiveNone}
 	}
+	return *ss.Active
 }
 
-// NamedScheme builds the fleet scheme for a (policy, active) name pair,
-// validating both names eagerly (on a nil trace) so typos fail before a
-// fleet spins up. The scheme label is "policy" or "policy+active".
-func NamedScheme(polName, actName string, burstGap time.Duration) (Scheme, error) {
-	if _, err := NamedDemote(polName, nil, power.Verizon3G); err != nil {
+// ResolvedLabel returns the scheme's summary key: the explicit Label, or
+// the derived one.
+func (ss SchemeSpec) ResolvedLabel(reg *policy.Registry) (string, error) {
+	if ss.Label != "" {
+		return ss.Label, nil
+	}
+	label, err := reg.Label(policy.RoleDemote, ss.Policy)
+	if err != nil {
+		return "", err
+	}
+	aspec := ss.activeSpec()
+	aschema, _, err := reg.Resolve(policy.RoleActive, aspec)
+	if err != nil {
+		return "", err
+	}
+	if aschema.Name != ActiveNone {
+		alabel, err := reg.Label(policy.RoleActive, aspec)
+		if err != nil {
+			return "", err
+		}
+		label += "+" + alabel
+	}
+	return label, nil
+}
+
+// Canonical returns the byte-stable encoding of the scheme spec —
+// "label|demoteCanonical|activeCanonical" — which feeds the v3 job
+// fingerprint: stable across param-map ordering, alias spelling and
+// omitted defaults; changed by any parameter value or label change.
+func (ss SchemeSpec) Canonical(reg *policy.Registry) (string, error) {
+	label, err := ss.ResolvedLabel(reg)
+	if err != nil {
+		return "", err
+	}
+	dc, err := reg.Canonical(policy.RoleDemote, ss.Policy)
+	if err != nil {
+		return "", err
+	}
+	ac, err := reg.Canonical(policy.RoleActive, ss.activeSpec())
+	if err != nil {
+		return "", err
+	}
+	return label + "|" + dc + "|" + ac, nil
+}
+
+// SchemeFromSpec resolves a SchemeSpec against a registry into a runnable
+// Scheme: parameters are coerced and bounds-checked eagerly (so typos and
+// out-of-range sweeps fail before a fleet spins up), FitTrace is derived
+// from the schemas' trace-fitted capability instead of being hand-set,
+// and the policy factories close over the resolved parameters.
+func SchemeFromSpec(reg *policy.Registry, ss SchemeSpec) (Scheme, error) {
+	dschema, dparams, err := reg.Resolve(policy.RoleDemote, ss.Policy)
+	if err != nil {
 		return Scheme{}, err
 	}
-	if _, err := NamedActive(actName, nil, power.Verizon3G, burstGap); err != nil {
+	aspec := ss.activeSpec()
+	aschema, aparams, err := reg.Resolve(policy.RoleActive, aspec)
+	if err != nil {
 		return Scheme{}, err
 	}
-	name := polName
-	if actName != ActiveNone {
-		name += "+" + actName
+	label, err := ss.ResolvedLabel(reg)
+	if err != nil {
+		return Scheme{}, err
 	}
 	s := Scheme{
-		Name: name,
+		Name: label,
 		Demote: func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
-			return NamedDemote(polName, tr, prof)
+			return dschema.NewDemote(dparams, tr, prof)
 		},
-		FitTrace: TraceFitted(polName) || ActiveTraceFitted(actName),
+		FitTrace: dschema.TraceFitted || aschema.TraceFitted,
 	}
-	if actName != ActiveNone {
-		s.Active = func(tr trace.Trace, prof power.Profile) policy.ActivePolicy {
-			a, _ := NamedActive(actName, tr, prof, burstGap)
-			return a
+	if aschema.Name != ActiveNone {
+		s.Active = func(tr trace.Trace, prof power.Profile) (policy.ActivePolicy, error) {
+			return aschema.NewActive(aparams, tr, prof)
 		}
+	}
+	return s, nil
+}
+
+// WithFixBurstGap injects a session-level burst gap into an active spec
+// that names the trace-fitted "fix" policy without pinning its own
+// burstgap parameter. Every surface that carries a job/CLI burst-gap knob
+// (rrcsim's -burstgap flag, jobs.Spec.BurstGap, the legacy flat-name
+// mapping) threads it through this one helper, so the inheritance rule
+// cannot drift between surfaces. The caller's param map is copied, never
+// mutated.
+func WithFixBurstGap(spec policy.Spec, burstGap time.Duration) policy.Spec {
+	if spec.Name != ActiveFix || burstGap <= 0 {
+		return spec
+	}
+	if _, ok := spec.Params["burstgap"]; ok {
+		return spec
+	}
+	params := map[string]any{"burstgap": burstGap}
+	for k, v := range spec.Params {
+		params[k] = v
+	}
+	spec.Params = params
+	return spec
+}
+
+// LegacySchemeSpec maps flat legacy names (plus the shared burst-gap knob,
+// which pre-registry surfaces threaded into the trace-fitted MakeActive)
+// to a SchemeSpec with the legacy label "pol" or "pol+act" — so flat-name
+// payloads keep their historical summary keys, byte for byte. The names
+// are not validated here; resolution reports unknown ones with the
+// registry's accepted list.
+func LegacySchemeSpec(polName, actName string, burstGap time.Duration) SchemeSpec {
+	if actName == "" {
+		actName = ActiveNone
+	}
+	ss := SchemeSpec{Label: polName, Policy: policy.Spec{Name: polName}}
+	if actName != ActiveNone {
+		ss.Label = polName + "+" + actName
+		active := WithFixBurstGap(policy.Spec{Name: actName}, burstGap)
+		ss.Active = &active
+	}
+	return ss
+}
+
+// NamedScheme resolves a legacy flat name pair through the default
+// registry — the one-call form of
+// SchemeFromSpec(policy.Default(), LegacySchemeSpec(...)).
+func NamedScheme(polName, actName string, burstGap time.Duration) (Scheme, error) {
+	s, err := SchemeFromSpec(policy.Default(), LegacySchemeSpec(polName, actName, burstGap))
+	if err != nil {
+		return Scheme{}, fmt.Errorf("fleet: %w", err)
 	}
 	return s, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -101,6 +102,45 @@ func TestFitTraceSchemeStreams(t *testing.T) {
 	}
 	if s1.Schemes[scheme.Name].Energy.N != 4 {
 		t.Fatalf("folded %d users, want 4", s1.Schemes[scheme.Name].Energy.N)
+	}
+}
+
+// TestFitPassSeesTraceThenReplayStreams: a FitTrace Source job hands its
+// policy factories the materialized trace exactly once (the fit pass) and
+// still produces results identical to a fully materialized run — the
+// factories must not rely on the trace surviving into the replay, because
+// the worker drops it before replaying.
+func TestFitPassSeesTraceThenReplayStreams(t *testing.T) {
+	cohort := fleet.Cohort{Users: 3, Seed: 13, Duration: 20 * time.Minute}
+	var fits, calls int
+	scheme := fleet.Scheme{
+		Name:     "recording-95iat",
+		FitTrace: true,
+		Demote: func(tr trace.Trace, _ power.Profile) (policy.DemotePolicy, error) {
+			calls++
+			if tr == nil {
+				t.Error("FitTrace factory called with a nil trace")
+			} else {
+				fits++
+			}
+			return policy.NewPercentileIAT(tr, 0.95), nil
+		},
+	}
+	streamed := cohort.Jobs(power.Verizon3G, []fleet.Scheme{scheme})
+	s1, err := fleet.RunSummary(streamed, fleet.Options{Workers: 1, Shards: 1}, fleet.SummaryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || fits != 3 {
+		t.Fatalf("factory saw %d/%d materialized traces, want 3/3", fits, calls)
+	}
+	slices := materialize(cohort.Jobs(power.Verizon3G, []fleet.Scheme{scheme}))
+	s2, err := fleet.RunSummary(slices, fleet.Options{Workers: 1, Shards: 1}, fleet.SummaryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(summaryJSON(t, s1), summaryJSON(t, s2)) {
+		t.Fatal("fit-then-stream run differs from materialized run")
 	}
 }
 

@@ -5,9 +5,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -41,11 +43,23 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// registry is the policy registry every job spec resolves against.
+func registry() *policy.Registry { return policy.Default() }
+
 // Spec describes one cohort replay job: the synthetic population (users,
-// seed, per-user duration, diurnal mask), the carrier profile, the policy
-// pair, and the shard count that pins the reduction grouping. A Spec is
-// the entire job input — two equal normalized Specs denote the same
+// seed, per-user duration, diurnal mask), the carrier profile, the scheme
+// specs to replay it under, and the shard count that pins the reduction
+// grouping. A Spec is the entire job input — two Specs with equal
+// canonical scheme encodings and equal cohort fields denote the same
 // computation, which is what makes the fingerprint a sound cache key.
+//
+// Schemes is the parameterized form: each entry names a registered demote
+// policy (and optionally a batching policy) with parameter overrides, so
+// one job can sweep a whole parameter grid — every scheme replays the
+// same streamed cohort and aggregates under its own label. The flat
+// Policy/Active names are the legacy single-scheme form; when Schemes is
+// empty they are mapped through the registry's aliases to an equivalent
+// one-entry scheme list with the historical label.
 type Spec struct {
 	// Users is the cohort size (required, > 0).
 	Users int `json:"users"`
@@ -58,12 +72,19 @@ type Spec struct {
 	Diurnal *bool `json:"diurnal,omitempty"`
 	// Profile is the carrier profile name (default "Verizon 3G").
 	Profile string `json:"profile"`
-	// Policy is the demote policy name (default "makeidle"); see
-	// fleet.NamedDemote for the accepted set.
-	Policy string `json:"policy"`
-	// Active is the batching policy name (default "none").
-	Active string `json:"active"`
-	// BurstGap is the session segmentation gap (default 1s).
+	// Schemes lists the scheme specs to replay (the sweep). Empty means
+	// the legacy Policy/Active pair below.
+	Schemes []fleet.SchemeSpec `json:"schemes,omitempty"`
+	// Policy is the legacy flat demote-policy name (default "makeidle");
+	// see GET /v1/policies for the accepted set. Ignored when Schemes is
+	// set.
+	Policy string `json:"policy,omitempty"`
+	// Active is the legacy flat batching-policy name (default "none").
+	// Ignored when Schemes is set.
+	Active string `json:"active,omitempty"`
+	// BurstGap is the session segmentation gap applied to every scheme's
+	// replay (default 1s). It also seeds the "fix" active policy's
+	// burstgap parameter for schemes that do not set their own.
 	BurstGap Duration `json:"burst_gap"`
 	// Shards is the aggregate partition count (default
 	// fleet.DefaultShards). Part of the fingerprint: the shard count fixes
@@ -74,7 +95,8 @@ type Spec struct {
 }
 
 // withDefaults returns the normalized spec: every optional field resolved
-// to its default so equal jobs normalize to equal specs.
+// to its default and the legacy flat names expanded into Schemes, so
+// equal jobs normalize to equal specs.
 func (s Spec) withDefaults() Spec {
 	if s.Duration <= 0 {
 		s.Duration = Duration(4 * time.Hour)
@@ -86,30 +108,62 @@ func (s Spec) withDefaults() Spec {
 	if s.Profile == "" {
 		s.Profile = power.Verizon3G.Name
 	}
-	if s.Policy == "" {
-		s.Policy = fleet.PolicyMakeIdle
-	}
-	if s.Active == "" {
-		s.Active = fleet.ActiveNone
-	}
 	if s.BurstGap <= 0 {
 		s.BurstGap = Duration(time.Second)
 	}
 	if s.Shards <= 0 {
 		s.Shards = fleet.DefaultShards
 	}
+	if len(s.Schemes) == 0 {
+		// Legacy flat form: fill the flat fields too (not just the scheme
+		// list) so the normalized spec echoed in Status keeps the shape
+		// pre-/v1 clients parsed.
+		if s.Policy == "" {
+			s.Policy = fleet.PolicyMakeIdle
+		}
+		if s.Active == "" {
+			s.Active = fleet.ActiveNone
+		}
+		s.Schemes = []fleet.SchemeSpec{
+			fleet.LegacySchemeSpec(s.Policy, s.Active, time.Duration(s.BurstGap)),
+		}
+	} else {
+		// The job's burst gap seeds the trace-fitted MakeActive bound for
+		// schemes that do not pin their own, exactly as the legacy flat
+		// form and the CLI do. Injection happens here, during
+		// normalization, so the canonical encodings the fingerprint hashes
+		// describe the computation that actually runs.
+		schemes := make([]fleet.SchemeSpec, len(s.Schemes))
+		for i, ss := range s.Schemes {
+			schemes[i] = withSchemeBurstGap(ss, time.Duration(s.BurstGap))
+		}
+		s.Schemes = schemes
+	}
 	return s
+}
+
+// withSchemeBurstGap threads the job burst gap into a scheme's active
+// spec via the shared fleet.WithFixBurstGap rule.
+func withSchemeBurstGap(ss fleet.SchemeSpec, burstGap time.Duration) fleet.SchemeSpec {
+	if ss.Active == nil {
+		return ss
+	}
+	active := fleet.WithFixBurstGap(*ss.Active, burstGap)
+	ss.Active = &active
+	return ss
 }
 
 // Admission bounds on a single job: a spec is one HTTP request, so its
 // resource footprint must be bounded before it reaches a runner. MaxUsers
 // bounds the O(users) job-slice allocation (~150 MB at the limit);
 // MaxDuration bounds per-user trace length; MaxShards bounds the partial
-// accumulator array (the fleet clamps shards to the job count anyway).
+// accumulator array (the fleet clamps shards to the job count anyway);
+// MaxSchemes bounds a sweep's replay multiplier.
 const (
 	MaxUsers    = 1_000_000
 	MaxDuration = Duration(30 * 24 * time.Hour)
 	MaxShards   = 1 << 16
+	MaxSchemes  = 64
 )
 
 // validate rejects unusable specs with a client-attributable error. The
@@ -128,11 +182,28 @@ func (s Spec) validate() error {
 	if s.Shards > MaxShards {
 		return fmt.Errorf("jobs: shards %d exceeds the limit of %d", s.Shards, MaxShards)
 	}
+	if len(s.Schemes) > MaxSchemes {
+		return fmt.Errorf("jobs: %d schemes exceeds the limit of %d", len(s.Schemes), MaxSchemes)
+	}
 	if _, ok := power.ByName(s.Profile); !ok {
 		return fmt.Errorf("jobs: unknown profile %q", s.Profile)
 	}
-	if _, err := fleet.NamedScheme(s.Policy, s.Active, time.Duration(s.BurstGap)); err != nil {
-		return fmt.Errorf("jobs: %w", err)
+	seen := make(map[string]bool, len(s.Schemes))
+	for i, ss := range s.Schemes {
+		label, err := ss.ResolvedLabel(registry())
+		if err != nil {
+			return fmt.Errorf("jobs: scheme %d: %w", i, err)
+		}
+		if strings.ContainsAny(label, "|\n") {
+			return fmt.Errorf("jobs: scheme %d: label %q contains reserved characters", i, label)
+		}
+		if seen[label] {
+			return fmt.Errorf("jobs: scheme %d: duplicate label %q (label sweeps explicitly)", i, label)
+		}
+		seen[label] = true
+		if _, err := fleet.SchemeFromSpec(registry(), ss); err != nil {
+			return fmt.Errorf("jobs: scheme %d: %w", i, err)
+		}
 	}
 	return nil
 }
@@ -159,26 +230,42 @@ func (s Spec) SourceHash() string {
 }
 
 // Fingerprint is the deterministic cache key of the normalized spec:
-// sha256 over (source hash, profile, policy, seed, users, shards) plus the
-// remaining replay parameters (active policy, burst gap) that change the
-// output. Equal fingerprints imply byte-identical results, because the
-// computation is deterministic given the spec and the shard count is part
-// of the key.
+// sha256 over (source hash, profile, burst gap, seed, users, shards) plus
+// the canonical encoding of every scheme spec — label, resolved policy
+// names and every parameter value in registry order — so the key is
+// stable across param-map ordering, alias spelling and omitted defaults,
+// and moves whenever any parameter value (or the scheme list, or its
+// order) changes. Equal fingerprints imply byte-identical results,
+// because the computation is deterministic given the spec and the shard
+// count is part of the key.
+//
+// Unresolvable specs get a sentinel fingerprint; they can never produce a
+// result, so the sentinel can never be paired with cached bytes.
 func (s Spec) Fingerprint() string {
 	s = s.withDefaults()
 	h := sha256.New()
-	fmt.Fprintf(h, "v2|source=%s|profile=%s|policy=%s|active=%s|burstgap=%s|seed=%d|users=%d|shards=%d",
-		s.SourceHash(), s.Profile, s.Policy, s.Active,
-		time.Duration(s.BurstGap), s.Seed, s.Users, s.Shards)
+	fmt.Fprintf(h, "v3|source=%s|profile=%s|burstgap=%s|seed=%d|users=%d|shards=%d|schemes=%d",
+		s.SourceHash(), s.Profile,
+		time.Duration(s.BurstGap), s.Seed, s.Users, s.Shards, len(s.Schemes))
+	for _, ss := range s.Schemes {
+		canon, err := ss.Canonical(registry())
+		if err != nil {
+			canon = "unresolvable:" + err.Error()
+		}
+		fmt.Fprintf(h, "|%s", canon)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// fleetJobs expands the normalized spec into the cohort's fleet jobs.
-func (s Spec) fleetJobs() ([]fleet.Job, error) {
-	scheme, err := fleet.NamedScheme(s.Policy, s.Active, time.Duration(s.BurstGap))
-	if err != nil {
-		return nil, err
-	}
+// schemeRuns expands the normalized spec into one fleet job slice per
+// scheme — each an independent fleet run. Every run replays the identical
+// streamed cohort (per-user seeds depend only on the cohort, never the
+// scheme; per-scheme aggregates are keyed by Job.Scheme inside the
+// fleet), and running schemes as separate fleet runs keeps each scheme's
+// reduction grouping exactly what a single-scheme job with the same shard
+// count would use — which is what makes a sweep's per-scheme summaries
+// byte-identical to separate jobs.
+func (s Spec) schemeRuns() ([][]fleet.Job, error) {
 	prof, ok := power.ByName(s.Profile)
 	if !ok {
 		return nil, fmt.Errorf("jobs: unknown profile %q", s.Profile)
@@ -190,5 +277,13 @@ func (s Spec) fleetJobs() ([]fleet.Job, error) {
 		Diurnal:  s.Diurnal != nil && *s.Diurnal,
 		Opts:     &sim.Options{BurstGap: time.Duration(s.BurstGap)},
 	}
-	return cohort.Jobs(prof, []fleet.Scheme{scheme}), nil
+	runs := make([][]fleet.Job, 0, len(s.Schemes))
+	for i, ss := range s.Schemes {
+		scheme, err := fleet.SchemeFromSpec(registry(), ss)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: scheme %d: %w", i, err)
+		}
+		runs = append(runs, cohort.Jobs(prof, []fleet.Scheme{scheme}))
+	}
+	return runs, nil
 }

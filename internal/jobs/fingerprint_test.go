@@ -1,0 +1,191 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/policy"
+)
+
+func sweepSpec(schemes ...fleet.SchemeSpec) Spec {
+	return Spec{Users: 5, Seed: 3, Duration: Duration(30 * time.Minute), Schemes: schemes}
+}
+
+// TestFingerprintStableAcrossParamEncodings: the v3 fingerprint hashes
+// canonical scheme encodings, so every way of writing the same sweep —
+// alias vs canonical name, omitted vs explicit defaults, string vs
+// numeric parameter forms, any param-map construction order — produces
+// one fingerprint.
+func TestFingerprintStableAcrossParamEncodings(t *testing.T) {
+	want := sweepSpec(fleet.SchemeSpec{Policy: policy.Spec{Name: "fixedtail"}}).Fingerprint()
+	equivalents := []fleet.SchemeSpec{
+		{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "4.5s"}}},
+		{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "4500ms"}}},
+		{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": 4500 * time.Millisecond}}},
+		{Policy: policy.Spec{Name: "fixedtail"}, Active: &policy.Spec{Name: "none"}},
+		{Label: "fixedtail", Policy: policy.Spec{Name: "fixedtail"}},
+	}
+	for i, ss := range equivalents {
+		if got := sweepSpec(ss).Fingerprint(); got != want {
+			t.Errorf("equivalent scheme %d changed the fingerprint", i)
+		}
+	}
+
+	// Param-map construction order cannot matter: rebuild the same
+	// multi-param map across trials (Go randomizes map iteration, so many
+	// trials exercise many orders).
+	multi := func() map[string]any {
+		return map[string]any{"window": 200, "gridsteps": 50, "minsample": 20}
+	}
+	ref := sweepSpec(fleet.SchemeSpec{Policy: policy.Spec{Name: "makeidle", Params: multi()}}).Fingerprint()
+	for trial := 0; trial < 20; trial++ {
+		if sweepSpec(fleet.SchemeSpec{Policy: policy.Spec{Name: "makeidle", Params: multi()}}).Fingerprint() != ref {
+			t.Fatal("fingerprint depends on param map ordering")
+		}
+	}
+}
+
+// TestFingerprintMovesWithAnyParamChange: changing any single parameter
+// value, the scheme label, the scheme list, or its order changes the
+// fingerprint.
+func TestFingerprintMovesWithAnyParamChange(t *testing.T) {
+	base := map[string]any{"window": 200, "gridsteps": 50, "minsample": 20}
+	mk := func(params map[string]any) Spec {
+		return sweepSpec(fleet.SchemeSpec{Policy: policy.Spec{Name: "makeidle", Params: params}})
+	}
+	seen := map[string]string{mk(base).Fingerprint(): "base"}
+	for k := range base {
+		mutated := map[string]any{}
+		for k2, v2 := range base {
+			mutated[k2] = v2
+		}
+		mutated[k] = mutated[k].(int) + 1
+		fp := mk(mutated).Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("mutating %q collided with %s", k, prev)
+		}
+		seen[fp] = k
+	}
+
+	a := fleet.SchemeSpec{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "2s"}}}
+	b := fleet.SchemeSpec{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "8s"}}}
+	distinct := []Spec{
+		sweepSpec(a),
+		sweepSpec(b),
+		sweepSpec(a, b),
+		sweepSpec(b, a), // scheme order is part of the computation's identity
+		sweepSpec(fleet.SchemeSpec{Label: "renamed", Policy: a.Policy}),
+		sweepSpec(fleet.SchemeSpec{Policy: a.Policy, Active: &policy.Spec{Name: "learn"}}),
+		sweepSpec(fleet.SchemeSpec{Policy: a.Policy,
+			Active: &policy.Spec{Name: "learn", Params: map[string]any{"gamma": 0.01}}}),
+	}
+	for i, s := range distinct {
+		fp := s.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("spec %d collided with %s", i, prev)
+		}
+		seen[fp] = "distinct"
+	}
+}
+
+// TestLegacyNameAliasFingerprints: every legacy flat-name payload
+// fingerprints identically to its explicit spec form — the alias mapping
+// the /v1 back-compat path relies on — for every old flat name.
+func TestLegacyNameAliasFingerprints(t *testing.T) {
+	base := Spec{Users: 5, Seed: 3, Duration: Duration(30 * time.Minute)}
+	cases := []struct {
+		pol, act string
+		scheme   fleet.SchemeSpec
+	}{
+		{"statusquo", "", fleet.SchemeSpec{Label: "statusquo", Policy: policy.Spec{Name: "statusquo"}}},
+		{"4.5s", "", fleet.SchemeSpec{Label: "4.5s",
+			Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "4.5s"}}}},
+		{"95iat", "", fleet.SchemeSpec{Label: "95iat",
+			Policy: policy.Spec{Name: "pctiat", Params: map[string]any{"q": 0.95}}}},
+		{"oracle", "", fleet.SchemeSpec{Label: "oracle", Policy: policy.Spec{Name: "oracle"}}},
+		{"makeidle", "", fleet.SchemeSpec{Label: "makeidle", Policy: policy.Spec{Name: "makeidle"}}},
+		{"makeidle", "learn", fleet.SchemeSpec{Label: "makeidle+learn",
+			Policy: policy.Spec{Name: "makeidle"}, Active: &policy.Spec{Name: "learn"}}},
+		{"makeidle", "fix", fleet.SchemeSpec{Label: "makeidle+fix",
+			Policy: policy.Spec{Name: "makeidle"},
+			Active: &policy.Spec{Name: "fix", Params: map[string]any{"burstgap": "1s"}}}},
+	}
+	for _, c := range cases {
+		legacy := base
+		legacy.Policy, legacy.Active = c.pol, c.act
+		speced := base
+		speced.Schemes = []fleet.SchemeSpec{c.scheme}
+		if legacy.Fingerprint() != speced.Fingerprint() {
+			t.Errorf("legacy %s/%s does not fingerprint like its spec form", c.pol, c.act)
+		}
+	}
+}
+
+// TestBurstGapSeedsFixScheme: the job-level burst gap reaches a "fix"
+// active spec that does not pin its own, in both the legacy flat form
+// and the schemes form — the two spellings fingerprint (and therefore
+// compute) identically — while an explicit burstgap param wins.
+func TestBurstGapSeedsFixScheme(t *testing.T) {
+	legacy := Spec{Users: 5, Seed: 3, Duration: Duration(30 * time.Minute),
+		Policy: "makeidle", Active: "fix", BurstGap: Duration(2 * time.Second)}
+	speced := Spec{Users: 5, Seed: 3, Duration: Duration(30 * time.Minute),
+		BurstGap: Duration(2 * time.Second),
+		Schemes: []fleet.SchemeSpec{{Label: "makeidle+fix",
+			Policy: policy.Spec{Name: "makeidle"}, Active: &policy.Spec{Name: "fix"}}}}
+	if legacy.Fingerprint() != speced.Fingerprint() {
+		t.Fatal("schemes form ignores the job burst gap the legacy form applies")
+	}
+	canon, err := speced.withDefaults().Schemes[0].Canonical(registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(canon, "fix(burstgap=2s)") {
+		t.Fatalf("canonical %q does not carry the injected burst gap", canon)
+	}
+	pinned := speced
+	pinned.Schemes = []fleet.SchemeSpec{{Label: "makeidle+fix",
+		Policy: policy.Spec{Name: "makeidle"},
+		Active: &policy.Spec{Name: "fix", Params: map[string]any{"burstgap": "500ms"}}}}
+	if pinned.Fingerprint() == speced.Fingerprint() {
+		t.Fatal("explicit burstgap param did not override the job burst gap")
+	}
+	if pinned.Schemes[0].Active.Params["burstgap"] != "500ms" {
+		t.Fatal("normalization mutated the caller's scheme spec")
+	}
+}
+
+// TestSpecValidateSchemes: sweep-specific admission rules.
+func TestSpecValidateSchemes(t *testing.T) {
+	good := sweepSpec(
+		fleet.SchemeSpec{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "2s"}}},
+		fleet.SchemeSpec{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "8s"}}},
+	).withDefaults()
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid sweep rejected: %v", err)
+	}
+	bad := []Spec{
+		sweepSpec(fleet.SchemeSpec{Policy: policy.Spec{Name: "warpdrive"}}),
+		sweepSpec(fleet.SchemeSpec{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "20m"}}}),
+		sweepSpec( // duplicate labels: both resolve to "fixedtail"
+			fleet.SchemeSpec{Policy: policy.Spec{Name: "fixedtail"}},
+			fleet.SchemeSpec{Policy: policy.Spec{Name: "4.5s"}}),
+		sweepSpec(fleet.SchemeSpec{Label: "a|b", Policy: policy.Spec{Name: "makeidle"}}),
+		func() Spec {
+			s := sweepSpec()
+			for i := 0; i <= MaxSchemes; i++ {
+				s.Schemes = append(s.Schemes, fleet.SchemeSpec{
+					Label:  time.Duration(i).String(),
+					Policy: policy.Spec{Name: "makeidle"},
+				})
+			}
+			return s
+		}(),
+	}
+	for i, s := range bad {
+		if err := s.withDefaults().validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}

@@ -1,12 +1,20 @@
 // Package jobs is the asynchronous job layer between the HTTP service and
-// the fleet runtime: a bounded queue of cohort replay jobs, per-job
+// the fleet runtime: a bounded queue of cohort replay jobs — each a list
+// of parameterized scheme specs swept over one streamed cohort — per-job
 // lifecycle state (queued → running → done/failed/canceled), cooperative
 // cancellation that propagates into the fleet via its Cancel channel, and
-// a result cache keyed by the deterministic job fingerprint — (source
-// spec hash, profile, policy, seed, users, shards), where the source spec
+// a result cache keyed by the deterministic v3 job fingerprint: (source
+// spec hash, profile, burst gap, seed, users, shards) plus the canonical
+// byte-stable encoding of every scheme spec, where the source spec
 // identifies the streamed packet source by kind + params + seed rather
 // than requiring a materialized trace to hash — so resubmitting an
-// identical spec is served from cache with byte-identical rendered output.
+// identical spec (however its parameters are spelled) is served from
+// cache with byte-identical rendered output.
+//
+// A sweep executes as one fleet run per scheme over the identical cohort,
+// which keeps every scheme's reduction grouping equal to a single-scheme
+// job's — a sweep's per-scheme summaries are byte-identical to separate
+// jobs on the same seed.
 //
 // Results are rendered (JSON/CSV/text) exactly once, when a job finishes;
 // cache hits share the rendered bytes. Because the fleet reduction is
@@ -53,10 +61,6 @@ type Progress struct {
 	Shards     int `json:"shards"`
 	DoneJobs   int `json:"done_jobs"`
 	TotalJobs  int `json:"total_jobs"`
-}
-
-func progressOf(p fleet.Progress) Progress {
-	return Progress{DoneShards: p.DoneShards, Shards: p.Shards, DoneJobs: p.DoneJobs, TotalJobs: p.TotalJobs}
 }
 
 // Status is a point-in-time snapshot of a job, safe to serialize.
@@ -431,7 +435,14 @@ func (j *Job) requestCancel() {
 	}
 }
 
-// runJob executes one popped job against the fleet runtime.
+// runJob executes one popped job against the fleet runtime: one fleet run
+// per scheme, sequentially, each over the identical streamed cohort.
+// Per-scheme runs — rather than one run over the concatenated job list —
+// keep every scheme's reduction grouping exactly what a single-scheme job
+// would use, so a sweep's per-scheme summaries are byte-identical to
+// separate jobs; the runs' summaries merge into one combined Summary
+// (scheme labels are disjoint, and merging into an empty aggregate copies
+// it exactly), and progress/partials accumulate across runs.
 func (m *Manager) runJob(job *Job) {
 	job.mu.Lock()
 	if job.state.Terminal() { // canceled while queued
@@ -443,7 +454,7 @@ func (m *Manager) runJob(job *Job) {
 	spec := job.spec
 	job.mu.Unlock()
 
-	fjobs, err := spec.fleetJobs()
+	runs, err := spec.schemeRuns()
 	if err != nil {
 		job.finish(StateFailed, nil, err)
 		return
@@ -453,33 +464,53 @@ func (m *Manager) runJob(job *Job) {
 		Shards:  spec.Shards,
 		Cancel:  job.cancel,
 	}
-	var last fleet.Progress
-	sum, err := m.cfg.runFleet(fjobs, opts, fleet.SummaryConfig{},
-		func(partial *fleet.Summary, p fleet.Progress) {
-			job.mu.Lock()
-			job.partial = partial
-			job.progress = progressOf(p)
-			last = p
-			job.mu.Unlock()
-		})
-	if err != nil {
-		if errors.Is(err, fleet.ErrCanceled) {
-			job.finish(StateCanceled, nil, err)
-		} else {
-			job.finish(StateFailed, nil, err)
-		}
-		return
+	cfg := fleet.SummaryConfig{}
+	totals := Progress{}
+	for _, run := range runs {
+		totals.Shards += opts.NumShards(len(run))
+		totals.TotalJobs += len(run)
 	}
-	res, err := renderResult(sum)
+	combined := fleet.NewSummary(cfg)
+	done := Progress{Shards: totals.Shards, TotalJobs: totals.TotalJobs}
+	for _, run := range runs {
+		select {
+		case <-job.cancel:
+			job.finish(StateCanceled, nil, fleet.ErrCanceled)
+			return
+		default:
+		}
+		sum, err := m.cfg.runFleet(run, opts, cfg,
+			func(partial *fleet.Summary, p fleet.Progress) {
+				snap := fleet.NewSummary(cfg)
+				mustMerge(snap, combined)
+				mustMerge(snap, partial)
+				overall := Progress{
+					DoneShards: done.DoneShards + p.DoneShards, Shards: totals.Shards,
+					DoneJobs: done.DoneJobs + p.DoneJobs, TotalJobs: totals.TotalJobs,
+				}
+				job.mu.Lock()
+				job.partial = snap
+				job.progress = overall
+				job.mu.Unlock()
+			})
+		if err != nil {
+			if errors.Is(err, fleet.ErrCanceled) {
+				job.finish(StateCanceled, nil, err)
+			} else {
+				job.finish(StateFailed, nil, err)
+			}
+			return
+		}
+		mustMerge(combined, sum)
+		done.DoneShards += opts.NumShards(len(run))
+		done.DoneJobs += len(run)
+	}
+	res, err := renderResult(combined)
 	if err != nil {
 		job.finish(StateFailed, nil, err)
 		return
 	}
-	if last.Shards > 0 {
-		res.Progress = progressOf(last)
-	} else { // fake runners may skip partials; synthesize terminal counts
-		res.Progress = Progress{DoneJobs: len(fjobs), TotalJobs: len(fjobs)}
-	}
+	res.Progress = done
 	job.mu.Lock()
 	job.progress = res.Progress
 	job.mu.Unlock()
@@ -487,6 +518,14 @@ func (m *Manager) runJob(job *Job) {
 	m.cache.put(job.fingerprint, res)
 	m.mu.Unlock()
 	job.finish(StateDone, res, nil)
+}
+
+// mustMerge folds src into dst; layout mismatches are impossible (every
+// summary of a job shares one SummaryConfig), so the error path panics.
+func mustMerge(dst, src *fleet.Summary) {
+	if err := dst.Merge(src); err != nil {
+		panic(err)
+	}
 }
 
 // resultCache is a small LRU of fingerprint → rendered result. Guarded by

@@ -17,6 +17,7 @@
 package policy
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -115,8 +116,11 @@ type PercentileIAT struct {
 }
 
 // NewPercentileIAT builds the baseline for a trace at quantile q (0..1).
+// The label rounds q*100 to 6 significant digits so binary float
+// artifacts (0.29*100 = 28.999999999999996) never leak into reports.
 func NewPercentileIAT(tr trace.Trace, q float64) *PercentileIAT {
-	return &PercentileIAT{wait: tr.QuantileGap(q), q: q, label: "95% IAT"}
+	return &PercentileIAT{wait: tr.QuantileGap(q), q: q,
+		label: fmt.Sprintf("%.6g%% IAT", q*100)}
 }
 
 // Name implements DemotePolicy.

@@ -47,8 +47,11 @@ func TestPercentileIAT(t *testing.T) {
 	if p.Decide(0) != p.Wait() {
 		t.Fatal("Decide should return the percentile wait")
 	}
-	if p.Name() != "95% IAT" {
-		t.Fatalf("name %q", p.Name())
+	if p.Name() != "50% IAT" {
+		t.Fatalf("name %q, want the quantile-derived label", p.Name())
+	}
+	if q95 := NewPercentileIAT(tr, 0.95); q95.Name() != "95% IAT" {
+		t.Fatalf("name %q, want the paper's 95%% IAT label", q95.Name())
 	}
 	p.Observe(time.Second)
 	p.Reset()

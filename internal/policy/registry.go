@@ -1,0 +1,501 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Role distinguishes the two policy slots of a scheme, matching the two
+// halves of the control module (Fig. 4): demote policies run while the
+// radio is Active, active (batching) policies while it is Idle.
+type Role string
+
+// The two policy roles.
+const (
+	RoleDemote Role = "demote"
+	RoleActive Role = "active"
+)
+
+// Schema is one registered policy: its name, parameter declarations,
+// capabilities, and builder. Exactly one of NewDemote/NewActive is set,
+// matching Role. Builders receive fully resolved Params (every parameter
+// present, coerced and bounds-checked) plus the trace and profile; tr is
+// nil unless TraceFitted is set, so only trace-fitted builders may touch
+// it.
+type Schema struct {
+	Name    string
+	Role    Role
+	Summary string
+	Params  []ParamSpec
+
+	// TraceFitted marks policies whose builder must see the materialized
+	// trace (the 95% IAT quantile fit, the MakeActive-Fix bound). The
+	// fleet uses this capability to decide which jobs need a fit pass.
+	TraceFitted bool
+	// GapLookahead marks clairvoyant policies (the Oracle): the simulator
+	// feeds them the next inter-arrival gap before each decision.
+	GapLookahead bool
+
+	NewDemote func(p Params, tr trace.Trace, prof power.Profile) (DemotePolicy, error)
+	NewActive func(p Params, tr trace.Trace, prof power.Profile) (ActivePolicy, error)
+}
+
+// param returns the declaration of a parameter name.
+func (s *Schema) param(name string) (ParamSpec, bool) {
+	for _, p := range s.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ParamSpec{}, false
+}
+
+// validate rejects malformed schemas at registration time, which is what
+// guarantees every registered policy is fully self-describing.
+func (s *Schema) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("policy: schema with empty name")
+	}
+	if strings.ContainsAny(s.Name, "(),=| \t") {
+		return fmt.Errorf("policy: schema name %q contains reserved characters", s.Name)
+	}
+	switch s.Role {
+	case RoleDemote:
+		if s.NewDemote == nil || s.NewActive != nil {
+			return fmt.Errorf("policy: demote schema %q must set exactly NewDemote", s.Name)
+		}
+	case RoleActive:
+		if s.NewActive == nil || s.NewDemote != nil {
+			return fmt.Errorf("policy: active schema %q must set exactly NewActive", s.Name)
+		}
+	default:
+		return fmt.Errorf("policy: schema %q has unknown role %q", s.Name, s.Role)
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Params {
+		if err := p.validate(); err != nil {
+			return fmt.Errorf("policy: schema %q: %w", s.Name, err)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("policy: schema %q declares parameter %q twice", s.Name, p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// Registry holds policy schemas by (role, name) plus legacy flat-name
+// aliases that expand to parameterized specs. It is the single authority
+// on which policies exist, what their knobs are, and what capabilities
+// they have — every surface (CLI flags, job specs, the /v1 HTTP API)
+// resolves policy names through one.
+type Registry struct {
+	schemas map[Role]map[string]*Schema
+	aliases map[Role]map[string]Spec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		schemas: map[Role]map[string]*Schema{RoleDemote: {}, RoleActive: {}},
+		aliases: map[Role]map[string]Spec{RoleDemote: {}, RoleActive: {}},
+	}
+}
+
+// Register adds a schema, rejecting malformed or duplicate ones.
+func (r *Registry) Register(s *Schema) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	if _, dup := r.schemas[s.Role][s.Name]; dup {
+		return fmt.Errorf("policy: %s schema %q already registered", s.Role, s.Name)
+	}
+	if _, dup := r.aliases[s.Role][s.Name]; dup {
+		return fmt.Errorf("policy: %s name %q already taken by an alias", s.Role, s.Name)
+	}
+	r.schemas[s.Role][s.Name] = s
+	return nil
+}
+
+// Alias maps a legacy flat name to a spec, which must itself fully
+// resolve — name, parameter coercion and bounds — so a broken alias can
+// never register and poison later lookups.
+func (r *Registry) Alias(role Role, name string, spec Spec) error {
+	if name == "" {
+		return fmt.Errorf("policy: empty alias")
+	}
+	if strings.ContainsAny(name, "(),=| \t") {
+		return fmt.Errorf("policy: alias %q contains reserved characters", name)
+	}
+	if _, dup := r.schemas[role][name]; dup {
+		return fmt.Errorf("policy: alias %q shadows a registered %s schema", name, role)
+	}
+	if _, dup := r.aliases[role][name]; dup {
+		return fmt.Errorf("policy: alias %q already registered", name)
+	}
+	if _, _, err := r.Resolve(role, spec); err != nil {
+		return fmt.Errorf("policy: alias %q: %w", name, err)
+	}
+	r.aliases[role][name] = spec
+	return nil
+}
+
+// Lookup returns the schema registered under a canonical name (aliases do
+// not resolve here; use Resolve for full name resolution).
+func (r *Registry) Lookup(role Role, name string) (*Schema, bool) {
+	s, ok := r.schemas[role][name]
+	return s, ok
+}
+
+// Schemas lists a role's registered schemas sorted by name.
+func (r *Registry) Schemas(role Role) []*Schema {
+	out := make([]*Schema, 0, len(r.schemas[role]))
+	for _, name := range sortedNames(r.schemas[role]) {
+		out = append(out, r.schemas[role][name])
+	}
+	return out
+}
+
+// Aliases lists a role's alias names sorted.
+func (r *Registry) Aliases(role Role) []string { return sortedNames(r.aliases[role]) }
+
+// Names lists every accepted name for a role — canonical schema names and
+// aliases — sorted.
+func (r *Registry) Names(role Role) []string {
+	names := append(sortedNames(r.schemas[role]), sortedNames(r.aliases[role])...)
+	sort.Strings(names)
+	return names
+}
+
+// resolveSchema expands an alias (layering the caller's param overrides on
+// top of the alias's) and returns the schema plus the effective spec.
+func (r *Registry) resolveSchema(role Role, spec Spec) (*Schema, Spec, error) {
+	if alias, ok := r.aliases[role][spec.Name]; ok {
+		merged := Spec{Name: alias.Name}
+		if len(alias.Params) > 0 || len(spec.Params) > 0 {
+			merged.Params = make(map[string]any, len(alias.Params)+len(spec.Params))
+			for k, v := range alias.Params {
+				merged.Params[k] = v
+			}
+			for k, v := range spec.Params {
+				merged.Params[k] = v
+			}
+		}
+		spec = merged
+	}
+	schema, ok := r.schemas[role][spec.Name]
+	if !ok {
+		return nil, Spec{}, fmt.Errorf("unknown %s policy %q (valid: %s)",
+			role, spec.Name, strings.Join(r.Names(role), ", "))
+	}
+	return schema, spec, nil
+}
+
+// Resolve expands aliases and resolves a spec's parameters against the
+// schema: unknown parameters are rejected, values coerced to their
+// canonical types and bounds-checked, and omitted parameters filled from
+// defaults. The returned Params is complete — builders never see a
+// missing key.
+func (r *Registry) Resolve(role Role, spec Spec) (*Schema, Params, error) {
+	schema, spec, err := r.resolveSchema(role, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	resolved := make(Params, len(schema.Params))
+	for _, ps := range schema.Params {
+		resolved[ps.Name] = ps.Default
+	}
+	for name, raw := range spec.Params {
+		ps, ok := schema.param(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("policy %q has no parameter %q (has: %s)",
+				schema.Name, name, strings.Join(paramNames(schema.Params), ", "))
+		}
+		v, err := ps.Kind.coerce(raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("policy %q parameter %q: %w", schema.Name, name, err)
+		}
+		if err := ps.inBounds(v); err != nil {
+			return nil, nil, fmt.Errorf("policy %q parameter %q: %w", schema.Name, name, err)
+		}
+		resolved[ps.Name] = v
+	}
+	return schema, resolved, nil
+}
+
+// Canonical returns the byte-stable encoding of a spec: the canonical
+// schema name followed by every parameter — defaults resolved — in schema
+// declaration order, values in canonical string form. Two specs that
+// denote the same policy configuration (alias vs canonical name, omitted
+// vs explicit defaults, "4500ms" vs "4.5s", any param-map ordering)
+// encode identically, and any parameter value change changes the
+// encoding. The job fingerprint (v3) hashes these encodings.
+func (r *Registry) Canonical(role Role, spec Spec) (string, error) {
+	schema, resolved, err := r.Resolve(role, spec)
+	if err != nil {
+		return "", err
+	}
+	return schema.Name + encodeParams(schema.Params, resolved, nil), nil
+}
+
+// Label returns the human-readable short form of a spec: the canonical
+// name plus only the non-default parameters. Sweep summaries key schemes
+// by these, so "fixedtail(wait=2s)" and plain "fixedtail" (the 4.5 s
+// default) stay distinct and readable.
+func (r *Registry) Label(role Role, spec Spec) (string, error) {
+	schema, resolved, err := r.Resolve(role, spec)
+	if err != nil {
+		return "", err
+	}
+	return schema.Name + encodeParams(schema.Params, resolved, func(ps ParamSpec, v any) bool {
+		return ps.Kind.format(v) != ps.Kind.format(ps.Default)
+	}), nil
+}
+
+// BuildDemote resolves and constructs a demote policy. tr may be nil
+// unless the resolved schema is TraceFitted.
+func (r *Registry) BuildDemote(spec Spec, tr trace.Trace, prof power.Profile) (DemotePolicy, error) {
+	schema, params, err := r.Resolve(RoleDemote, spec)
+	if err != nil {
+		return nil, err
+	}
+	return schema.NewDemote(params, tr, prof)
+}
+
+// BuildActive resolves and constructs an active (batching) policy; the
+// "none" policy yields nil, meaning batching disabled.
+func (r *Registry) BuildActive(spec Spec, tr trace.Trace, prof power.Profile) (ActivePolicy, error) {
+	schema, params, err := r.Resolve(RoleActive, spec)
+	if err != nil {
+		return nil, err
+	}
+	return schema.NewActive(params, tr, prof)
+}
+
+// ParamInfo is the serializable view of a ParamSpec, values in canonical
+// string form (the same forms Canonical uses).
+type ParamInfo struct {
+	Name    string    `json:"name"`
+	Kind    ParamKind `json:"kind"`
+	Default string    `json:"default"`
+	Min     string    `json:"min,omitempty"`
+	Max     string    `json:"max,omitempty"`
+	Help    string    `json:"help,omitempty"`
+}
+
+// SchemaInfo is the serializable view of a Schema plus its aliases — the
+// payload of the /v1/policies discovery endpoint.
+type SchemaInfo struct {
+	Name         string      `json:"name"`
+	Role         Role        `json:"role"`
+	Summary      string      `json:"summary,omitempty"`
+	Params       []ParamInfo `json:"params"`
+	TraceFitted  bool        `json:"trace_fitted"`
+	GapLookahead bool        `json:"gap_lookahead"`
+	Aliases      []string    `json:"aliases,omitempty"`
+}
+
+// Describe returns the serializable view of a role's schemas, sorted by
+// name, each carrying the alias names that expand to it.
+func (r *Registry) Describe(role Role) []SchemaInfo {
+	aliasOf := map[string][]string{}
+	for _, name := range r.Aliases(role) {
+		target := r.aliases[role][name].Name
+		aliasOf[target] = append(aliasOf[target], name)
+	}
+	out := make([]SchemaInfo, 0, len(r.schemas[role]))
+	for _, s := range r.Schemas(role) {
+		info := SchemaInfo{
+			Name: s.Name, Role: s.Role, Summary: s.Summary,
+			TraceFitted: s.TraceFitted, GapLookahead: s.GapLookahead,
+			Aliases: aliasOf[s.Name],
+			Params:  make([]ParamInfo, 0, len(s.Params)),
+		}
+		for _, p := range s.Params {
+			pi := ParamInfo{Name: p.Name, Kind: p.Kind, Default: p.Kind.format(p.Default), Help: p.Help}
+			if p.Min != nil {
+				pi.Min = p.Kind.format(p.Min)
+			}
+			if p.Max != nil {
+				pi.Max = p.Kind.format(p.Max)
+			}
+			info.Params = append(info.Params, pi)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Usage renders a role's policies as an indented reference block for CLI
+// error messages: one line per schema with its parameter grid, then the
+// aliases.
+func (r *Registry) Usage(role Role) string {
+	var sb strings.Builder
+	for _, s := range r.Schemas(role) {
+		fmt.Fprintf(&sb, "  %-12s %s\n", s.Name, s.Summary)
+		for _, p := range s.Params {
+			bounds := ""
+			if p.Min != nil || p.Max != nil {
+				lo, hi := "-inf", "+inf"
+				if p.Min != nil {
+					lo = p.Kind.format(p.Min)
+				}
+				if p.Max != nil {
+					hi = p.Kind.format(p.Max)
+				}
+				bounds = fmt.Sprintf(" in [%s, %s]", lo, hi)
+			}
+			fmt.Fprintf(&sb, "    %s: %s (default %s%s) %s\n",
+				p.Name, p.Kind, p.Kind.format(p.Default), bounds, p.Help)
+		}
+	}
+	for _, name := range r.Aliases(role) {
+		target, _ := r.Canonical(role, Spec{Name: name})
+		fmt.Fprintf(&sb, "  %-12s alias for %s\n", name, target)
+	}
+	return sb.String()
+}
+
+func paramNames(params []ParamSpec) []string {
+	names := make([]string, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// defaultRegistry holds the built-in policies; construction cannot fail,
+// so registration errors panic (they would be programming errors caught by
+// any test touching the registry).
+var defaultRegistry = buildDefaultRegistry()
+
+// Default returns the registry of built-in policies: the paper's baselines
+// and contributions as parameterized schemas, plus the legacy flat-name
+// aliases ("4.5s", "95iat") every pre-registry surface accepted.
+func Default() *Registry { return defaultRegistry }
+
+func buildDefaultRegistry() *Registry {
+	r := NewRegistry()
+	mustRegister := func(s *Schema) {
+		if err := r.Register(s); err != nil {
+			panic(err)
+		}
+	}
+	mustRegister(&Schema{
+		Name: "statusquo", Role: RoleDemote,
+		Summary: "carrier inactivity timers only (the normalization baseline)",
+		NewDemote: func(Params, trace.Trace, power.Profile) (DemotePolicy, error) {
+			return StatusQuo{}, nil
+		},
+	})
+	mustRegister(&Schema{
+		Name: "fixedtail", Role: RoleDemote,
+		Summary: "fast dormancy a fixed wait after every packet (§6.2's 4.5-second tail)",
+		Params: []ParamSpec{{
+			Name: "wait", Kind: KindDuration, Default: 4500 * time.Millisecond,
+			Min: time.Millisecond, Max: 10 * time.Minute,
+			Help: "dormancy timer applied after each packet",
+		}},
+		NewDemote: func(p Params, _ trace.Trace, _ power.Profile) (DemotePolicy, error) {
+			return &FixedTail{Wait: p.Duration("wait")}, nil
+		},
+	})
+	mustRegister(&Schema{
+		Name: "pctiat", Role: RoleDemote,
+		Summary:     "fast dormancy after a whole-trace inter-arrival percentile (§6.2's 95% IAT)",
+		TraceFitted: true,
+		Params: []ParamSpec{{
+			Name: "q", Kind: KindFloat, Default: 0.95, Min: 0.01, Max: 0.999,
+			Help: "inter-arrival quantile the timer is fitted to",
+		}},
+		NewDemote: func(p Params, tr trace.Trace, _ power.Profile) (DemotePolicy, error) {
+			return NewPercentileIAT(tr, p.Float("q")), nil
+		},
+	})
+	mustRegister(&Schema{
+		Name: "oracle", Role: RoleDemote,
+		Summary:      "clairvoyant upper bound: demote iff the next gap exceeds the threshold (§6.2)",
+		GapLookahead: true,
+		Params: []ParamSpec{{
+			Name: "threshold", Kind: KindDuration, Default: time.Duration(0), Min: time.Duration(0),
+			Help: "demotion threshold; 0 derives t_threshold from the power profile",
+		}},
+		NewDemote: func(p Params, _ trace.Trace, prof power.Profile) (DemotePolicy, error) {
+			th := p.Duration("threshold")
+			if th <= 0 {
+				th = energy.Threshold(&prof)
+			}
+			return NewOracle(th), nil
+		},
+	})
+	mustRegister(&Schema{
+		Name: "makeidle", Role: RoleDemote,
+		Summary: "the paper's §4 policy: maximize expected gain over a windowed IAT distribution",
+		Params: []ParamSpec{
+			{Name: "window", Kind: KindInt, Default: 100, Min: 1, Max: 1_000_000,
+				Help: "recent inter-arrivals kept in the distribution (Fig. 13's n)"},
+			{Name: "gridsteps", Kind: KindInt, Default: 40, Min: 2, Max: 10_000,
+				Help: "candidate waits evaluated across [0, t_threshold]"},
+			{Name: "minsample", Kind: KindInt, Default: 10, Min: 1, Max: 1_000_000,
+				Help: "gaps observed before the policy starts demoting"},
+		},
+		NewDemote: func(p Params, _ trace.Trace, prof power.Profile) (DemotePolicy, error) {
+			return NewMakeIdle(prof,
+				WithWindowSize(p.Int("window")),
+				WithGridSteps(p.Int("gridsteps")),
+				WithMinSample(p.Int("minsample")))
+		},
+	})
+
+	mustRegister(&Schema{
+		Name: "none", Role: RoleActive,
+		Summary: "batching disabled: promote on the first packet of every session",
+		NewActive: func(Params, trace.Trace, power.Profile) (ActivePolicy, error) {
+			return nil, nil
+		},
+	})
+	mustRegister(&Schema{
+		Name: "learn", Role: RoleActive,
+		Summary: "the §5.2 MakeActive: expert bank over per-second deadlines, Learn-alpha combined",
+		Params: []ParamSpec{
+			{Name: "maxdelay", Kind: KindDuration, Default: 10 * time.Second,
+				Min: time.Second, Max: 10 * time.Minute,
+				Help: "largest expert's batching deadline (one expert per whole second)"},
+			{Name: "gamma", Kind: KindFloat, Default: 0.008, Min: 1e-6, Max: 10.0,
+				Help: "delay vs batching trade-off in the expert loss"},
+		},
+		NewActive: func(p Params, _ trace.Trace, _ power.Profile) (ActivePolicy, error) {
+			return NewLearnedDelay(
+				WithMaxDelay(p.Duration("maxdelay")),
+				WithGamma(p.Float("gamma"))), nil
+		},
+	})
+	mustRegister(&Schema{
+		Name: "fix", Role: RoleActive,
+		Summary:     "the §5.1 fixed bound T_fix = k·(t1+t2), fitted to the trace's burst structure",
+		TraceFitted: true,
+		Params: []ParamSpec{{
+			Name: "burstgap", Kind: KindDuration, Default: time.Second,
+			Min: time.Millisecond, Max: 10 * time.Minute,
+			Help: "burst segmentation gap used to fit k (bursts per active period)",
+		}},
+		NewActive: func(p Params, tr trace.Trace, prof power.Profile) (ActivePolicy, error) {
+			return NewFixedDelay(tr, &prof, p.Duration("burstgap")), nil
+		},
+	})
+
+	mustAlias := func(role Role, name string, spec Spec) {
+		if err := r.Alias(role, name, spec); err != nil {
+			panic(err)
+		}
+	}
+	mustAlias(RoleDemote, "4.5s", Spec{Name: "fixedtail", Params: map[string]any{"wait": 4500 * time.Millisecond}})
+	mustAlias(RoleDemote, "95iat", Spec{Name: "pctiat", Params: map[string]any{"q": 0.95}})
+	return r
+}

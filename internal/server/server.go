@@ -1,18 +1,31 @@
 // Package server exposes the job manager over HTTP — the
 // simulation-as-a-service surface of the fleet runtime. The API is plain
-// JSON over stdlib net/http:
+// JSON over stdlib net/http, versioned under /v1:
 //
-//	POST   /jobs              submit a cohort replay spec → 202 + job status
-//	                          (200 when served from the fingerprint cache)
-//	GET    /jobs              list all jobs in submission order
-//	GET    /jobs/{id}         one job's status + progress
-//	GET    /jobs/{id}/stream  NDJSON feed of progress + merged partials,
-//	                          terminated by the job's final state
-//	GET    /jobs/{id}/result  final summary; ?format=json (default),
-//	                          csv, or text
-//	DELETE /jobs/{id}         cancel (queued cancels at once, running at
-//	                          the fleet's next between-jobs check)
-//	GET    /healthz           liveness + queue/cache gauges
+//	POST   /v1/jobs              submit a replay spec → 202 + job status
+//	                             (200 when served from the fingerprint
+//	                             cache). The spec carries either a
+//	                             "schemes" array of parameterized scheme
+//	                             specs — a sweep, every scheme replayed
+//	                             against the same streamed cohort — or the
+//	                             legacy flat "policy"/"active" names,
+//	                             mapped to specs via registry aliases.
+//	GET    /v1/policies          discovery: every registered policy with
+//	                             its parameter schema (kind, default,
+//	                             bounds), capabilities (trace-fitted,
+//	                             gap-lookahead) and legacy aliases
+//	GET    /v1/jobs              list all jobs in submission order
+//	GET    /v1/jobs/{id}         one job's status + progress
+//	GET    /v1/jobs/{id}/stream  NDJSON feed of progress + merged
+//	                             partials, terminated by the final state
+//	GET    /v1/jobs/{id}/result  final summary; ?format=json (default),
+//	                             csv, or text
+//	DELETE /v1/jobs/{id}         cancel (queued cancels at once, running
+//	                             at the fleet's next between-jobs check)
+//	GET    /healthz              liveness + queue/cache gauges
+//
+// The pre-versioning /jobs... routes remain mounted as aliases of the
+// /v1 handlers, so existing clients keep working unchanged.
 //
 // Result bytes are rendered once per fingerprint by the jobs layer, so a
 // cache-hit response is byte-identical to the cold run that populated it.
@@ -26,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/policy"
 )
 
 // pollInterval paces the stream endpoint's progress checks; tests shrink
@@ -38,17 +52,45 @@ type Server struct {
 	mux     *http.ServeMux
 }
 
-// New builds the HTTP handler over a running manager.
+// New builds the HTTP handler over a running manager. Every job route is
+// mounted twice — under /v1 (the versioned surface) and at the legacy
+// root paths — sharing one handler, so the two surfaces cannot drift.
 func New(m *jobs.Manager) *Server {
 	s := &Server{manager: m, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.health)
-	s.mux.HandleFunc("POST /jobs", s.submit)
-	s.mux.HandleFunc("GET /jobs", s.list)
-	s.mux.HandleFunc("GET /jobs/{id}", s.get)
-	s.mux.HandleFunc("DELETE /jobs/{id}", s.cancel)
-	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
-	s.mux.HandleFunc("GET /jobs/{id}/stream", s.stream)
+	for _, prefix := range []string{"", "/v1"} {
+		s.mux.HandleFunc("POST "+prefix+"/jobs", s.submit)
+		s.mux.HandleFunc("GET "+prefix+"/jobs", s.list)
+		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.get)
+		s.mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.cancel)
+		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", s.result)
+		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/stream", s.stream)
+	}
+	s.mux.HandleFunc("GET /v1/policies", s.policies)
 	return s
+}
+
+// PolicyCatalog is the GET /v1/policies payload: the registry's schemas,
+// split by role, each with its full parameter schema, capabilities and
+// legacy aliases. Clients discover the sweepable policy space from this
+// instead of hardcoding names.
+type PolicyCatalog struct {
+	Demote []policy.SchemaInfo `json:"demote"`
+	Active []policy.SchemaInfo `json:"active"`
+}
+
+// Catalog builds the discovery payload from the default registry; the
+// guard test asserts it stays in lockstep with the registry itself.
+func Catalog() PolicyCatalog {
+	reg := policy.Default()
+	return PolicyCatalog{
+		Demote: reg.Describe(policy.RoleDemote),
+		Active: reg.Describe(policy.RoleActive),
+	}
+}
+
+func (s *Server) policies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Catalog())
 }
 
 // ServeHTTP implements http.Handler.
