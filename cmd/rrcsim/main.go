@@ -19,6 +19,22 @@
 // policies and their parameter schemas. -policy all compares every paper
 // scheme.
 //
+// -profile takes carrier profile specs resolved against the profile
+// registry the same way: a canonical name (tmobile-3g, att-hspa+,
+// verizon-3g, verizon-lte), a Table 2 display name ("Verizon 3G"), or a
+// parameterized spec like 'att-hspa+(t1=4s)' overriding any measured
+// constant. -carrier remains as an alias of a single -profile. In fleet
+// mode -profile and -cohort repeat to sweep a grid: every combination of
+// profile × cohort × scheme runs as its own deterministic fleet cell,
+// rendered as one row per cell, e.g.
+//
+//	rrcsim -users 500 -policy makeidle -profile verizon-3g -profile 'verizon-lte(t1=5s)'
+//	rrcsim -policy all -cohort 'study-3g(users=200)' -cohort 'mix(im=2,users=100)'
+//
+// -cohort takes cohort specs from the cohort registry (study-3g,
+// study-lte, mix; see each family's users/duration/diurnal/seedstride and
+// app-weight knobs) and replaces the flat -users/-duration pair.
+//
 // With -stream the trace is pulled through the replay engine packet by
 // packet: rrcstream files — and pcap captures when -device-ip names the
 // phone — replay in memory independent of trace length; other formats
@@ -49,13 +65,25 @@ import (
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
+// specList collects a repeatable spec-string flag.
+type specList []string
+
+func (s *specList) String() string { return strings.Join(*s, ", ") }
+func (s *specList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
+	var profileFlags, cohortFlags specList
 	var (
-		tracePath = flag.String("trace", "", "trace file (text or binary; required unless -users is set)")
-		carrier   = flag.String("carrier", "Verizon 3G", "carrier profile name (see Table 2)")
+		tracePath = flag.String("trace", "", "trace file (text or binary; required unless -users or -cohort is set)")
+		carrier   = flag.String("carrier", "", "carrier profile name (alias of a single -profile)")
 		polName   = flag.String("policy", "makeidle", "demote policy spec, e.g. makeidle, 4.5s, 'fixedtail(wait=2s)', or all")
 		actName   = flag.String("active", "none", "batching policy spec, e.g. none, learn, 'learn(maxdelay=5s)', fix")
 		burstGap  = flag.Duration("burstgap", time.Second, "session segmentation gap")
@@ -67,27 +95,46 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "fleet workers (0 = all cores, 1 = serial; never changes results)")
 		shards    = flag.Int("shards", 0, "fleet aggregate shards (0 = fixed default)")
 	)
+	flag.Var(&profileFlags, "profile",
+		"carrier profile spec, e.g. verizon-3g, 'att-hspa+(t1=4s)', or a Table 2 display name (repeatable in fleet mode)")
+	flag.Var(&cohortFlags, "cohort",
+		"fleet mode: cohort spec, e.g. 'study-3g(users=500)' or 'mix(im=2,users=100)' (repeatable; replaces -users)")
 	flag.Parse()
 
-	prof, ok := power.ByName(*carrier)
-	if !ok {
-		fatal(fmt.Errorf("unknown carrier %q", *carrier))
+	if *carrier != "" {
+		profileFlags = append(profileFlags, *carrier)
 	}
-	opts := &sim.Options{BurstGap: *burstGap}
+	if len(profileFlags) == 0 {
+		profileFlags = specList{power.Verizon3G.Name}
+	}
 
-	if *users > 0 {
+	fleetMode := *users > 0 || len(cohortFlags) > 0
+	if fleetMode {
 		if *tracePath != "" {
-			fatal(fmt.Errorf("-users and -trace are mutually exclusive"))
+			fatal(fmt.Errorf("-users/-cohort and -trace are mutually exclusive"))
 		}
-		if err := runFleet(prof, *users, *seed, *duration, *polName, *actName, *burstGap,
+		if *users > 0 && len(cohortFlags) > 0 {
+			fatal(fmt.Errorf("-users and -cohort are mutually exclusive (cohort specs carry their own users knob)"))
+		}
+		if err := runFleet(profileFlags, cohortFlags, *users, *seed, *duration,
+			*polName, *actName, *burstGap,
 			fleet.Options{Workers: *parallel, Shards: *shards}); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
+	if len(profileFlags) > 1 {
+		fatal(fmt.Errorf("multiple -profile values need fleet mode (-users or -cohort)"))
+	}
+	prof, err := resolveProfile(profileFlags[0])
+	if err != nil {
+		fatal(err)
+	}
+	opts := &sim.Options{BurstGap: *burstGap}
+
 	if *tracePath == "" {
-		fatal(fmt.Errorf("-trace is required (or -users N for fleet mode)"))
+		fatal(fmt.Errorf("-trace is required (or -users N / -cohort for fleet mode)"))
 	}
 
 	if *stream {
@@ -369,9 +416,60 @@ func compareAll(tr trace.Trace, prof power.Profile, opts *sim.Options) error {
 	return nil
 }
 
-// runFleet replays a synthetic diurnal cohort on the sharded runtime and
-// prints streaming aggregates — no per-user result is retained.
-func runFleet(prof power.Profile, users int, seed int64, duration time.Duration, polName, actName string, burstGap time.Duration, fopts fleet.Options) error {
+// profileSpecFromFlag adapts a CLI profile spec string to a power
+// ProfileSpec. Plain flat spellings keep their legacy labels ("Verizon 3G"
+// stays "Verizon 3G"); parameterized specs get registry-derived labels
+// ("verizon-lte(t1=5s)") — the same per-half rule the policy flags use.
+func profileSpecFromFlag(raw string) (power.ProfileSpec, error) {
+	sp, err := spec.Parse(raw)
+	if err != nil {
+		return power.ProfileSpec{}, fmt.Errorf("profile: %w", err)
+	}
+	ps := power.ProfileSpec{Name: sp.Name, Params: sp.Params}
+	if !strings.ContainsRune(raw, '(') {
+		ps.Label = sp.Name
+	}
+	if _, err := ps.Profile(power.Default()); err != nil {
+		return power.ProfileSpec{}, fmt.Errorf("%w\nvalid profiles:\n%s", err, power.Default().Usage())
+	}
+	return ps, nil
+}
+
+// resolveProfile builds the validated Profile a single-replay run uses.
+func resolveProfile(raw string) (power.Profile, error) {
+	ps, err := profileSpecFromFlag(raw)
+	if err != nil {
+		return power.Profile{}, err
+	}
+	return ps.Profile(power.Default())
+}
+
+// cohortFromFlag resolves a CLI cohort spec string against the cohort
+// registry, returning the runnable cohort plus its axis label.
+func cohortFromFlag(raw string, seed int64, burstGap time.Duration) (fleet.Cohort, string, error) {
+	sp, err := spec.Parse(raw)
+	if err != nil {
+		return fleet.Cohort{}, "", fmt.Errorf("cohort: %w", err)
+	}
+	cs := fleet.CohortSpec{Name: sp.Name, Params: sp.Params}
+	cohort, err := fleet.CohortFromSpec(workload.Cohorts(), cs, seed,
+		&sim.Options{BurstGap: burstGap})
+	if err != nil {
+		return fleet.Cohort{}, "", fmt.Errorf("%w\nvalid cohorts:\n%s", err, workload.Cohorts().Usage())
+	}
+	label, err := cs.ResolvedLabel(workload.Cohorts())
+	if err != nil {
+		return fleet.Cohort{}, "", err
+	}
+	return cohort, label, nil
+}
+
+// runFleet replays synthetic cohorts on the sharded runtime and prints
+// streaming aggregates — no per-user result is retained. A single profile
+// with the flat -users population keeps the historical single-table
+// output; repeated -profile/-cohort flags sweep a grid, one deterministic
+// fleet run per cohort × profile × scheme cell, rendered one row per cell.
+func runFleet(profileFlags, cohortFlags []string, users int, seed int64, duration time.Duration, polName, actName string, burstGap time.Duration, fopts fleet.Options) error {
 	var schemes []fleet.Scheme
 	if polName == "all" {
 		schemes = experiments.FleetSchemes(burstGap)
@@ -382,19 +480,65 @@ func runFleet(prof power.Profile, users int, seed int64, duration time.Duration,
 		}
 		schemes = []fleet.Scheme{s}
 	}
-	cohort := fleet.Cohort{
-		Users: users, Seed: seed, Duration: duration, Diurnal: true,
-		Opts: &sim.Options{BurstGap: burstGap},
+
+	var cohorts []experiments.LabeledCohort
+	if len(cohortFlags) == 0 {
+		// Flat -users population: the historical default, a diurnal cohort
+		// cycling the Verizon 3G study mixes.
+		cohorts = []experiments.LabeledCohort{{
+			Cohort: fleet.Cohort{
+				Users: users, Seed: seed, Duration: duration, Diurnal: true,
+				Opts: &sim.Options{BurstGap: burstGap},
+			},
+			Label: fmt.Sprintf("users=%d", users),
+		}}
+	} else {
+		for _, raw := range cohortFlags {
+			cohort, label, err := cohortFromFlag(raw, seed, burstGap)
+			if err != nil {
+				return err
+			}
+			cohorts = append(cohorts, experiments.LabeledCohort{Cohort: cohort, Label: label})
+		}
 	}
-	jobs := cohort.Jobs(prof, schemes)
+
+	profs := make([]power.Profile, 0, len(profileFlags))
+	for _, raw := range profileFlags {
+		prof, err := resolveProfile(raw)
+		if err != nil {
+			return err
+		}
+		profs = append(profs, prof)
+	}
+
+	// The historical single-axis shape keeps its output byte for byte.
+	if len(profs) == 1 && len(cohortFlags) == 0 {
+		cohort := cohorts[0].Cohort
+		jobs := cohort.Jobs(profs[0], schemes)
+		start := time.Now()
+		sum, err := fleet.RunSummary(jobs, fopts, fleet.SummaryConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fleet: %d users x %d schemes on %s (%s traces, streamed) in %s\n",
+			cohort.Users, len(schemes), profs[0].Name, cohort.Duration,
+			time.Since(start).Round(time.Millisecond))
+		fmt.Print(report.SummaryTable(sum).String())
+		return nil
+	}
+
+	// Grid sweep, through the shared cell runner — the same execution
+	// shape (cohort-major cell order, one fleet run per cell, and
+	// therefore the same bytes per cell) as the service's grid jobs.
 	start := time.Now()
-	sum, err := fleet.RunSummary(jobs, fopts, fleet.SummaryConfig{})
+	cells, err := experiments.GridCells(fopts, cohorts, profs, schemes)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fleet: %d users x %d schemes on %s (%s traces, streamed) in %s\n",
-		users, len(schemes), prof.Name, duration, time.Since(start).Round(time.Millisecond))
-	fmt.Print(report.SummaryTable(sum).String())
+	fmt.Printf("fleet grid: %d cohorts x %d profiles x %d schemes = %d cells in %s\n",
+		len(cohorts), len(profs), len(schemes), len(cells),
+		time.Since(start).Round(time.Millisecond))
+	fmt.Print(report.GridTable(cells).String())
 	return nil
 }
 

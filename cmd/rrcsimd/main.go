@@ -1,26 +1,33 @@
 // Command rrcsimd is the long-running simulation service: an HTTP daemon
-// that accepts cohort replay jobs — single schemes or whole parameter
-// sweeps — runs them asynchronously on the sharded fleet runtime, streams
-// merged partial aggregates while they run, and serves finished summaries
-// as JSON/CSV/text. Identical submissions (matched by the deterministic
-// job fingerprint over canonical policy-spec encodings) are served from an
-// LRU result cache with byte-identical responses.
+// that accepts replay jobs — single schemes, scheme sweeps, or whole
+// scheme × profile × cohort grids — runs them asynchronously on the
+// sharded fleet runtime, streams merged partial aggregates while they
+// run, and serves finished summaries as JSON/CSV/text. Identical
+// submissions (matched by the deterministic v4 job fingerprint over
+// canonical axis encodings) are served from an LRU result cache with
+// byte-identical responses, and overlapping grids reuse prior work
+// through a cell-level cache.
 //
 // Usage:
 //
 //	rrcsimd -addr :8080 -parallel 0 -queue-depth 32 -cache-size 128
+//	rrcsimd -profile "att-hspa+"     # default profile for flat payloads
 //
 // Then, from any HTTP client (the API is versioned under /v1; the
 // pre-versioning paths without the prefix remain as aliases):
 //
 //	curl -s localhost:8080/v1/policies                 # discover policies + knobs
+//	curl -s localhost:8080/v1/profiles                 # discover carrier profiles + knobs
+//	curl -s localhost:8080/v1/workloads                # discover cohort families + knobs
 //	curl -s localhost:8080/v1/jobs -d '{"users": 1000, "seed": 1, "duration": "4h"}'
-//	curl -s localhost:8080/v1/jobs -d '{"users": 1000, "seed": 1, "schemes": [
-//	  {"policy": {"name": "fixedtail", "params": {"wait": "2s"}}},
-//	  {"policy": {"name": "fixedtail", "params": {"wait": "8s"}}},
-//	  {"policy": {"name": "makeidle"}}]}'              # a 3-scheme sweep
+//	curl -s localhost:8080/v1/jobs -d '{"seed": 1, "schemes": [
+//	  {"policy": {"name": "makeidle"}},
+//	  {"policy": {"name": "fixedtail", "params": {"wait": "2s"}}}],
+//	  "profiles": [{"name": "verizon-3g"}, {"name": "verizon-lte", "params": {"t1": "5s"}}],
+//	  "cohorts": [{"name": "study-3g", "params": {"users": 500}}]}'   # a 2x2x1 grid
 //	curl -s localhost:8080/v1/jobs/job-000001/stream   # NDJSON progress
-//	curl -s localhost:8080/v1/jobs/job-000001/result   # final JSON
+//	curl -s localhost:8080/v1/jobs/job-000001/result   # final JSON (per cell for grids)
+//	curl -s localhost:8080/v1/jobs/job-000001/result?cell=2   # one cell, verbatim
 //	curl -s localhost:8080/v1/jobs/job-000001/result?format=csv
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000001  # cancel
 //
@@ -34,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,50 +49,84 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/power"
 	"repro/internal/server"
 )
 
 func main() {
-	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		parallel   = flag.Int("parallel", 0, "fleet workers per job (0 = all cores; never changes results)")
-		queueDepth = flag.Int("queue-depth", 32, "max queued jobs before submissions get 503")
-		cacheSize  = flag.Int("cache-size", 128, "fingerprint result cache entries (LRU; negative disables)")
-		runners    = flag.Int("runners", 1, "jobs executing concurrently (each parallelizes internally)")
-	)
-	flag.Parse()
-
-	manager := jobs.NewManager(jobs.Config{
-		QueueDepth: *queueDepth,
-		CacheSize:  *cacheSize,
-		Runners:    *runners,
-		Workers:    *parallel,
-	})
-	srv := &http.Server{Addr: *addr, Handler: server.New(manager)}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fatal(err)
+	}
+}
+
+// run is the daemon body, factored out of main so the smoke test can
+// drive it on an ephemeral port: parse args, serve until ctx cancels (the
+// signal context in production), then drain the listener and close the
+// manager. When ready is non-nil it receives the bound listen address
+// once the daemon is accepting connections.
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("rrcsimd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		parallel   = fs.Int("parallel", 0, "fleet workers per job (0 = all cores; never changes results)")
+		queueDepth = fs.Int("queue-depth", 32, "max queued jobs before submissions get 503")
+		cacheSize  = fs.Int("cache-size", 128, "fingerprint result cache entries (LRU; negative disables)")
+		cellCache  = fs.Int("cell-cache-size", 1024, "grid cell cache entries (LRU; negative disables)")
+		runners    = fs.Int("runners", 1, "jobs executing concurrently (each parallelizes internally)")
+		profile    = fs.String("profile", "", "default carrier profile for legacy flat payloads that name none (see GET /v1/profiles)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// A misconfigured default profile must fail at boot, not surface as a
+	// client-attributable 400 on every legacy submission.
+	if *profile != "" {
+		if _, ok := power.ByName(*profile); !ok {
+			return fmt.Errorf("unknown -profile %q\nvalid profiles:\n%s",
+				*profile, power.Default().Usage())
+		}
+	}
+
+	manager := jobs.NewManager(jobs.Config{
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		CellCacheSize:  *cellCache,
+		Runners:        *runners,
+		Workers:        *parallel,
+		DefaultProfile: *profile,
+	})
+	defer manager.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.New(manager)}
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("rrcsimd: serving on %s (queue %d, cache %d, runners %d)\n",
-			*addr, *queueDepth, *cacheSize, *runners)
-		errCh <- srv.ListenAndServe()
+		fmt.Printf("rrcsimd: serving on %s (queue %d, cache %d, cell cache %d, runners %d)\n",
+			ln.Addr(), *queueDepth, *cacheSize, *cellCache, *runners)
+		errCh <- srv.Serve(ln)
 	}()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
 
 	select {
 	case <-ctx.Done():
 		fmt.Println("rrcsimd: shutting down")
 	case err := <-errCh:
-		fatal(err)
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
 	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "rrcsimd: shutdown:", err)
-	}
-	manager.Close()
+	return srv.Shutdown(shutdownCtx)
 }
 
 func fatal(err error) {

@@ -1,42 +1,88 @@
-// Carrier-compare: replay one user's traffic against all four measured
-// carrier profiles (Table 2) and compare how much MakeIdle saves on each —
-// the §6.5 cross-carrier analysis in miniature. Carriers with long
-// inactivity timers (Verizon 3G's 9.8 s t1) leave the most tail energy on
-// the table.
+// Carrier-compare: the §6.5 cross-carrier analysis as one grid job. The
+// example starts an in-process service, submits a single /v1 job whose
+// profile axis lists all four Table 2 carriers — plus one parameterized
+// what-if, Verizon LTE with its inactivity timer halved — and whose
+// scheme axis runs MakeIdle, then prints one row per grid cell. Carriers
+// with long inactivity timers (Verizon 3G's 9.8 s t1) leave the most tail
+// energy on the table, and the t1=5.1s what-if shows how much of LTE's
+// tail cost is the timer setting itself.
 //
 //	go run ./examples/carrier-compare
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
-	"time"
+	"net"
+	"net/http"
+	"strings"
 
-	"repro"
+	"repro/internal/jobs"
+	"repro/internal/report"
+	"repro/internal/server"
 )
 
 func main() {
-	user := repro.Verizon3GUsers()[0]
-	tr := user.Generate(11, 4*time.Hour)
+	manager := jobs.NewManager(jobs.Config{})
+	defer manager.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, server.New(manager))
+	url := "http://" + ln.Addr().String()
 
-	fmt.Printf("user %s: %d packets over %v\n\n", user.Name, len(tr), tr.Duration().Round(time.Minute))
-	fmt.Printf("%-14s %10s %10s %9s %12s\n", "carrier", "statusquo", "MakeIdle", "saved", "t_threshold")
+	// One grid job: 1 scheme × 5 profiles × 1 cohort = 5 cells, every cell
+	// replaying the identical streamed 60-user cohort.
+	spec := `{"seed": 11, "schemes": [
+		{"policy": {"name": "makeidle"}}
+	], "profiles": [
+		{"name": "tmobile-3g"},
+		{"name": "att-hspa+"},
+		{"name": "verizon-3g"},
+		{"name": "verizon-lte"},
+		{"name": "verizon-lte", "params": {"t1": "5.1s"}}
+	], "cohorts": [
+		{"name": "study-3g", "params": {"users": 60, "duration": "2h"}}
+	]}`
 
-	for _, prof := range repro.Carriers() {
-		statusQuo, err := repro.Simulate(tr, prof, repro.StatusQuo(), nil, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		makeIdle, err := repro.NewMakeIdle(prof)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := repro.Simulate(tr, prof, makeIdle, nil, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-14s %9.1fJ %9.1fJ %8.1f%% %11.2fs\n",
-			prof.Name, statusQuo.TotalJ(), res.TotalJ(),
-			repro.SavingsPercent(statusQuo, res), repro.Threshold(prof).Seconds())
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted grid %s (fingerprint %s...)\n", st.ID, st.Fingerprint[:12])
+
+	job, ok := manager.Get(st.ID)
+	if !ok {
+		log.Fatalf("job %s not registered", st.ID)
+	}
+	<-job.Done()
+
+	res, err := http.Get(url + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var grid report.GridStats
+	if err := json.Unmarshal(body, &grid); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %10s %9s %10s\n", "carrier", "J/user", "saved", "sw-ratio")
+	for _, cell := range grid.Cells {
+		s := cell.Summary.Schemes[cell.Scheme]
+		fmt.Printf("%-22s %9.1fJ %8.1f%% %10.2f\n",
+			cell.Profile, s.EnergyJ.Mean, s.SavingsPct.Mean, s.SwitchRatio.Mean)
 	}
 }

@@ -1,13 +1,15 @@
 // Service-client: drive the simulation service end to end over the /v1
 // API. The example starts an in-process rrcsimd-equivalent server on an
 // ephemeral localhost port (so it is runnable standalone), then talks to
-// it purely over HTTP exactly as an external client would: discover the
-// policy registry via GET /v1/policies, submit a two-scheme sweep job
-// (MakeIdle+learned MakeActive vs a 2-second fixed tail, both replayed
-// against the same streamed cohort), follow the NDJSON progress stream as
-// shard-merged partials arrive, fetch the final per-scheme summaries as
-// JSON, and resubmit the same spec to show the fingerprint cache
-// answering instantly with byte-identical bytes.
+// it purely over HTTP exactly as an external client would: discover all
+// three axis registries via GET /v1/policies, /v1/profiles and
+// /v1/workloads, submit a scheme × profile grid job (MakeIdle+learned
+// MakeActive vs a 2-second fixed tail, on Verizon 3G vs a
+// parameterized-LTE what-if, every cell replaying the same streamed
+// cohort), follow the NDJSON progress stream as shard-merged partials
+// arrive, fetch the final per-cell summaries as JSON, and resubmit the
+// same spec to show the fingerprint cache answering instantly with
+// byte-identical bytes.
 //
 // Against a real daemon, replace the in-process listener with its address:
 //
@@ -44,33 +46,62 @@ func main() {
 	}
 	url := "http://" + base
 
-	// 1. Discover the policy space: every registered policy with its
-	// parameter schema, straight from the registry.
-	var catalog struct {
+	// 1. Discover all three axis spaces: every registered policy, carrier
+	// profile and cohort family with their parameter schemas, straight
+	// from the registries.
+	var policies struct {
 		Demote []struct {
-			Name   string `json:"name"`
-			Params []struct {
-				Name    string `json:"name"`
-				Kind    string `json:"kind"`
-				Default string `json:"default"`
-			} `json:"params"`
+			Name   string            `json:"name"`
+			Params []json.RawMessage `json:"params"`
 		} `json:"demote"`
 	}
-	if err := json.Unmarshal(fetch(url+"/v1/policies"), &catalog); err != nil {
+	if err := json.Unmarshal(fetch(url+"/v1/policies"), &policies); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print("discovered demote policies:")
-	for _, p := range catalog.Demote {
+	for _, p := range policies.Demote {
 		fmt.Printf(" %s(%d knobs)", p.Name, len(p.Params))
 	}
 	fmt.Println()
+	var profiles struct {
+		Profiles []struct {
+			Name   string            `json:"name"`
+			Params []json.RawMessage `json:"params"`
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal(fetch(url+"/v1/profiles"), &profiles); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("discovered profiles:")
+	for _, p := range profiles.Profiles {
+		fmt.Printf(" %s(%d knobs)", p.Name, len(p.Params))
+	}
+	fmt.Println()
+	var workloads struct {
+		Cohorts []struct {
+			Name string `json:"name"`
+		} `json:"cohorts"`
+	}
+	if err := json.Unmarshal(fetch(url+"/v1/workloads"), &workloads); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("discovered cohort families:")
+	for _, c := range workloads.Cohorts {
+		fmt.Printf(" %s", c.Name)
+	}
+	fmt.Println()
 
-	// 2. Submit a sweep: 200 diurnal users, 2 h each, replayed under two
-	// schemes — MakeIdle + learned MakeActive, and a 2-second fixed tail
-	// — aggregated per scheme in one job.
-	spec := `{"users": 200, "seed": 42, "duration": "2h", "schemes": [
+	// 2. Submit a grid: two schemes × two profiles (the measured Verizon
+	// 3G row and an LTE what-if with a 5-second timer) over one streamed
+	// 200-user diurnal cohort — 4 cells in one job.
+	spec := `{"seed": 42, "schemes": [
 		{"policy": {"name": "makeidle"}, "active": {"name": "learn"}},
 		{"policy": {"name": "fixedtail", "params": {"wait": "2s"}}}
+	], "profiles": [
+		{"name": "verizon-3g"},
+		{"name": "verizon-lte", "params": {"t1": "5s"}}
+	], "cohorts": [
+		{"name": "study-3g", "params": {"users": 200, "duration": "2h"}}
 	]}`
 	st := submit(url, spec)
 	fmt.Printf("submitted %s (state %s, fingerprint %s...)\n",
@@ -80,16 +111,17 @@ func main() {
 	// carrying merged partial aggregates.
 	streamProgress(url, st.ID)
 
-	// 4. Fetch the final per-scheme summaries as JSON (and CSV, for
+	// 4. Fetch the final per-cell summaries as JSON (and CSV, for
 	// plotting tools).
 	coldJSON := fetch(url + "/v1/jobs/" + st.ID + "/result")
-	var stats report.SummaryStats
-	if err := json.Unmarshal(coldJSON, &stats); err != nil {
+	var grid report.GridStats
+	if err := json.Unmarshal(coldJSON, &grid); err != nil {
 		log.Fatal(err)
 	}
-	for name, s := range stats.Schemes {
-		fmt.Printf("%-28s %d users, mean %.1f J/user, mean savings %.1f%%\n",
-			name, s.EnergyJ.N, s.EnergyJ.Mean, s.SavingsPct.Mean)
+	for _, cell := range grid.Cells {
+		s := cell.Summary.Schemes[cell.Scheme]
+		fmt.Printf("%-28s on %-20s %d users, mean %.1f J/user, mean savings %.1f%%\n",
+			cell.Scheme, cell.Profile, s.EnergyJ.N, s.EnergyJ.Mean, s.SavingsPct.Mean)
 	}
 	csv := fetch(url + "/v1/jobs/" + st.ID + "/result?format=csv")
 	fmt.Printf("CSV header: %s\n", strings.SplitN(string(csv), "\n", 2)[0])

@@ -125,7 +125,7 @@ func LifetimeEstimate(cfg Config) (string, error) {
 	totalMW := b.EnergyJ() / (6.7 * 3600) * 1000
 	const radioShare = 0.52
 	for _, prof := range power.Carriers() {
-		savings, _, _, err := CarrierResults(prof, cfg)
+		savings, _, err := CarrierResults(prof, cfg)
 		if err != nil {
 			return "", err
 		}

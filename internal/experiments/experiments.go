@@ -105,6 +105,7 @@ func All() []Experiment {
 		{"life", "Conclusion: battery lifetime estimate", LifetimeEstimate},
 		{"fleet", "Extension: sharded fleet replay of a diurnal cohort", FleetReplay},
 		{"sweep", "Extension: dormancy-tail parameter sweep via policy specs", TailSweep},
+		{"grid", "Extension: scheme × profile × cohort sweep grid via the registries", GridSweep},
 	}
 }
 

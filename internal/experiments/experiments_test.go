@@ -117,7 +117,7 @@ func TestHeadlineSavingsBand(t *testing.T) {
 	// (>= 30% on both Verizon profiles for the averaged cohort).
 	cfg := quickCfg()
 	for _, prof := range []power.Profile{power.Verizon3G, power.VerizonLTE} {
-		savings, _, _, err := CarrierResults(prof, cfg)
+		savings, _, err := CarrierResults(prof, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,11 +219,11 @@ func TestDelayComparisonLearnBeatsFixed(t *testing.T) {
 
 func TestCarrierResultsDeterministic(t *testing.T) {
 	cfg := Config{Seed: 5, AppDuration: 30 * time.Minute, UserDuration: time.Hour}
-	a, _, _, err := CarrierResults(power.Verizon3G, cfg)
+	a, _, err := CarrierResults(power.Verizon3G, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, _, err := CarrierResults(power.Verizon3G, cfg)
+	b, _, err := CarrierResults(power.Verizon3G, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,45 +91,57 @@ func Fig11(cfg Config) (string, error) {
 	return perUserTables("Figure 11: Verizon LTE", workload.VerizonLTEUsers(), power.VerizonLTE, cfg)
 }
 
-// CarrierResults runs every user cohort's traces against one carrier
-// profile and averages each scheme's metrics — the computation behind
-// Figs. 17/18 and Table 3. The same traces (the full 3G cohort) are
-// replayed against every carrier, as in §6.5. The (user × scheme) matrix
-// fans out across the fleet pool; means reduce in user order so results
-// are identical for any worker count.
-func CarrierResults(prof power.Profile, cfg Config) (map[string]float64, map[string]float64, []SchemeResult, error) {
+// CarrierResults runs the study cohort against one carrier profile and
+// averages each scheme's metrics — the computation behind Figs. 17/18.
+// The same cohort (the full 3G study mixes, stationary, one user per mix)
+// is replayed against every carrier, as in §6.5. It is built on the grid
+// path: the cohort comes from the cohort registry and each scheme is one
+// independent fleet cell over the identical streamed cohort, so results
+// are identical for any worker count and byte-identical to the service's
+// grid cells on the same spec.
+func CarrierResults(prof power.Profile, cfg Config) (map[string]float64, map[string]float64, error) {
 	cfg = cfg.withDefaults()
-	users := workload.Verizon3GUsers()
-	traces, seeds := userTraces(users, cfg.Seed, cfg.UserDuration)
-	schemes := FleetSchemes(0)
-	jobs := schemeMatrixJobs(traces, seeds, prof, schemes, nil)
-	cells, err := fleet.Run(jobs, cfg.fleetOpts(), fleet.Collect())
+	lc, err := CohortFor(fleet.CohortSpec{
+		Name: "study-3g",
+		Params: map[string]any{
+			"users":    len(workload.Verizon3GUsers()),
+			"duration": cfg.UserDuration.String(),
+			"diurnal":  false,
+		},
+	}, cfg.Seed)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-
-	var flat []SchemeResult
-	savingSums := map[string]float64{}
-	ratioSums := map[string]float64{}
-	stride := 1 + len(schemes)
-	for i := range users {
-		_, results := schemeResultsFrom(cells, i*stride, schemes)
-		for _, s := range results {
-			savingSums[s.Scheme] += s.SavingsPct
-			ratioSums[s.Scheme] += s.SwitchRatio
-		}
-		flat = append(flat, results...)
+	cells, err := GridCells(cfg.fleetOpts(), []LabeledCohort{lc},
+		[]power.Profile{prof}, FleetSchemes(0))
+	if err != nil {
+		return nil, nil, err
 	}
-	n := float64(len(users))
 	savings := map[string]float64{}
 	ratios := map[string]float64{}
-	for k, v := range savingSums {
-		savings[k] = v / n
+	for _, c := range cells {
+		a := c.Summary.Schemes[c.Scheme]
+		savings[c.Scheme] = a.SavingsPct.Mean
+		ratios[c.Scheme] = a.SwitchRatio.Mean
 	}
-	for k, v := range ratioSums {
-		ratios[k] = v / n
+	return savings, ratios, nil
+}
+
+// carrierProfiles returns the four Table 2 carriers as registry-resolved
+// profiles in figure order, keeping the paper display names as labels.
+func carrierProfiles() ([]power.Profile, error) {
+	reg := power.Default()
+	profs := make([]power.Profile, 0, len(reg.Aliases()))
+	for _, display := range []string{
+		power.TMobile3G.Name, power.ATTHSPAPlus.Name, power.Verizon3G.Name, power.VerizonLTE.Name,
+	} {
+		prof, err := power.ProfileSpec{Label: display, Name: display}.Profile(reg)
+		if err != nil {
+			return nil, err
+		}
+		profs = append(profs, prof)
 	}
-	return savings, ratios, flat, nil
+	return profs, nil
 }
 
 // Fig17 regenerates Figure 17: mean energy saved per carrier per scheme.
@@ -137,8 +149,12 @@ func Fig17(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
 	headers := append([]string{"Carrier"}, SchemeNames()...)
 	t := report.NewTable("Figure 17: energy saved for different carrier parameters (%)", headers...)
-	for _, prof := range power.Carriers() {
-		savings, _, _, err := CarrierResults(prof, cfg)
+	profs, err := carrierProfiles()
+	if err != nil {
+		return "", err
+	}
+	for _, prof := range profs {
+		savings, _, err := CarrierResults(prof, cfg)
 		if err != nil {
 			return "", fmt.Errorf("fig17 %s: %w", prof.Name, err)
 		}
@@ -157,8 +173,12 @@ func Fig18(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
 	headers := append([]string{"Carrier"}, SchemeNames()...)
 	t := report.NewTable("Figure 18: state switches normalized by status quo", headers...)
-	for _, prof := range power.Carriers() {
-		_, ratios, _, err := CarrierResults(prof, cfg)
+	profs, err := carrierProfiles()
+	if err != nil {
+		return "", err
+	}
+	for _, prof := range profs {
+		_, ratios, err := CarrierResults(prof, cfg)
 		if err != nil {
 			return "", fmt.Errorf("fig18 %s: %w", prof.Name, err)
 		}

@@ -25,8 +25,8 @@ type Scheme struct {
 
 // Cohort describes a synthetic multi-user population to fan out.
 type Cohort struct {
-	// Users is the population size. Mixes cycle through the Verizon 3G
-	// study cohort, so any size reuses the paper's app blends.
+	// Users is the population size. Mixes cycle, so any size reuses the
+	// configured app blends.
 	Users int
 	// Seed roots every per-user trace seed (UserSeed spacing).
 	Seed int64
@@ -35,6 +35,12 @@ type Cohort struct {
 	// Diurnal wraps each user in the day/night activity mask, turning the
 	// stationary mixes into day-scale load (workload.DayUser).
 	Diurnal bool
+	// Mixes are the user blends the population cycles through; nil keeps
+	// the historical default, the Verizon 3G study cohort.
+	Mixes []workload.User
+	// SeedStride multiplies the per-user seed index (user i draws
+	// UserSeed(Seed, i*SeedStride)); <= 1 keeps the historical spacing.
+	SeedStride int
 	// Opts are the simulation options applied to every job (burst gap,
 	// recording); nil gives the simulator defaults.
 	Opts *sim.Options
@@ -47,7 +53,14 @@ type Cohort struct {
 // c.Duration (except under FitTrace schemes, which materialize). Baselines
 // are enabled so summaries get relative metrics.
 func (c Cohort) Jobs(prof power.Profile, schemes []Scheme) []Job {
-	mixes := workload.Verizon3GUsers()
+	mixes := c.Mixes
+	if len(mixes) == 0 {
+		mixes = workload.Verizon3GUsers()
+	}
+	stride := c.SeedStride
+	if stride < 1 {
+		stride = 1
+	}
 	jobs := make([]Job, 0, c.Users*len(schemes))
 	for i := 0; i < c.Users; i++ {
 		u := mixes[i%len(mixes)]
@@ -59,7 +72,7 @@ func (c Cohort) Jobs(prof power.Profile, schemes []Scheme) []Job {
 		}(u)
 		for _, s := range schemes {
 			jobs = append(jobs, Job{
-				Seed:     UserSeed(c.Seed, i),
+				Seed:     UserSeed(c.Seed, i*stride),
 				Source:   src,
 				Profile:  prof,
 				Scheme:   s.Name,

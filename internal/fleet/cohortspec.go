@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// CohortSpec is the declarative form of a Cohort: a registered cohort
+// family (or alias) with parameter overrides and an optional summary
+// label. It is one axis value of the service's grid jobs and serializes
+// over the /v1 HTTP API. The root seed is deliberately not part of the
+// spec — it is job-level state shared by every grid cell, so the same
+// cohort axis replays the identical population in every cell.
+type CohortSpec struct {
+	// Label keys the cohort in grid cells; empty derives the registry
+	// label (canonical name plus non-default parameters, e.g.
+	// "study-3g(users=1000)").
+	Label string `json:"label,omitempty"`
+	// Name is the cohort family or alias name.
+	Name string `json:"name"`
+	// Params overrides schema parameters (typed values, JSON values, or
+	// canonical strings).
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// Spec returns the underlying spec value.
+func (cs CohortSpec) Spec() spec.Spec { return spec.Spec{Name: cs.Name, Params: cs.Params} }
+
+// ResolvedLabel returns the cohort's axis label: the explicit Label, or
+// the registry-derived one.
+func (cs CohortSpec) ResolvedLabel(r *workload.CohortRegistry) (string, error) {
+	if cs.Label != "" {
+		return cs.Label, nil
+	}
+	return r.Label(cs.Spec())
+}
+
+// Canonical returns the byte-stable encoding of the cohort axis value —
+// "label|canonicalCohort" — which feeds the v4 job fingerprint: stable
+// across alias spelling, param-map ordering and omitted defaults; changed
+// by any parameter value or label change.
+func (cs CohortSpec) Canonical(r *workload.CohortRegistry) (string, error) {
+	label, err := cs.ResolvedLabel(r)
+	if err != nil {
+		return "", err
+	}
+	canon, err := r.Canonical(cs.Spec())
+	if err != nil {
+		return "", err
+	}
+	return label + "|" + canon, nil
+}
+
+// CohortFromSpec resolves a CohortSpec against a registry into a runnable
+// Cohort rooted at seed: parameters are coerced and bounds-checked eagerly
+// (so typos and out-of-range populations fail before a fleet spins up) and
+// the resolved plan's mixes, duration, diurnal mask and seed stride carry
+// over. opts applies to every replay of the cohort (burst gap, recording).
+func CohortFromSpec(r *workload.CohortRegistry, cs CohortSpec, seed int64, opts *sim.Options) (Cohort, error) {
+	plan, err := r.Plan(cs.Spec())
+	if err != nil {
+		return Cohort{}, err
+	}
+	return Cohort{
+		Users:      plan.Users,
+		Seed:       seed,
+		Duration:   plan.Duration,
+		Diurnal:    plan.Diurnal,
+		Mixes:      plan.Mixes,
+		SeedStride: plan.SeedStride,
+		Opts:       opts,
+	}, nil
+}
+
+// LegacyCohortSpec maps the flat legacy population fields (a bare Users
+// int plus job-level duration and diurnal flags) to a CohortSpec on the
+// historical default family — the Verizon 3G study mixes — so flat
+// payloads and their explicit cohort form resolve, encode and fingerprint
+// identically.
+func LegacyCohortSpec(users int, duration string, diurnal bool) CohortSpec {
+	return CohortSpec{
+		Name: "study-3g",
+		Params: map[string]any{
+			"users":    users,
+			"duration": duration,
+			"diurnal":  diurnal,
+		},
+	}
+}

@@ -11,7 +11,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/policy"
 	"repro/internal/power"
-	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Duration is a time.Duration that marshals as a Go duration string
@@ -46,43 +46,63 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 // registry is the policy registry every job spec resolves against.
 func registry() *policy.Registry { return policy.Default() }
 
-// Spec describes one cohort replay job: the synthetic population (users,
-// seed, per-user duration, diurnal mask), the carrier profile, the scheme
-// specs to replay it under, and the shard count that pins the reduction
-// grouping. A Spec is the entire job input — two Specs with equal
-// canonical scheme encodings and equal cohort fields denote the same
-// computation, which is what makes the fingerprint a sound cache key.
+// profiles is the carrier-profile registry every job spec resolves against.
+func profiles() *power.Registry { return power.Default() }
+
+// cohorts is the cohort registry every job spec resolves against.
+func cohorts() *workload.CohortRegistry { return workload.Cohorts() }
+
+// Spec describes one replay job as a sweep grid over the paper's three
+// experiment axes: dormancy schemes × carrier profiles × synthetic
+// cohorts. The cross product executes as one deterministic fleet run per
+// cell (every cell of a cohort replays the identical streamed population),
+// so each cell's summary is byte-identical to the equivalent single-axis
+// job's. A Spec is the entire job input — two Specs with equal canonical
+// axis encodings and equal scalar fields denote the same computation,
+// which is what makes the fingerprint a sound cache key.
 //
-// Schemes is the parameterized form: each entry names a registered demote
-// policy (and optionally a batching policy) with parameter overrides, so
-// one job can sweep a whole parameter grid — every scheme replays the
-// same streamed cohort and aggregates under its own label. The flat
-// Policy/Active names are the legacy single-scheme form; when Schemes is
-// empty they are mapped through the registry's aliases to an equivalent
-// one-entry scheme list with the historical label.
+// Each axis has a parameterized list form (Schemes, Profiles, Cohorts)
+// and a legacy flat form (Policy/Active, Profile, Users + Duration +
+// Diurnal). When a list is empty the flat fields are mapped through the
+// corresponding registry's aliases into an equivalent one-entry list with
+// the historical label, so pre-grid payloads keep their fingerprints and
+// summary keys. When a list is set, its flat fields are ignored.
 type Spec struct {
-	// Users is the cohort size (required, > 0).
-	Users int `json:"users"`
-	// Seed roots every per-user trace seed (fleet.UserSeed spacing).
+	// Users is the legacy flat cohort size (required > 0 unless Cohorts is
+	// set). Ignored when Cohorts is set.
+	Users int `json:"users,omitempty"`
+	// Seed roots every per-user trace seed (fleet.UserSeed spacing). It is
+	// job-level state shared by every grid cell, so the same cohort axis
+	// value replays the identical population in every cell.
 	Seed int64 `json:"seed"`
-	// Duration is the per-user trace length (default 4h).
+	// Duration is the legacy flat per-user trace length (default 4h).
+	// Ignored when Cohorts is set.
 	Duration Duration `json:"duration"`
-	// Diurnal wraps users in the day/night activity mask (default true —
-	// population-scale runs model day-scale load).
+	// Diurnal is the legacy flat day/night-mask flag (default true).
+	// Ignored when Cohorts is set.
 	Diurnal *bool `json:"diurnal,omitempty"`
-	// Profile is the carrier profile name (default "Verizon 3G").
-	Profile string `json:"profile"`
-	// Schemes lists the scheme specs to replay (the sweep). Empty means
-	// the legacy Policy/Active pair below.
+	// Profile is the legacy flat carrier profile name (default
+	// "Verizon 3G"); see GET /v1/profiles for the accepted set. Ignored
+	// when Profiles is set.
+	Profile string `json:"profile,omitempty"`
+	// Schemes lists the scheme axis values. Empty means the legacy
+	// Policy/Active pair below.
 	Schemes []fleet.SchemeSpec `json:"schemes,omitempty"`
-	// Policy is the legacy flat demote-policy name (default "makeidle");
-	// see GET /v1/policies for the accepted set. Ignored when Schemes is
-	// set.
+	// Profiles lists the carrier-profile axis values, e.g.
+	// {"name": "verizon-lte", "params": {"t1": "5s"}}. Empty means the
+	// flat Profile name above.
+	Profiles []power.ProfileSpec `json:"profiles,omitempty"`
+	// Cohorts lists the cohort axis values, e.g.
+	// {"name": "study-3g", "params": {"users": 1000}}; see GET
+	// /v1/workloads. Empty means the flat Users/Duration/Diurnal fields.
+	Cohorts []fleet.CohortSpec `json:"cohorts,omitempty"`
+	// Policy is the legacy flat demote-policy name (default "makeidle").
+	// Ignored when Schemes is set.
 	Policy string `json:"policy,omitempty"`
 	// Active is the legacy flat batching-policy name (default "none").
 	// Ignored when Schemes is set.
 	Active string `json:"active,omitempty"`
-	// BurstGap is the session segmentation gap applied to every scheme's
+	// BurstGap is the session segmentation gap applied to every cell's
 	// replay (default 1s). It also seeds the "fix" active policy's
 	// burstgap parameter for schemes that do not set their own.
 	BurstGap Duration `json:"burst_gap"`
@@ -95,8 +115,8 @@ type Spec struct {
 }
 
 // withDefaults returns the normalized spec: every optional field resolved
-// to its default and the legacy flat names expanded into Schemes, so
-// equal jobs normalize to equal specs.
+// to its default and every legacy flat axis expanded into its list form,
+// so equal jobs normalize to equal specs.
 func (s Spec) withDefaults() Spec {
 	if s.Duration <= 0 {
 		s.Duration = Duration(4 * time.Hour)
@@ -105,19 +125,47 @@ func (s Spec) withDefaults() Spec {
 		t := true
 		s.Diurnal = &t
 	}
-	if s.Profile == "" {
-		s.Profile = power.Verizon3G.Name
-	}
 	if s.BurstGap <= 0 {
 		s.BurstGap = Duration(time.Second)
 	}
 	if s.Shards <= 0 {
 		s.Shards = fleet.DefaultShards
 	}
+	if len(s.Profiles) == 0 {
+		// Legacy flat profile: fill the flat field too (not just the list)
+		// so the normalized spec echoed in Status keeps the shape pre-grid
+		// clients parsed, and keep the historical display name as the axis
+		// label.
+		if s.Profile == "" {
+			s.Profile = power.Verizon3G.Name
+		}
+		s.Profiles = []power.ProfileSpec{{Label: s.Profile, Name: s.Profile}}
+	} else {
+		// Explicit profile axis: the flat field is documented as ignored;
+		// clear a stale value so the echoed normalized spec cannot suggest
+		// it applied.
+		s.Profile = ""
+	}
+	if len(s.Cohorts) == 0 {
+		// Legacy flat population: users, per-user duration and the diurnal
+		// mask map onto the historical default family (the Verizon 3G study
+		// mixes). Users <= 0 stays unmapped so validation reports it.
+		if s.Users > 0 {
+			s.Cohorts = []fleet.CohortSpec{fleet.LegacyCohortSpec(
+				s.Users, time.Duration(s.Duration).String(), *s.Diurnal)}
+		}
+	} else {
+		// Explicit cohort axis: the flat population fields are documented
+		// as ignored, so clear them — stale values must neither fail
+		// validation nor suggest in the echoed normalized spec that they
+		// applied. (They are not part of the fingerprint either way.)
+		s.Users = 0
+		s.Duration = 0
+		s.Diurnal = nil
+	}
 	if len(s.Schemes) == 0 {
-		// Legacy flat form: fill the flat fields too (not just the scheme
-		// list) so the normalized spec echoed in Status keeps the shape
-		// pre-/v1 clients parsed.
+		// Legacy flat form: fill the flat fields too so the normalized spec
+		// echoed in Status keeps the shape pre-/v1 clients parsed.
 		if s.Policy == "" {
 			s.Policy = fleet.PolicyMakeIdle
 		}
@@ -129,10 +177,10 @@ func (s Spec) withDefaults() Spec {
 		}
 	} else {
 		// The job's burst gap seeds the trace-fitted MakeActive bound for
-		// schemes that do not pin their own, exactly as the legacy flat
-		// form and the CLI do. Injection happens here, during
-		// normalization, so the canonical encodings the fingerprint hashes
-		// describe the computation that actually runs.
+		// schemes that do not pin their own, exactly as the legacy flat form
+		// and the CLI do. Injection happens here, during normalization, so
+		// the canonical encodings the fingerprint hashes describe the
+		// computation that actually runs.
 		schemes := make([]fleet.SchemeSpec, len(s.Schemes))
 		for i, ss := range s.Schemes {
 			schemes[i] = withSchemeBurstGap(ss, time.Duration(s.BurstGap))
@@ -155,21 +203,28 @@ func withSchemeBurstGap(ss fleet.SchemeSpec, burstGap time.Duration) fleet.Schem
 
 // Admission bounds on a single job: a spec is one HTTP request, so its
 // resource footprint must be bounded before it reaches a runner. MaxUsers
-// bounds the O(users) job-slice allocation (~150 MB at the limit);
+// bounds each cohort's O(users) job-slice allocation (~150 MB at the
+// limit; the cohort schemas enforce the same cap on their users knob);
 // MaxDuration bounds per-user trace length; MaxShards bounds the partial
 // accumulator array (the fleet clamps shards to the job count anyway);
-// MaxSchemes bounds a sweep's replay multiplier.
+// MaxSchemes/MaxProfiles/MaxCohorts bound each axis and MaxCells bounds
+// the grid's total replay multiplier.
 const (
 	MaxUsers    = 1_000_000
 	MaxDuration = Duration(30 * 24 * time.Hour)
 	MaxShards   = 1 << 16
 	MaxSchemes  = 64
+	MaxProfiles = 16
+	MaxCohorts  = 16
+	MaxCells    = 512
 )
 
 // validate rejects unusable specs with a client-attributable error. The
 // spec must already be normalized.
 func (s Spec) validate() error {
-	if s.Users <= 0 {
+	if len(s.Cohorts) == 0 {
+		// Normalization maps every legal flat population; an empty cohort
+		// axis means the legacy users field was unusable.
 		return fmt.Errorf("jobs: users must be > 0")
 	}
 	if s.Users > MaxUsers {
@@ -185,105 +240,97 @@ func (s Spec) validate() error {
 	if len(s.Schemes) > MaxSchemes {
 		return fmt.Errorf("jobs: %d schemes exceeds the limit of %d", len(s.Schemes), MaxSchemes)
 	}
-	if _, ok := power.ByName(s.Profile); !ok {
-		return fmt.Errorf("jobs: unknown profile %q", s.Profile)
+	if len(s.Profiles) > MaxProfiles {
+		return fmt.Errorf("jobs: %d profiles exceeds the limit of %d", len(s.Profiles), MaxProfiles)
 	}
-	seen := make(map[string]bool, len(s.Schemes))
-	for i, ss := range s.Schemes {
-		label, err := ss.ResolvedLabel(registry())
+	if len(s.Cohorts) > MaxCohorts {
+		return fmt.Errorf("jobs: %d cohorts exceeds the limit of %d", len(s.Cohorts), MaxCohorts)
+	}
+	if cells := len(s.Schemes) * len(s.Profiles) * len(s.Cohorts); cells > MaxCells {
+		return fmt.Errorf("jobs: grid of %d cells exceeds the limit of %d", cells, MaxCells)
+	}
+	if err := validateAxis("scheme", s.Schemes, func(ss fleet.SchemeSpec) (string, error) {
+		if _, err := fleet.SchemeFromSpec(registry(), ss); err != nil {
+			return "", err
+		}
+		return ss.ResolvedLabel(registry())
+	}); err != nil {
+		return err
+	}
+	if err := validateAxis("profile", s.Profiles, func(ps power.ProfileSpec) (string, error) {
+		if _, err := ps.Profile(profiles()); err != nil {
+			return "", err
+		}
+		return ps.ResolvedLabel(profiles())
+	}); err != nil {
+		return err
+	}
+	return validateAxis("cohort", s.Cohorts, func(cs fleet.CohortSpec) (string, error) {
+		if _, err := fleet.CohortFromSpec(cohorts(), cs, s.Seed, nil); err != nil {
+			return "", err
+		}
+		return cs.ResolvedLabel(cohorts())
+	})
+}
+
+// validateAxis resolves every axis value eagerly (typos and out-of-range
+// parameters fail at admission, before a fleet spins up) and rejects
+// duplicate or reserved-character labels — labels key grid cells, so they
+// must be distinct within their axis.
+func validateAxis[T any](axis string, values []T, resolve func(T) (string, error)) error {
+	seen := make(map[string]bool, len(values))
+	for i, v := range values {
+		label, err := resolve(v)
 		if err != nil {
-			return fmt.Errorf("jobs: scheme %d: %w", i, err)
+			return fmt.Errorf("jobs: %s %d: %w", axis, i, err)
 		}
 		if strings.ContainsAny(label, "|\n") {
-			return fmt.Errorf("jobs: scheme %d: label %q contains reserved characters", i, label)
+			return fmt.Errorf("jobs: %s %d: label %q contains reserved characters", axis, i, label)
 		}
 		if seen[label] {
-			return fmt.Errorf("jobs: scheme %d: duplicate label %q (label sweeps explicitly)", i, label)
+			return fmt.Errorf("jobs: %s %d: duplicate label %q (label axis values explicitly)", axis, i, label)
 		}
 		seen[label] = true
-		if _, err := fleet.SchemeFromSpec(registry(), ss); err != nil {
-			return fmt.Errorf("jobs: scheme %d: %w", i, err)
-		}
 	}
 	return nil
 }
 
-// SourceSpec is the canonical description of the job's packet source: a
-// source kind plus every parameter that determines the packets it emits.
-// The fleet streams cohort traffic straight from source constructors, so
-// there is never a materialized trace to hash — instead the cache key
-// digests this spec, which identifies the packet streams exactly (same
-// kind, params and seed ⇒ same packets, by the workload determinism
-// contract).
-func (s Spec) SourceSpec() string {
-	s = s.withDefaults()
-	return fmt.Sprintf("kind=synthetic-cohort|users=%d|seed=%d|dur=%s|diurnal=%t",
-		s.Users, s.Seed, time.Duration(s.Duration), s.Diurnal != nil && *s.Diurnal)
-}
-
-// SourceHash digests the source spec; it stands in for hashing the traces
-// themselves, which streaming never materializes.
-func (s Spec) SourceHash() string {
-	h := sha256.New()
-	fmt.Fprintf(h, "%s", s.SourceSpec())
-	return hex.EncodeToString(h.Sum(nil))
-}
-
 // Fingerprint is the deterministic cache key of the normalized spec:
-// sha256 over (source hash, profile, burst gap, seed, users, shards) plus
-// the canonical encoding of every scheme spec — label, resolved policy
-// names and every parameter value in registry order — so the key is
-// stable across param-map ordering, alias spelling and omitted defaults,
-// and moves whenever any parameter value (or the scheme list, or its
-// order) changes. Equal fingerprints imply byte-identical results,
-// because the computation is deterministic given the spec and the shard
-// count is part of the key.
+// sha256 over (seed, burst gap, shards, axis sizes) plus the canonical
+// encoding of every axis value — label, resolved canonical name and every
+// parameter value in registry declaration order, for all three axes — so
+// the key is stable across param-map ordering, alias spelling and omitted
+// defaults, and moves whenever any axis value (or list, or its order)
+// changes. Equal fingerprints imply byte-identical results, because the
+// computation is deterministic given the spec and the shard count is part
+// of the key. This is fingerprint v4: v3 hashed only the scheme axis plus
+// a flat profile name and cohort scalars.
 //
-// Unresolvable specs get a sentinel fingerprint; they can never produce a
-// result, so the sentinel can never be paired with cached bytes.
+// Unresolvable axis values get a sentinel encoding; they can never produce
+// a result, so the sentinel can never be paired with cached bytes.
 func (s Spec) Fingerprint() string {
 	s = s.withDefaults()
 	h := sha256.New()
-	fmt.Fprintf(h, "v3|source=%s|profile=%s|burstgap=%s|seed=%d|users=%d|shards=%d|schemes=%d",
-		s.SourceHash(), s.Profile,
-		time.Duration(s.BurstGap), s.Seed, s.Users, s.Shards, len(s.Schemes))
+	fmt.Fprintf(h, "v4|seed=%d|burstgap=%s|shards=%d|schemes=%d|profiles=%d|cohorts=%d",
+		s.Seed, time.Duration(s.BurstGap), s.Shards,
+		len(s.Schemes), len(s.Profiles), len(s.Cohorts))
 	for _, ss := range s.Schemes {
-		canon, err := ss.Canonical(registry())
-		if err != nil {
-			canon = "unresolvable:" + err.Error()
-		}
-		fmt.Fprintf(h, "|%s", canon)
+		fmt.Fprintf(h, "|S:%s", canonicalOrSentinel(ss.Canonical(registry())))
+	}
+	for _, ps := range s.Profiles {
+		fmt.Fprintf(h, "|P:%s", canonicalOrSentinel(ps.Canonical(profiles())))
+	}
+	for _, cs := range s.Cohorts {
+		fmt.Fprintf(h, "|C:%s", canonicalOrSentinel(cs.Canonical(cohorts())))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// schemeRuns expands the normalized spec into one fleet job slice per
-// scheme — each an independent fleet run. Every run replays the identical
-// streamed cohort (per-user seeds depend only on the cohort, never the
-// scheme; per-scheme aggregates are keyed by Job.Scheme inside the
-// fleet), and running schemes as separate fleet runs keeps each scheme's
-// reduction grouping exactly what a single-scheme job with the same shard
-// count would use — which is what makes a sweep's per-scheme summaries
-// byte-identical to separate jobs.
-func (s Spec) schemeRuns() ([][]fleet.Job, error) {
-	prof, ok := power.ByName(s.Profile)
-	if !ok {
-		return nil, fmt.Errorf("jobs: unknown profile %q", s.Profile)
+// canonicalOrSentinel substitutes the sentinel encoding for axis values
+// that fail to resolve.
+func canonicalOrSentinel(canon string, err error) string {
+	if err != nil {
+		return "unresolvable:" + err.Error()
 	}
-	cohort := fleet.Cohort{
-		Users:    s.Users,
-		Seed:     s.Seed,
-		Duration: time.Duration(s.Duration),
-		Diurnal:  s.Diurnal != nil && *s.Diurnal,
-		Opts:     &sim.Options{BurstGap: time.Duration(s.BurstGap)},
-	}
-	runs := make([][]fleet.Job, 0, len(s.Schemes))
-	for i, ss := range s.Schemes {
-		scheme, err := fleet.SchemeFromSpec(registry(), ss)
-		if err != nil {
-			return nil, fmt.Errorf("jobs: scheme %d: %w", i, err)
-		}
-		runs = append(runs, cohort.Jobs(prof, []fleet.Scheme{scheme}))
-	}
-	return runs, nil
+	return canon
 }

@@ -1,12 +1,14 @@
 package jobs
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/policy"
+	"repro/internal/power"
 )
 
 func sweepSpec(schemes ...fleet.SchemeSpec) Spec {
@@ -153,6 +155,192 @@ func TestBurstGapSeedsFixScheme(t *testing.T) {
 	}
 	if pinned.Schemes[0].Active.Params["burstgap"] != "500ms" {
 		t.Fatal("normalization mutated the caller's scheme spec")
+	}
+}
+
+// TestFingerprintV4StableAcrossAxisSpellings: the v4 fingerprint hashes
+// canonical encodings on all three axes, so every way of writing the same
+// grid — display-name vs canonical profile names, omitted vs explicit
+// defaults on any axis, flat legacy fields vs one-entry axis lists, any
+// param-map construction order — produces one fingerprint.
+func TestFingerprintV4StableAcrossAxisSpellings(t *testing.T) {
+	base := Spec{Seed: 3, Shards: 8,
+		Schemes:  []fleet.SchemeSpec{{Policy: policy.Spec{Name: "makeidle"}}},
+		Profiles: []power.ProfileSpec{{Name: "verizon-lte"}},
+		Cohorts:  []fleet.CohortSpec{{Name: "study-3g", Params: map[string]any{"users": 5, "duration": "30m"}}},
+	}
+	want := base.Fingerprint()
+	equivalents := []Spec{
+		// Explicit profile defaults.
+		func() Spec {
+			s := base
+			s.Profiles = []power.ProfileSpec{{Name: "verizon-lte", Params: map[string]any{"t1": "10.2s"}}}
+			return s
+		}(),
+		// Cohort value spellings and explicit defaults.
+		func() Spec {
+			s := base
+			s.Cohorts = []fleet.CohortSpec{{Name: "study-3g",
+				Params: map[string]any{"users": "5", "duration": "30m0s", "diurnal": true}}}
+			return s
+		}(),
+	}
+	for i, s := range equivalents {
+		if got := s.Fingerprint(); got != want {
+			t.Errorf("equivalent grid %d changed the fingerprint", i)
+		}
+	}
+	// Param-map construction order cannot matter on the new axes either.
+	mk := func() Spec {
+		s := base
+		s.Profiles = []power.ProfileSpec{{Name: "verizon-lte",
+			Params: map[string]any{"t1": "9s", "dormancy": 0.4, "uplink": 2.0}}}
+		return s
+	}
+	ref := mk().Fingerprint()
+	for trial := 0; trial < 20; trial++ {
+		if mk().Fingerprint() != ref {
+			t.Fatal("fingerprint depends on profile param map ordering")
+		}
+	}
+	// The flat legacy profile field and its labeled one-entry axis agree.
+	flat := Spec{Users: 5, Seed: 3, Duration: Duration(30 * time.Minute), Profile: "Verizon LTE"}
+	axis := Spec{Seed: 3,
+		Profiles: []power.ProfileSpec{{Label: "Verizon LTE", Name: "Verizon LTE"}},
+		Cohorts:  []fleet.CohortSpec{{Name: "study-3g", Params: map[string]any{"users": 5, "duration": "30m"}}},
+	}
+	if flat.Fingerprint() != axis.Fingerprint() {
+		t.Fatal("flat profile/users payload does not fingerprint like its axis form")
+	}
+}
+
+// TestFingerprintV4MovesWithAnyAxisChange: changing any single profile or
+// cohort knob, an axis label, an axis list, or its order changes the
+// fingerprint.
+func TestFingerprintV4MovesWithAnyAxisChange(t *testing.T) {
+	base := Spec{Seed: 3, Shards: 8,
+		Schemes:  []fleet.SchemeSpec{{Policy: policy.Spec{Name: "makeidle"}}},
+		Profiles: []power.ProfileSpec{{Name: "verizon-lte"}},
+		Cohorts:  []fleet.CohortSpec{{Name: "study-3g", Params: map[string]any{"users": 5}}},
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	check := func(name string, s Spec) {
+		t.Helper()
+		fp := s.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collided with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+	withProfiles := func(ps ...power.ProfileSpec) Spec { s := base; s.Profiles = ps; return s }
+	withCohorts := func(cs ...fleet.CohortSpec) Spec { s := base; s.Cohorts = cs; return s }
+
+	// Every profile knob moves the key.
+	for _, knob := range []map[string]any{
+		{"t1": "5s"}, {"t1power": 1200.0}, {"send": 3000.0}, {"recv": 1800.0},
+		{"promodelay": "1s"}, {"promopower": 1000.0}, {"radiooff": 2.0},
+		{"dormancy": 0.4}, {"uplink": 4.0}, {"downlink": 10.0},
+	} {
+		check(fmt.Sprintf("profile knob %v", knob),
+			withProfiles(power.ProfileSpec{Name: "verizon-lte", Params: knob}))
+	}
+	// Every cohort knob moves the key.
+	for _, knob := range []map[string]any{
+		{"users": 6}, {"users": 5, "duration": "1h"}, {"users": 5, "diurnal": false},
+		{"users": 5, "seedstride": 7},
+	} {
+		check(fmt.Sprintf("cohort knob %v", knob),
+			withCohorts(fleet.CohortSpec{Name: "study-3g", Params: knob}))
+	}
+	// Different families, labels, list sizes and orders are all distinct.
+	v3g := power.ProfileSpec{Name: "verizon-3g"}
+	vlte := power.ProfileSpec{Name: "verizon-lte"}
+	check("different family", withCohorts(fleet.CohortSpec{Name: "study-lte", Params: map[string]any{"users": 5}}))
+	check("relabeled profile", withProfiles(power.ProfileSpec{Label: "renamed", Name: "verizon-lte"}))
+	check("relabeled cohort", withCohorts(fleet.CohortSpec{Label: "renamed", Name: "study-3g", Params: map[string]any{"users": 5}}))
+	check("two profiles", withProfiles(vlte, v3g))
+	check("two profiles, other order", withProfiles(v3g, vlte))
+	check("unknown profile", withProfiles(power.ProfileSpec{Name: "AT&T 3G"}))
+}
+
+// TestSpecValidateAxes: grid-specific admission rules on the profile and
+// cohort axes.
+func TestSpecValidateAxes(t *testing.T) {
+	good := Spec{Seed: 1,
+		Schemes:  []fleet.SchemeSpec{{Policy: policy.Spec{Name: "makeidle"}}},
+		Profiles: []power.ProfileSpec{{Name: "verizon-3g"}, {Name: "verizon-lte", Params: map[string]any{"t1": "5s"}}},
+		Cohorts: []fleet.CohortSpec{
+			{Name: "study-3g", Params: map[string]any{"users": 2, "duration": "10m"}},
+			{Name: "mix", Params: map[string]any{"users": 2, "duration": "10m"}},
+		},
+	}.withDefaults()
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+	// Legacy payloads with sub-minute durations predate the cohort schema
+	// and must keep validating (the compat contract the flat→axis mapping
+	// promises).
+	if err := (Spec{Users: 2, Seed: 1, Duration: Duration(30 * time.Second)}).withDefaults().validate(); err != nil {
+		t.Fatalf("sub-minute legacy duration rejected: %v", err)
+	}
+	// Stale flat fields next to an explicit cohort axis are documented as
+	// ignored: they must neither fail validation nor survive normalization.
+	stale := Spec{Users: MaxUsers + 1, Duration: MaxDuration + 1, Seed: 1,
+		Cohorts: []fleet.CohortSpec{{Name: "study-3g", Params: map[string]any{"users": 2, "duration": "10m"}}},
+	}.withDefaults()
+	if err := stale.validate(); err != nil {
+		t.Fatalf("ignored flat fields rejected a valid explicit-cohort spec: %v", err)
+	}
+	if stale.Users != 0 || stale.Duration != 0 {
+		t.Fatalf("ignored flat fields survived normalization: %+v", stale)
+	}
+	mutate := func(f func(*Spec)) Spec {
+		s := good
+		f(&s)
+		return s
+	}
+	bad := map[string]Spec{
+		"unknown profile": mutate(func(s *Spec) {
+			s.Profiles = []power.ProfileSpec{{Name: "warp-radio"}}
+		}),
+		"out-of-range profile knob": mutate(func(s *Spec) {
+			s.Profiles = []power.ProfileSpec{{Name: "verizon-3g", Params: map[string]any{"dormancy": 2.0}}}
+		}),
+		"duplicate profile labels": mutate(func(s *Spec) {
+			s.Profiles = []power.ProfileSpec{{Name: "verizon-3g"}, {Name: "Verizon 3G", Label: "verizon-3g"}}
+		}),
+		"reserved profile label": mutate(func(s *Spec) {
+			s.Profiles = []power.ProfileSpec{{Label: "a|b", Name: "verizon-3g"}}
+		}),
+		"unknown cohort": mutate(func(s *Spec) {
+			s.Cohorts = []fleet.CohortSpec{{Name: "commuters"}}
+		}),
+		"degenerate mix cohort": mutate(func(s *Spec) {
+			s.Cohorts = []fleet.CohortSpec{{Name: "mix", Params: map[string]any{"im": 0, "email": 0, "news": 0}}}
+		}),
+		"too many profiles": mutate(func(s *Spec) {
+			for i := 0; i <= MaxProfiles; i++ {
+				s.Profiles = append(s.Profiles, power.ProfileSpec{
+					Label: fmt.Sprintf("p%d", i), Name: "verizon-3g"})
+			}
+		}),
+		// 40 schemes × 8 profiles × 2 cohorts = 640 cells: every axis within
+		// its own limit, the product over MaxCells.
+		"too many cells": mutate(func(s *Spec) {
+			for i := 0; len(s.Profiles) < 8; i++ {
+				s.Profiles = append(s.Profiles, power.ProfileSpec{
+					Label: fmt.Sprintf("p%d", i), Name: "verizon-3g"})
+			}
+			for i := 0; len(s.Schemes) < 40; i++ {
+				s.Schemes = append(s.Schemes, fleet.SchemeSpec{
+					Label: fmt.Sprintf("s%d", i), Policy: policy.Spec{Name: "makeidle"}})
+			}
+		}),
+	}
+	for name, s := range bad {
+		if err := s.validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
 	}
 }
 

@@ -1,0 +1,129 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// This file expands a normalized Spec into its grid of cells — the cross
+// product of the scheme × profile × cohort axes — and gives each cell a
+// deterministic identity for the cell-level result cache.
+//
+// Cells execute cohort-major, then profile, then scheme: a fixed order,
+// so progress accounting and rendered output are reproducible. Every cell
+// is one independent fleet run over the cell's cohort, which keeps each
+// cell's reduction grouping exactly what a single-axis job with the same
+// shard count would use — the invariant that makes a grid cell's summary
+// byte-identical to the equivalent single job's.
+
+// gridCell is one planned cell: its axis labels, the resolved cohort /
+// profile / scheme that realize it, the cell cache key, and its progress
+// denominators. The fleet job slice is NOT built here — a grid holds
+// every planned cell for the job's lifetime, so cells materialize their
+// O(users) job slices lazily (Jobs), one at a time as they run, and
+// cache-served cells never build one at all.
+type gridCell struct {
+	// Scheme, Profile, Cohort are the axis labels keying the cell in
+	// results.
+	Scheme, Profile, Cohort string
+	// Key is the deterministic cell identity: equal keys imply
+	// byte-identical cell summaries (same reasoning as the job
+	// fingerprint, restricted to one cell).
+	Key string
+
+	cohort  fleet.Cohort
+	profile power.Profile
+	scheme  fleet.Scheme
+
+	// NumJobs and Shards are the cell's progress denominators: the fleet
+	// run's job count (one per user — each cell is a single scheme) and
+	// the shard count it will use under the job's options (the configured
+	// count clamped to the job count).
+	NumJobs, Shards int
+}
+
+// Jobs materializes the cell's fleet run.
+func (c *gridCell) Jobs() []fleet.Job {
+	return c.cohort.Jobs(c.profile, []fleet.Scheme{c.scheme})
+}
+
+// plan expands the normalized spec into its grid cells. Axis values are
+// resolved through the registries; the spec must already have passed
+// validate, so failures here are racing registry changes, not user error.
+func (s Spec) plan(opts fleet.Options) ([]gridCell, error) {
+	simOpts := &sim.Options{BurstGap: time.Duration(s.BurstGap)}
+	cells := make([]gridCell, 0, len(s.Schemes)*len(s.Profiles)*len(s.Cohorts))
+	for _, cs := range s.Cohorts {
+		cohort, err := fleet.CohortFromSpec(cohorts(), cs, s.Seed, simOpts)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: cohort: %w", err)
+		}
+		cohortLabel, err := cs.ResolvedLabel(cohorts())
+		if err != nil {
+			return nil, fmt.Errorf("jobs: cohort: %w", err)
+		}
+		cohortCanon, err := cs.Canonical(cohorts())
+		if err != nil {
+			return nil, fmt.Errorf("jobs: cohort: %w", err)
+		}
+		for _, ps := range s.Profiles {
+			prof, err := ps.Profile(profiles())
+			if err != nil {
+				return nil, fmt.Errorf("jobs: profile: %w", err)
+			}
+			profCanon, err := ps.Canonical(profiles())
+			if err != nil {
+				return nil, fmt.Errorf("jobs: profile: %w", err)
+			}
+			for _, ss := range s.Schemes {
+				scheme, err := fleet.SchemeFromSpec(registry(), ss)
+				if err != nil {
+					return nil, fmt.Errorf("jobs: scheme: %w", err)
+				}
+				schemeCanon, err := ss.Canonical(registry())
+				if err != nil {
+					return nil, fmt.Errorf("jobs: scheme: %w", err)
+				}
+				cells = append(cells, gridCell{
+					Scheme:  scheme.Name,
+					Profile: prof.Name,
+					Cohort:  cohortLabel,
+					Key:     cellKey(s, schemeCanon, profCanon, cohortCanon),
+					cohort:  cohort,
+					profile: prof,
+					scheme:  scheme,
+					NumJobs: cohort.Users,
+					Shards:  opts.NumShards(cohort.Users),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// singleAxis reports whether the normalized spec's profile and cohort axes
+// are both single-valued — the shape whose job-level result keeps the
+// legacy flat rendering (one merged summary keyed by scheme label). Wider
+// grids render per cell, because the same scheme label legitimately
+// repeats across profile/cohort cells.
+func (s Spec) singleAxis() bool {
+	return len(s.Profiles) == 1 && len(s.Cohorts) == 1
+}
+
+// cellKey digests one cell's computation: the job-level scalars that
+// shape every cell (seed, burst gap, shard config) plus the cell's three
+// canonical axis encodings. Labels ride inside the canonicals, which is
+// deliberate — a relabeled cell renders different bytes, so it must not
+// share a cache entry.
+func cellKey(s Spec, schemeCanon, profCanon, cohortCanon string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cell|v4|seed=%d|burstgap=%s|shards=%d|S:%s|P:%s|C:%s",
+		s.Seed, time.Duration(s.BurstGap), s.Shards, schemeCanon, profCanon, cohortCanon)
+	return hex.EncodeToString(h.Sum(nil))
+}

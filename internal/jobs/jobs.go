@@ -1,25 +1,26 @@
 // Package jobs is the asynchronous job layer between the HTTP service and
-// the fleet runtime: a bounded queue of cohort replay jobs — each a list
-// of parameterized scheme specs swept over one streamed cohort — per-job
-// lifecycle state (queued → running → done/failed/canceled), cooperative
-// cancellation that propagates into the fleet via its Cancel channel, and
-// a result cache keyed by the deterministic v3 job fingerprint: (source
-// spec hash, profile, burst gap, seed, users, shards) plus the canonical
-// byte-stable encoding of every scheme spec, where the source spec
-// identifies the streamed packet source by kind + params + seed rather
-// than requiring a materialized trace to hash — so resubmitting an
-// identical spec (however its parameters are spelled) is served from
-// cache with byte-identical rendered output.
+// the fleet runtime: a bounded queue of sweep-grid replay jobs — each a
+// cross product of parameterized scheme × carrier-profile × cohort axis
+// values — per-job lifecycle state (queued → running → done/failed/
+// canceled), cooperative cancellation that propagates into the fleet via
+// its Cancel channel, and two result caches keyed by deterministic
+// identities: a job-level cache on the v4 fingerprint (seed, burst gap,
+// shards, plus the canonical byte-stable encoding of every axis value on
+// all three axes) and a cell-level cache on the per-cell restriction of
+// the same identity, so overlapping grids reuse prior cells' work — and
+// resubmitting an identical spec (however its axis values are spelled) is
+// served with byte-identical rendered output.
 //
-// A sweep executes as one fleet run per scheme over the identical cohort,
-// which keeps every scheme's reduction grouping equal to a single-scheme
-// job's — a sweep's per-scheme summaries are byte-identical to separate
-// jobs on the same seed.
+// A grid executes as one fleet run per cell in a fixed order
+// (cohort-major, then profile, then scheme), every cell of a cohort
+// replaying the identical streamed population, which keeps each cell's
+// reduction grouping equal to a single-axis job's — a grid's cell
+// summaries are byte-identical to separate jobs on the same seed.
 //
-// Results are rendered (JSON/CSV/text) exactly once, when a job finishes;
-// cache hits share the rendered bytes. Because the fleet reduction is
-// deterministic and the shard count is part of the fingerprint, a cache
-// hit returns the same bytes a cold rerun would have produced.
+// Results are rendered (JSON/CSV/text) exactly once, when a job or cell
+// finishes; cache hits share the rendered bytes. Because the fleet
+// reduction is deterministic and the shard count is part of both keys, a
+// cache hit returns the same bytes a cold rerun would have produced.
 package jobs
 
 import (
@@ -187,6 +188,15 @@ type Config struct {
 	// CacheSize bounds the fingerprint → result cache (default 128
 	// entries, LRU eviction). Negative disables caching.
 	CacheSize int
+	// CellCacheSize bounds the cell-key → cell-result cache (default 1024
+	// entries, LRU eviction; negative disables). Cells are the unit of
+	// cross-job reuse: a grid overlapping an earlier grid (or an earlier
+	// single-axis job) replays only its novel cells.
+	CellCacheSize int
+	// DefaultProfile, when set, substitutes for an empty legacy flat
+	// Profile field at submission (rrcsimd's -profile flag). It does not
+	// touch explicit Profiles axes.
+	DefaultProfile string
 	// Runners is the number of jobs executing concurrently (default 1;
 	// each job already parallelizes internally across Workers).
 	Runners int
@@ -210,6 +220,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
+	}
+	if c.CellCacheSize == 0 {
+		c.CellCacheSize = 1024
 	}
 	if c.Runners <= 0 {
 		c.Runners = 1
@@ -239,7 +252,8 @@ type Manager struct {
 	nextID  int
 	jobs    map[string]*Job
 	order   []string
-	cache   *resultCache
+	cache   *lruCache[*Result]
+	cells   *lruCache[*CellResult]
 }
 
 // NewManager starts a manager with cfg.Runners runner goroutines.
@@ -248,7 +262,8 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:   cfg,
 		jobs:  make(map[string]*Job),
-		cache: newResultCache(cfg.CacheSize),
+		cache: newLRUCache[*Result](cfg.CacheSize),
+		cells: newLRUCache[*CellResult](cfg.CellCacheSize),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Runners; i++ {
@@ -300,6 +315,9 @@ func (m *Manager) Close() {
 // and shares the cached rendered bytes. A full queue fails fast with
 // ErrQueueFull and registers nothing.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if spec.Profile == "" && len(spec.Profiles) == 0 && m.cfg.DefaultProfile != "" {
+		spec.Profile = m.cfg.DefaultProfile
+	}
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {
 		return nil, err
@@ -436,13 +454,20 @@ func (j *Job) requestCancel() {
 }
 
 // runJob executes one popped job against the fleet runtime: one fleet run
-// per scheme, sequentially, each over the identical streamed cohort.
-// Per-scheme runs — rather than one run over the concatenated job list —
-// keep every scheme's reduction grouping exactly what a single-scheme job
-// would use, so a sweep's per-scheme summaries are byte-identical to
-// separate jobs; the runs' summaries merge into one combined Summary
-// (scheme labels are disjoint, and merging into an empty aggregate copies
-// it exactly), and progress/partials accumulate across runs.
+// per grid cell, sequentially, in the fixed cell order (cohort-major,
+// then profile, then scheme). Per-cell runs — rather than one run over
+// the concatenated job list — keep every cell's reduction grouping
+// exactly what a single-axis job would use, so cell summaries are
+// byte-identical to separate jobs. Cells already in the cell cache are
+// served without replaying (their rendered bytes are shared verbatim);
+// progress and partials accumulate across cells either way.
+//
+// Single-axis jobs (one profile, one cohort) additionally merge their
+// cells into one combined Summary for the legacy flat rendering — scheme
+// labels are disjoint within an axis, and merging into an empty aggregate
+// copies it exactly. Partial snapshots accumulate across cells for them;
+// wider grids expose the in-flight cell's partial (labels repeat across
+// cells, so a cross-cell merge would conflate them).
 func (m *Manager) runJob(job *Job) {
 	job.mu.Lock()
 	if job.state.Terminal() { // canceled while queued
@@ -454,36 +479,69 @@ func (m *Manager) runJob(job *Job) {
 	spec := job.spec
 	job.mu.Unlock()
 
-	runs, err := spec.schemeRuns()
-	if err != nil {
-		job.finish(StateFailed, nil, err)
-		return
-	}
 	opts := fleet.Options{
 		Workers: m.cfg.Workers,
 		Shards:  spec.Shards,
 		Cancel:  job.cancel,
 	}
 	cfg := fleet.SummaryConfig{}
-	totals := Progress{}
-	for _, run := range runs {
-		totals.Shards += opts.NumShards(len(run))
-		totals.TotalJobs += len(run)
+	cells, err := spec.plan(opts)
+	if err != nil {
+		job.finish(StateFailed, nil, err)
+		return
 	}
-	combined := fleet.NewSummary(cfg)
+	totals := Progress{}
+	for _, cell := range cells {
+		totals.Shards += cell.Shards
+		totals.TotalJobs += cell.NumJobs
+	}
+	singleAxis := spec.singleAxis()
+	var combined *fleet.Summary
+	if singleAxis {
+		combined = fleet.NewSummary(cfg)
+	}
 	done := Progress{Shards: totals.Shards, TotalJobs: totals.TotalJobs}
-	for _, run := range runs {
+	results := make([]*CellResult, 0, len(cells))
+	for _, cell := range cells {
 		select {
 		case <-job.cancel:
 			job.finish(StateCanceled, nil, fleet.ErrCanceled)
 			return
 		default:
 		}
-		sum, err := m.cfg.runFleet(run, opts, cfg,
-			func(partial *fleet.Summary, p fleet.Progress) {
+		m.mu.Lock()
+		cached, hit := m.cells.get(cell.Key)
+		m.mu.Unlock()
+		if hit {
+			results = append(results, cached)
+			if singleAxis {
+				mustMerge(combined, cached.Summary)
+			}
+			done.DoneShards += cached.shards
+			done.DoneJobs += cached.jobs
+			job.mu.Lock()
+			if singleAxis {
 				snap := fleet.NewSummary(cfg)
 				mustMerge(snap, combined)
-				mustMerge(snap, partial)
+				job.partial = snap
+			} else {
+				job.partial = cached.Summary
+			}
+			job.progress = Progress{
+				DoneShards: done.DoneShards, Shards: totals.Shards,
+				DoneJobs: done.DoneJobs, TotalJobs: totals.TotalJobs,
+			}
+			job.mu.Unlock()
+			continue
+		}
+		sum, err := m.cfg.runFleet(cell.Jobs(), opts, cfg,
+			func(partial *fleet.Summary, p fleet.Progress) {
+				snap := partial
+				if singleAxis {
+					snap = fleet.NewSummary(cfg)
+					mustMerge(snap, combined)
+					mustMerge(snap, partial)
+				}
 				overall := Progress{
 					DoneShards: done.DoneShards + p.DoneShards, Shards: totals.Shards,
 					DoneJobs: done.DoneJobs + p.DoneJobs, TotalJobs: totals.TotalJobs,
@@ -501,11 +559,22 @@ func (m *Manager) runJob(job *Job) {
 			}
 			return
 		}
-		mustMerge(combined, sum)
-		done.DoneShards += opts.NumShards(len(run))
-		done.DoneJobs += len(run)
+		cellRes, err := renderCell(cell, sum)
+		if err != nil {
+			job.finish(StateFailed, nil, err)
+			return
+		}
+		m.mu.Lock()
+		m.cells.put(cell.Key, cellRes)
+		m.mu.Unlock()
+		results = append(results, cellRes)
+		if singleAxis {
+			mustMerge(combined, sum)
+		}
+		done.DoneShards += cell.Shards
+		done.DoneJobs += cell.NumJobs
 	}
-	res, err := renderResult(combined)
+	res, err := renderResult(results, combined)
 	if err != nil {
 		job.finish(StateFailed, nil, err)
 		return
@@ -528,37 +597,37 @@ func mustMerge(dst, src *fleet.Summary) {
 	}
 }
 
-// resultCache is a small LRU of fingerprint → rendered result. Guarded by
-// the manager's lock.
-type resultCache struct {
+// lruCache is a small LRU keyed by a deterministic identity (the job
+// fingerprint, or a cell key). Guarded by the manager's lock.
+type lruCache[V any] struct {
 	cap     int
-	entries map[string]*Result
-	// lru holds fingerprints, least recent first.
+	entries map[string]V
+	// lru holds keys, least recent first.
 	lru []string
 }
 
-func newResultCache(capacity int) *resultCache {
+func newLRUCache[V any](capacity int) *lruCache[V] {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &resultCache{cap: capacity, entries: make(map[string]*Result)}
+	return &lruCache[V]{cap: capacity, entries: make(map[string]V)}
 }
 
-func (c *resultCache) get(fp string) (*Result, bool) {
-	res, ok := c.entries[fp]
+func (c *lruCache[V]) get(key string) (V, bool) {
+	res, ok := c.entries[key]
 	if ok {
-		c.touch(fp)
+		c.touch(key)
 	}
 	return res, ok
 }
 
-func (c *resultCache) put(fp string, res *Result) {
+func (c *lruCache[V]) put(key string, res V) {
 	if c.cap == 0 {
 		return
 	}
-	if _, ok := c.entries[fp]; ok {
-		c.entries[fp] = res
-		c.touch(fp)
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = res
+		c.touch(key)
 		return
 	}
 	for len(c.entries) >= c.cap {
@@ -566,14 +635,14 @@ func (c *resultCache) put(fp string, res *Result) {
 		c.lru = c.lru[1:]
 		delete(c.entries, oldest)
 	}
-	c.entries[fp] = res
-	c.lru = append(c.lru, fp)
+	c.entries[key] = res
+	c.lru = append(c.lru, key)
 }
 
-func (c *resultCache) touch(fp string) {
+func (c *lruCache[V]) touch(key string) {
 	for i, f := range c.lru {
-		if f == fp {
-			c.lru = append(append(c.lru[:i:i], c.lru[i+1:]...), fp)
+		if f == key {
+			c.lru = append(append(c.lru[:i:i], c.lru[i+1:]...), key)
 			return
 		}
 	}
@@ -584,6 +653,14 @@ func (m *Manager) CacheLen() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.cache.entries)
+}
+
+// CellCacheLen reports the number of cached grid cells (for the health
+// endpoint).
+func (m *Manager) CellCacheLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cells.entries)
 }
 
 // Len reports the number of registered jobs without materializing their

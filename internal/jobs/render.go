@@ -5,43 +5,119 @@ import (
 	"repro/internal/report"
 )
 
+// CellResult is one finished grid cell: its axis labels, its fleet
+// summary, and its rendered JSON. Cell renderings are produced exactly
+// once — the cell cache shares them across overlapping grids — and a
+// cell's JSON is byte-identical to the flat JSON of the equivalent
+// single-axis job, because both are report.JSON(SummaryStatsOf) over the
+// same deterministic summary. Callers must treat the fields as immutable.
+type CellResult struct {
+	// Scheme, Profile, Cohort are the cell's axis labels.
+	Scheme, Profile, Cohort string
+	// Summary is the cell's fleet aggregate.
+	Summary *fleet.Summary
+	// Stats is the serializable view of Summary.
+	Stats report.SummaryStats
+	// JSON is the indented JSON rendering of Stats.
+	JSON []byte
+	// shards/jobs are the cell's progress contribution, replayed when the
+	// cell is served from the cell cache.
+	shards, jobs int
+}
+
+// renderCell renders one cell's summary.
+func renderCell(cell gridCell, sum *fleet.Summary) (*CellResult, error) {
+	stats := report.SummaryStatsOf(sum)
+	js, err := report.JSON(stats)
+	if err != nil {
+		return nil, err
+	}
+	return &CellResult{
+		Scheme: cell.Scheme, Profile: cell.Profile, Cohort: cell.Cohort,
+		Summary: sum, Stats: stats, JSON: js,
+		shards: cell.Shards, jobs: cell.NumJobs,
+	}, nil
+}
+
 // Result is a finished job's output, rendered exactly once. Cache hits
 // share these byte slices verbatim, which is what makes a warm response
 // byte-identical to the cold run that produced it. Callers must treat the
 // slices as immutable. All stats shapes live in internal/report so the
 // HTTP service and the CLIs render fleet summaries through one
 // implementation.
+//
+// Single-axis jobs (one profile, one cohort — every pre-grid job) keep
+// the legacy flat rendering: one summary merged across the scheme sweep,
+// keyed by scheme label. Wider grids render per cell (Cells carries every
+// cell either way), because a scheme label legitimately repeats across
+// profile/cohort cells and a flat merge would conflate them.
 type Result struct {
-	// Summary is the merged fleet aggregate.
+	// Summary is the merged fleet aggregate (single-axis jobs only; nil
+	// for wider grids).
 	Summary *fleet.Summary
-	// Stats is the serializable view of Summary.
+	// Stats is the serializable view of Summary (single-axis jobs only).
 	Stats report.SummaryStats
-	// JSON is the indented JSON rendering of Stats.
+	// Grid is the serializable per-cell view (wider grids only).
+	Grid *report.GridStats
+	// Cells lists every cell's result in execution order (cohort-major,
+	// then profile, then scheme).
+	Cells []*CellResult
+	// JSON is the indented JSON rendering: flat SummaryStats for
+	// single-axis jobs, GridStats for wider grids.
 	JSON []byte
-	// CSV is the per-scheme table as CSV.
+	// CSV is the tabular rendering (per-scheme rows, or per-cell rows with
+	// axis columns for grids).
 	CSV []byte
-	// Text is the human-readable summary (fleet.Summary.String).
+	// Text is the human-readable summary.
 	Text string
 	// Progress is the terminal progress count, replayed to late watchers.
 	Progress Progress
 }
 
-// renderResult renders every output format of a finished summary.
-func renderResult(sum *fleet.Summary) (*Result, error) {
-	stats := report.SummaryStatsOf(sum)
-	js, err := report.JSON(stats)
+// renderResult renders every output format of a finished job. combined is
+// the label-keyed merge of every cell summary and is only meaningful (and
+// only non-nil) for single-axis jobs.
+func renderResult(cells []*CellResult, combined *fleet.Summary) (*Result, error) {
+	res := &Result{Cells: cells}
+	if combined != nil {
+		stats := report.SummaryStatsOf(combined)
+		js, err := report.JSON(stats)
+		if err != nil {
+			return nil, err
+		}
+		csv, err := report.SummaryTable(combined).CSVBytes()
+		if err != nil {
+			return nil, err
+		}
+		res.Summary = combined
+		res.Stats = stats
+		res.JSON = js
+		res.CSV = csv
+		res.Text = combined.String()
+		return res, nil
+	}
+	grid := report.GridStats{Cells: make([]report.GridCellStats, 0, len(cells))}
+	gcells := make([]report.GridCell, 0, len(cells))
+	for _, c := range cells {
+		grid.Cells = append(grid.Cells, report.GridCellStats{
+			Scheme: c.Scheme, Profile: c.Profile, Cohort: c.Cohort, Summary: c.Stats,
+		})
+		gcells = append(gcells, report.GridCell{
+			Scheme: c.Scheme, Profile: c.Profile, Cohort: c.Cohort, Summary: c.Summary,
+		})
+	}
+	js, err := report.JSON(grid)
 	if err != nil {
 		return nil, err
 	}
-	csv, err := report.SummaryTable(sum).CSVBytes()
+	table := report.GridTable(gcells)
+	csv, err := table.CSVBytes()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Summary: sum,
-		Stats:   stats,
-		JSON:    js,
-		CSV:     csv,
-		Text:    sum.String(),
-	}, nil
+	res.Grid = &grid
+	res.JSON = js
+	res.CSV = csv
+	res.Text = table.String()
+	return res, nil
 }

@@ -2,12 +2,11 @@ package policy
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/energy"
 	"repro/internal/power"
+	"repro/internal/spec"
 	"repro/internal/trace"
 )
 
@@ -46,25 +45,10 @@ type Schema struct {
 	NewActive func(p Params, tr trace.Trace, prof power.Profile) (ActivePolicy, error)
 }
 
-// param returns the declaration of a parameter name.
-func (s *Schema) param(name string) (ParamSpec, bool) {
-	for _, p := range s.Params {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	return ParamSpec{}, false
-}
-
-// validate rejects malformed schemas at registration time, which is what
-// guarantees every registered policy is fully self-describing.
-func (s *Schema) validate() error {
-	if s.Name == "" {
-		return fmt.Errorf("policy: schema with empty name")
-	}
-	if strings.ContainsAny(s.Name, "(),=| \t") {
-		return fmt.Errorf("policy: schema name %q contains reserved characters", s.Name)
-	}
+// validateRole rejects schemas whose role and builders disagree; the
+// structural checks (name charset, parameter declarations) belong to the
+// shared spec registry.
+func (s *Schema) validateRole() error {
 	switch s.Role {
 	case RoleDemote:
 		if s.NewDemote == nil || s.NewActive != nil {
@@ -77,156 +61,91 @@ func (s *Schema) validate() error {
 	default:
 		return fmt.Errorf("policy: schema %q has unknown role %q", s.Name, s.Role)
 	}
-	seen := map[string]bool{}
-	for _, p := range s.Params {
-		if err := p.validate(); err != nil {
-			return fmt.Errorf("policy: schema %q: %w", s.Name, err)
-		}
-		if seen[p.Name] {
-			return fmt.Errorf("policy: schema %q declares parameter %q twice", s.Name, p.Name)
-		}
-		seen[p.Name] = true
-	}
 	return nil
 }
 
 // Registry holds policy schemas by (role, name) plus legacy flat-name
-// aliases that expand to parameterized specs. It is the single authority
-// on which policies exist, what their knobs are, and what capabilities
-// they have — every surface (CLI flags, job specs, the /v1 HTTP API)
-// resolves policy names through one.
+// aliases that expand to parameterized specs — two shared spec.Registry
+// instances, one per role, with the policy payload (capabilities and
+// builders) carried in each schema's Meta. It is the single authority on
+// which policies exist, what their knobs are, and what capabilities they
+// have.
 type Registry struct {
-	schemas map[Role]map[string]*Schema
-	aliases map[Role]map[string]Spec
+	regs map[Role]*spec.Registry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		schemas: map[Role]map[string]*Schema{RoleDemote: {}, RoleActive: {}},
-		aliases: map[Role]map[string]Spec{RoleDemote: {}, RoleActive: {}},
+	return &Registry{regs: map[Role]*spec.Registry{
+		RoleDemote: spec.NewRegistry("demote policy", nil),
+		RoleActive: spec.NewRegistry("active policy", nil),
+	}}
+}
+
+// reg returns the role's underlying registry (an empty one for unknown
+// roles, so lookups fail with the registry's own error paths).
+func (r *Registry) reg(role Role) *spec.Registry {
+	if reg, ok := r.regs[role]; ok {
+		return reg
 	}
+	return spec.NewRegistry(string(role)+" policy", nil)
 }
 
 // Register adds a schema, rejecting malformed or duplicate ones.
 func (r *Registry) Register(s *Schema) error {
-	if err := s.validate(); err != nil {
+	if err := s.validateRole(); err != nil {
 		return err
 	}
-	if _, dup := r.schemas[s.Role][s.Name]; dup {
-		return fmt.Errorf("policy: %s schema %q already registered", s.Role, s.Name)
-	}
-	if _, dup := r.aliases[s.Role][s.Name]; dup {
-		return fmt.Errorf("policy: %s name %q already taken by an alias", s.Role, s.Name)
-	}
-	r.schemas[s.Role][s.Name] = s
-	return nil
+	return r.reg(s.Role).Register(&spec.Schema{
+		Name: s.Name, Summary: s.Summary, Params: s.Params, Meta: s,
+	})
 }
 
 // Alias maps a legacy flat name to a spec, which must itself fully
 // resolve — name, parameter coercion and bounds — so a broken alias can
 // never register and poison later lookups.
 func (r *Registry) Alias(role Role, name string, spec Spec) error {
-	if name == "" {
-		return fmt.Errorf("policy: empty alias")
-	}
-	if strings.ContainsAny(name, "(),=| \t") {
-		return fmt.Errorf("policy: alias %q contains reserved characters", name)
-	}
-	if _, dup := r.schemas[role][name]; dup {
-		return fmt.Errorf("policy: alias %q shadows a registered %s schema", name, role)
-	}
-	if _, dup := r.aliases[role][name]; dup {
-		return fmt.Errorf("policy: alias %q already registered", name)
-	}
-	if _, _, err := r.Resolve(role, spec); err != nil {
-		return fmt.Errorf("policy: alias %q: %w", name, err)
-	}
-	r.aliases[role][name] = spec
-	return nil
+	return r.reg(role).Alias(name, spec)
 }
 
 // Lookup returns the schema registered under a canonical name (aliases do
 // not resolve here; use Resolve for full name resolution).
 func (r *Registry) Lookup(role Role, name string) (*Schema, bool) {
-	s, ok := r.schemas[role][name]
-	return s, ok
+	s, ok := r.reg(role).Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return s.Meta.(*Schema), true
 }
 
 // Schemas lists a role's registered schemas sorted by name.
 func (r *Registry) Schemas(role Role) []*Schema {
-	out := make([]*Schema, 0, len(r.schemas[role]))
-	for _, name := range sortedNames(r.schemas[role]) {
-		out = append(out, r.schemas[role][name])
+	raw := r.reg(role).Schemas()
+	out := make([]*Schema, len(raw))
+	for i, s := range raw {
+		out[i] = s.Meta.(*Schema)
 	}
 	return out
 }
 
 // Aliases lists a role's alias names sorted.
-func (r *Registry) Aliases(role Role) []string { return sortedNames(r.aliases[role]) }
+func (r *Registry) Aliases(role Role) []string { return r.reg(role).Aliases() }
 
 // Names lists every accepted name for a role — canonical schema names and
 // aliases — sorted.
-func (r *Registry) Names(role Role) []string {
-	names := append(sortedNames(r.schemas[role]), sortedNames(r.aliases[role])...)
-	sort.Strings(names)
-	return names
-}
-
-// resolveSchema expands an alias (layering the caller's param overrides on
-// top of the alias's) and returns the schema plus the effective spec.
-func (r *Registry) resolveSchema(role Role, spec Spec) (*Schema, Spec, error) {
-	if alias, ok := r.aliases[role][spec.Name]; ok {
-		merged := Spec{Name: alias.Name}
-		if len(alias.Params) > 0 || len(spec.Params) > 0 {
-			merged.Params = make(map[string]any, len(alias.Params)+len(spec.Params))
-			for k, v := range alias.Params {
-				merged.Params[k] = v
-			}
-			for k, v := range spec.Params {
-				merged.Params[k] = v
-			}
-		}
-		spec = merged
-	}
-	schema, ok := r.schemas[role][spec.Name]
-	if !ok {
-		return nil, Spec{}, fmt.Errorf("unknown %s policy %q (valid: %s)",
-			role, spec.Name, strings.Join(r.Names(role), ", "))
-	}
-	return schema, spec, nil
-}
+func (r *Registry) Names(role Role) []string { return r.reg(role).Names() }
 
 // Resolve expands aliases and resolves a spec's parameters against the
 // schema: unknown parameters are rejected, values coerced to their
 // canonical types and bounds-checked, and omitted parameters filled from
 // defaults. The returned Params is complete — builders never see a
 // missing key.
-func (r *Registry) Resolve(role Role, spec Spec) (*Schema, Params, error) {
-	schema, spec, err := r.resolveSchema(role, spec)
+func (r *Registry) Resolve(role Role, sp Spec) (*Schema, Params, error) {
+	schema, params, err := r.reg(role).Resolve(sp)
 	if err != nil {
 		return nil, nil, err
 	}
-	resolved := make(Params, len(schema.Params))
-	for _, ps := range schema.Params {
-		resolved[ps.Name] = ps.Default
-	}
-	for name, raw := range spec.Params {
-		ps, ok := schema.param(name)
-		if !ok {
-			return nil, nil, fmt.Errorf("policy %q has no parameter %q (has: %s)",
-				schema.Name, name, strings.Join(paramNames(schema.Params), ", "))
-		}
-		v, err := ps.Kind.coerce(raw)
-		if err != nil {
-			return nil, nil, fmt.Errorf("policy %q parameter %q: %w", schema.Name, name, err)
-		}
-		if err := ps.inBounds(v); err != nil {
-			return nil, nil, fmt.Errorf("policy %q parameter %q: %w", schema.Name, name, err)
-		}
-		resolved[ps.Name] = v
-	}
-	return schema, resolved, nil
+	return schema.Meta.(*Schema), params, nil
 }
 
 // Canonical returns the byte-stable encoding of a spec: the canonical
@@ -235,27 +154,17 @@ func (r *Registry) Resolve(role Role, spec Spec) (*Schema, Params, error) {
 // denote the same policy configuration (alias vs canonical name, omitted
 // vs explicit defaults, "4500ms" vs "4.5s", any param-map ordering)
 // encode identically, and any parameter value change changes the
-// encoding. The job fingerprint (v3) hashes these encodings.
-func (r *Registry) Canonical(role Role, spec Spec) (string, error) {
-	schema, resolved, err := r.Resolve(role, spec)
-	if err != nil {
-		return "", err
-	}
-	return schema.Name + encodeParams(schema.Params, resolved, nil), nil
+// encoding. The job fingerprint (v4) hashes these encodings.
+func (r *Registry) Canonical(role Role, sp Spec) (string, error) {
+	return r.reg(role).Canonical(sp)
 }
 
 // Label returns the human-readable short form of a spec: the canonical
 // name plus only the non-default parameters. Sweep summaries key schemes
 // by these, so "fixedtail(wait=2s)" and plain "fixedtail" (the 4.5 s
 // default) stay distinct and readable.
-func (r *Registry) Label(role Role, spec Spec) (string, error) {
-	schema, resolved, err := r.Resolve(role, spec)
-	if err != nil {
-		return "", err
-	}
-	return schema.Name + encodeParams(schema.Params, resolved, func(ps ParamSpec, v any) bool {
-		return ps.Kind.format(v) != ps.Kind.format(ps.Default)
-	}), nil
+func (r *Registry) Label(role Role, sp Spec) (string, error) {
+	return r.reg(role).Label(sp)
 }
 
 // BuildDemote resolves and constructs a demote policy. tr may be nil
@@ -280,14 +189,7 @@ func (r *Registry) BuildActive(spec Spec, tr trace.Trace, prof power.Profile) (A
 
 // ParamInfo is the serializable view of a ParamSpec, values in canonical
 // string form (the same forms Canonical uses).
-type ParamInfo struct {
-	Name    string    `json:"name"`
-	Kind    ParamKind `json:"kind"`
-	Default string    `json:"default"`
-	Min     string    `json:"min,omitempty"`
-	Max     string    `json:"max,omitempty"`
-	Help    string    `json:"help,omitempty"`
-}
+type ParamInfo = spec.ParamInfo
 
 // SchemaInfo is the serializable view of a Schema plus its aliases — the
 // payload of the /v1/policies discovery endpoint.
@@ -304,30 +206,16 @@ type SchemaInfo struct {
 // Describe returns the serializable view of a role's schemas, sorted by
 // name, each carrying the alias names that expand to it.
 func (r *Registry) Describe(role Role) []SchemaInfo {
-	aliasOf := map[string][]string{}
-	for _, name := range r.Aliases(role) {
-		target := r.aliases[role][name].Name
-		aliasOf[target] = append(aliasOf[target], name)
-	}
-	out := make([]SchemaInfo, 0, len(r.schemas[role]))
-	for _, s := range r.Schemas(role) {
-		info := SchemaInfo{
-			Name: s.Name, Role: s.Role, Summary: s.Summary,
+	raw := r.reg(role).Describe()
+	out := make([]SchemaInfo, 0, len(raw))
+	for _, info := range raw {
+		s, _ := r.Lookup(role, info.Name)
+		out = append(out, SchemaInfo{
+			Name: info.Name, Role: role, Summary: info.Summary,
+			Params:      info.Params,
 			TraceFitted: s.TraceFitted, GapLookahead: s.GapLookahead,
-			Aliases: aliasOf[s.Name],
-			Params:  make([]ParamInfo, 0, len(s.Params)),
-		}
-		for _, p := range s.Params {
-			pi := ParamInfo{Name: p.Name, Kind: p.Kind, Default: p.Kind.format(p.Default), Help: p.Help}
-			if p.Min != nil {
-				pi.Min = p.Kind.format(p.Min)
-			}
-			if p.Max != nil {
-				pi.Max = p.Kind.format(p.Max)
-			}
-			info.Params = append(info.Params, pi)
-		}
-		out = append(out, info)
+			Aliases: info.Aliases,
+		})
 	}
 	return out
 }
@@ -335,40 +223,7 @@ func (r *Registry) Describe(role Role) []SchemaInfo {
 // Usage renders a role's policies as an indented reference block for CLI
 // error messages: one line per schema with its parameter grid, then the
 // aliases.
-func (r *Registry) Usage(role Role) string {
-	var sb strings.Builder
-	for _, s := range r.Schemas(role) {
-		fmt.Fprintf(&sb, "  %-12s %s\n", s.Name, s.Summary)
-		for _, p := range s.Params {
-			bounds := ""
-			if p.Min != nil || p.Max != nil {
-				lo, hi := "-inf", "+inf"
-				if p.Min != nil {
-					lo = p.Kind.format(p.Min)
-				}
-				if p.Max != nil {
-					hi = p.Kind.format(p.Max)
-				}
-				bounds = fmt.Sprintf(" in [%s, %s]", lo, hi)
-			}
-			fmt.Fprintf(&sb, "    %s: %s (default %s%s) %s\n",
-				p.Name, p.Kind, p.Kind.format(p.Default), bounds, p.Help)
-		}
-	}
-	for _, name := range r.Aliases(role) {
-		target, _ := r.Canonical(role, Spec{Name: name})
-		fmt.Fprintf(&sb, "  %-12s alias for %s\n", name, target)
-	}
-	return sb.String()
-}
-
-func paramNames(params []ParamSpec) []string {
-	names := make([]string, len(params))
-	for i, p := range params {
-		names[i] = p.Name
-	}
-	return names
-}
+func (r *Registry) Usage(role Role) string { return r.reg(role).Usage() }
 
 // defaultRegistry holds the built-in policies; construction cannot fail,
 // so registration errors panic (they would be programming errors caught by

@@ -1,0 +1,58 @@
+package power
+
+import "repro/internal/spec"
+
+// ProfileSpec is the declarative form of a carrier profile: a registered
+// base schema name (or legacy alias) with parameter overrides and an
+// optional summary label. It is one axis value of the service's grid jobs
+// and serializes over the /v1 HTTP API.
+type ProfileSpec struct {
+	// Label keys the profile in grid cells and reports; empty derives the
+	// registry label (canonical name plus non-default parameters, e.g.
+	// "verizon-lte(t1=5s)"). Legacy flat payloads set it to the historical
+	// display name so their labels stay byte-identical.
+	Label string `json:"label,omitempty"`
+	// Name is the schema or alias name.
+	Name string `json:"name"`
+	// Params overrides schema parameters (typed values, JSON numbers, or
+	// canonical strings).
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// Spec returns the underlying spec value.
+func (ps ProfileSpec) Spec() spec.Spec { return spec.Spec{Name: ps.Name, Params: ps.Params} }
+
+// ResolvedLabel returns the profile's axis label: the explicit Label, or
+// the registry-derived one.
+func (ps ProfileSpec) ResolvedLabel(r *Registry) (string, error) {
+	if ps.Label != "" {
+		return ps.Label, nil
+	}
+	return r.Label(ps.Spec())
+}
+
+// Canonical returns the byte-stable encoding of the profile axis value —
+// "label|canonicalProfile" — which feeds the v4 job fingerprint: stable
+// across alias spelling, param-map ordering and omitted defaults; changed
+// by any parameter value or label change.
+func (ps ProfileSpec) Canonical(r *Registry) (string, error) {
+	label, err := ps.ResolvedLabel(r)
+	if err != nil {
+		return "", err
+	}
+	canon, err := r.Canonical(ps.Spec())
+	if err != nil {
+		return "", err
+	}
+	return label + "|" + canon, nil
+}
+
+// Profile resolves and builds the validated Profile, named by the
+// resolved label.
+func (ps ProfileSpec) Profile(r *Registry) (Profile, error) {
+	label, err := ps.ResolvedLabel(r)
+	if err != nil {
+		return Profile{}, err
+	}
+	return r.NamedProfile(ps.Spec(), label)
+}

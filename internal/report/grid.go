@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/fleet"
+)
+
+// This file is the one serializable/tabular view of a sweep grid — the
+// cross product of scheme × profile × cohort axes, one fleet summary per
+// cell. The HTTP service renders grid job results through it, rrcsim's
+// multi-axis fleet mode renders through it, and the grid experiment
+// renders through it, so the three surfaces cannot drift apart.
+
+// GridCell couples one cell's axis labels with its single-scheme summary.
+type GridCell struct {
+	Scheme  string
+	Profile string
+	Cohort  string
+	Summary *fleet.Summary
+}
+
+// GridCellStats is the serializable view of one grid cell.
+type GridCellStats struct {
+	Scheme  string       `json:"scheme"`
+	Profile string       `json:"profile"`
+	Cohort  string       `json:"cohort"`
+	Summary SummaryStats `json:"summary"`
+}
+
+// GridStats is the serializable view of a whole grid, cells in execution
+// order (cohort-major, then profile, then scheme).
+type GridStats struct {
+	Cells []GridCellStats `json:"cells"`
+}
+
+// GridTable renders the grid as a report table, one row per cell in
+// execution order, flattening each cell's single-scheme aggregate into
+// the same columns SummaryTable uses.
+func GridTable(cells []GridCell) *Table {
+	t := NewTable("grid summary",
+		"scheme", "profile", "cohort", "users", "energy_mean_j", "energy_std_j",
+		"savings_pct_mean", "switch_ratio_mean", "promotions_mean", "delay_p50_s", "delay_p95_s")
+	for _, c := range cells {
+		a := c.Summary.Schemes[c.Scheme]
+		if a == nil {
+			// A cell whose summary lost its scheme aggregate cannot render a
+			// row; make the hole visible instead of panicking.
+			t.AddRowf(c.Scheme, c.Profile, c.Cohort, fmt.Sprintf("missing scheme %q", c.Scheme),
+				"", "", "", "", "", "", "")
+			continue
+		}
+		t.AddRowf(c.Scheme, c.Profile, c.Cohort, a.Energy.N, a.Energy.Mean, a.Energy.Std(),
+			a.SavingsPct.Mean, a.SwitchRatio.Mean, a.Promotions.Mean,
+			a.DelayHist.Quantile(0.5), a.DelayHist.Quantile(0.95))
+	}
+	return t
+}

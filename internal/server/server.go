@@ -4,22 +4,36 @@
 //
 //	POST   /v1/jobs              submit a replay spec → 202 + job status
 //	                             (200 when served from the fingerprint
-//	                             cache). The spec carries either a
-//	                             "schemes" array of parameterized scheme
-//	                             specs — a sweep, every scheme replayed
-//	                             against the same streamed cohort — or the
-//	                             legacy flat "policy"/"active" names,
-//	                             mapped to specs via registry aliases.
+//	                             cache). The spec is a sweep grid: up to
+//	                             three axis lists — "schemes", "profiles"
+//	                             and "cohorts", each an array of
+//	                             parameterized specs resolved against its
+//	                             registry — whose cross product runs as
+//	                             one deterministic fleet run per cell.
+//	                             Legacy flat payloads ("policy"/"active"
+//	                             names, a "profile" name, a bare "users"
+//	                             count) map onto one-entry axes via
+//	                             registry aliases with unchanged labels.
 //	GET    /v1/policies          discovery: every registered policy with
 //	                             its parameter schema (kind, default,
 //	                             bounds), capabilities (trace-fitted,
 //	                             gap-lookahead) and legacy aliases
+//	GET    /v1/profiles          discovery: every registered carrier
+//	                             profile — each Table 2 constant a
+//	                             bounds-checked knob — plus display-name
+//	                             aliases
+//	GET    /v1/workloads         discovery: every registered cohort family
+//	                             (population, duration, diurnal mask,
+//	                             seed stride, app weights)
 //	GET    /v1/jobs              list all jobs in submission order
 //	GET    /v1/jobs/{id}         one job's status + progress
 //	GET    /v1/jobs/{id}/stream  NDJSON feed of progress + merged
 //	                             partials, terminated by the final state
 //	GET    /v1/jobs/{id}/result  final summary; ?format=json (default),
-//	                             csv, or text
+//	                             csv, or text. Grid jobs render one
+//	                             summary per cell; ?cell=N serves cell N's
+//	                             JSON verbatim — byte-identical to the
+//	                             equivalent single-axis job's result.
 //	DELETE /v1/jobs/{id}         cancel (queued cancels at once, running
 //	                             at the fleet's next between-jobs check)
 //	GET    /healthz              liveness + queue/cache gauges
@@ -36,10 +50,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/jobs"
 	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/spec"
+	"repro/internal/workload"
 )
 
 // pollInterval paces the stream endpoint's progress checks; tests shrink
@@ -67,6 +85,8 @@ func New(m *jobs.Manager) *Server {
 		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/stream", s.stream)
 	}
 	s.mux.HandleFunc("GET /v1/policies", s.policies)
+	s.mux.HandleFunc("GET /v1/profiles", s.profiles)
+	s.mux.HandleFunc("GET /v1/workloads", s.workloads)
 	return s
 }
 
@@ -93,6 +113,42 @@ func (s *Server) policies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Catalog())
 }
 
+// ProfileCatalog is the GET /v1/profiles payload: every carrier base
+// schema — each Table 2 constant a parameter with kind, default and
+// bounds — plus the legacy display-name aliases. Clients discover the
+// sweepable profile space from this instead of hardcoding carrier names.
+type ProfileCatalog struct {
+	Profiles []spec.SchemaInfo `json:"profiles"`
+}
+
+// ProfilesCatalog builds the discovery payload from the default profile
+// registry; the guard test asserts it stays in lockstep with the registry
+// itself.
+func ProfilesCatalog() ProfileCatalog {
+	return ProfileCatalog{Profiles: power.Default().Describe()}
+}
+
+func (s *Server) profiles(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ProfilesCatalog())
+}
+
+// WorkloadCatalog is the GET /v1/workloads payload: every registered
+// cohort family with its population knobs.
+type WorkloadCatalog struct {
+	Cohorts []spec.SchemaInfo `json:"cohorts"`
+}
+
+// WorkloadsCatalog builds the discovery payload from the default cohort
+// registry; the guard test asserts it stays in lockstep with the registry
+// itself.
+func WorkloadsCatalog() WorkloadCatalog {
+	return WorkloadCatalog{Cohorts: workload.Cohorts().Describe()}
+}
+
+func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, WorkloadsCatalog())
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -100,10 +156,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"jobs":        s.manager.Len(),
-		"queue_depth": s.manager.QueueDepth(),
-		"cache_len":   s.manager.CacheLen(),
+		"status":         "ok",
+		"jobs":           s.manager.Len(),
+		"queue_depth":    s.manager.QueueDepth(),
+		"cache_len":      s.manager.CacheLen(),
+		"cell_cache_len": s.manager.CellCacheLen(),
 	})
 }
 
@@ -179,6 +236,20 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := job.Result()
+	// ?cell=N serves one grid cell's JSON verbatim: the exact bytes the
+	// equivalent single-axis job's flat result would carry, which is what
+	// makes grid cells comparable (and cacheable) byte for byte.
+	if cellParam := r.URL.Query().Get("cell"); cellParam != "" {
+		idx, err := strconv.Atoi(cellParam)
+		if err != nil || idx < 0 || idx >= len(res.Cells) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("bad cell %q (job has cells 0..%d)", cellParam, len(res.Cells)-1))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(res.Cells[idx].JSON)
+		return
+	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		w.Header().Set("Content-Type", "application/json")
