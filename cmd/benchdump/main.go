@@ -1,0 +1,201 @@
+// benchdump measures the canonical grid-sweep benchmark (the same
+// computation as BenchmarkGridSweep, via jobs.BenchGridSpec) and either
+// records the result as a committed baseline or checks the current tree
+// against one. It exists so the perf trajectory is a tracked artifact:
+//
+//	go run ./cmd/benchdump -out BENCH_grid.json     # refresh the baseline
+//	go run ./cmd/benchdump -check BENCH_grid.json   # CI regression gate
+//
+// -check fails (exit 1) when throughput falls below -min-throughput times
+// the baseline or allocations per cell exceed -max-allocs times it. A slow
+// or noisy machine can depress throughput without any code regression, so
+// failed checks re-measure up to -retries times and pass if any attempt is
+// within bounds; allocations are scheduling-independent, so their bound
+// stays tight. Baselines embed the benchmark spec's fingerprint — a check
+// against a baseline recorded for a different grid refuses to compare and
+// asks for a refresh instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// baseline is the committed benchmark record. Field names are the file
+// format; don't rename without migrating BENCH_*.json.
+type baseline struct {
+	Bench           string  `json:"bench"`
+	SpecFingerprint string  `json:"spec_fingerprint"`
+	GoVersion       string  `json:"go_version"`
+	Date            string  `json:"date"`
+	Iterations      int     `json:"iterations"`
+	CellsPerSec     float64 `json:"cells_per_sec"`
+	AllocsPerCell   float64 `json:"allocs_per_cell"`
+	NsPerOp         float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "", "measure and write the baseline JSON to this file")
+		check   = flag.String("check", "", "measure and compare against the baseline JSON in this file")
+		measure = flag.Duration("measure", 2*time.Second, "minimum measuring time per attempt")
+		warmup  = flag.Int("warmup", 3, "warm-up submissions before measuring")
+		retries = flag.Int("retries", 3, "re-measure attempts before a -check failure is final")
+		minTpt  = flag.Float64("min-throughput", 0.8, "fail -check below this fraction of baseline cells/sec")
+		maxAll  = flag.Float64("max-allocs", 2.0, "fail -check above this multiple of baseline allocs/cell")
+	)
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchdump: exactly one of -out or -check is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		cur, err := run(*measure, *warmup)
+		if err != nil {
+			fatal(err)
+		}
+		report("measured", cur)
+		b, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return
+	}
+
+	raw, err := os.ReadFile(*check)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *check, err))
+	}
+	if fp := jobs.BenchGridSpec().Fingerprint(); base.SpecFingerprint != fp {
+		fatal(fmt.Errorf("%s was recorded for a different benchmark grid (fingerprint %.12s, current %.12s); refresh it with -out",
+			*check, base.SpecFingerprint, fp))
+	}
+	report("baseline", base)
+
+	attempts := *retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var cur baseline
+	for attempt := 1; ; attempt++ {
+		cur, err = run(*measure, *warmup)
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("attempt %d", attempt), cur)
+		failures := compare(base, cur, *minTpt, *maxAll)
+		if len(failures) == 0 {
+			fmt.Printf("ok: %.0fx throughput, %.2fx allocs vs baseline\n",
+				cur.CellsPerSec/base.CellsPerSec, cur.AllocsPerCell/base.AllocsPerCell)
+			return
+		}
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchdump: %s\n", f)
+		}
+		if attempt >= attempts {
+			fmt.Fprintf(os.Stderr, "benchdump: regression persisted across %d attempts\n", attempts)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchdump: retrying")
+	}
+}
+
+// compare returns the bound violations of cur against base, empty when the
+// check passes.
+func compare(base, cur baseline, minTpt, maxAll float64) []string {
+	var failures []string
+	if floor := minTpt * base.CellsPerSec; cur.CellsPerSec < floor {
+		failures = append(failures, fmt.Sprintf(
+			"throughput regressed: %.0f cells/sec < %.0f (%.0f%% of baseline %.0f)",
+			cur.CellsPerSec, floor, 100*minTpt, base.CellsPerSec))
+	}
+	if ceil := maxAll * base.AllocsPerCell; cur.AllocsPerCell > ceil {
+		failures = append(failures, fmt.Sprintf(
+			"allocations regressed: %.1f allocs/cell > %.1f (%.1fx baseline %.1f)",
+			cur.AllocsPerCell, ceil, maxAll, base.AllocsPerCell))
+	}
+	return failures
+}
+
+// run executes the benchmark grid through a fresh manager — one runner,
+// result and cell caches disabled, exactly BenchmarkGridSweep's setup — for
+// at least the requested measuring time, and returns the record.
+func run(measure time.Duration, warmup int) (baseline, error) {
+	m := jobs.NewManager(jobs.Config{Runners: 1, CacheSize: -1, CellCacheSize: -1})
+	defer m.Close()
+	spec := jobs.BenchGridSpec()
+
+	for i := 0; i < warmup; i++ {
+		if err := submit(m, spec); err != nil {
+			return baseline{}, err
+		}
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < measure {
+		if err := submit(m, spec); err != nil {
+			return baseline{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	cells := float64(jobs.BenchGridCells * iters)
+	return baseline{
+		Bench:           "GridSweep",
+		SpecFingerprint: spec.Fingerprint(),
+		GoVersion:       runtime.Version(),
+		Date:            time.Now().UTC().Format("2006-01-02"),
+		Iterations:      iters,
+		CellsPerSec:     cells / elapsed.Seconds(),
+		AllocsPerCell:   float64(after.Mallocs-before.Mallocs) / cells,
+		NsPerOp:         float64(elapsed.Nanoseconds()) / float64(iters),
+	}, nil
+}
+
+// submit runs one grid job to completion and verifies its shape.
+func submit(m *jobs.Manager, spec jobs.Spec) error {
+	job, err := m.Submit(spec)
+	if err != nil {
+		return err
+	}
+	<-job.Done()
+	if err := job.Err(); err != nil {
+		return err
+	}
+	if n := len(job.Result().Cells); n != jobs.BenchGridCells {
+		return fmt.Errorf("grid produced %d cells, want %d", n, jobs.BenchGridCells)
+	}
+	return nil
+}
+
+func report(label string, b baseline) {
+	fmt.Printf("%-10s %8.0f cells/sec  %6.1f allocs/cell  %.2fms/op  (%d iters, %s, %s)\n",
+		label+":", b.CellsPerSec, b.AllocsPerCell, b.NsPerOp/1e6, b.Iterations, b.GoVersion, b.Date)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdump:", err)
+	os.Exit(1)
+}

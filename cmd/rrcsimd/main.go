@@ -12,6 +12,7 @@
 //
 //	rrcsimd -addr :8080 -parallel 0 -queue-depth 32 -cache-size 128
 //	rrcsimd -profile "att-hspa+"     # default profile for flat payloads
+//	rrcsimd -pprof localhost:6060    # profiling endpoints on a side listener
 //
 // Then, from any HTTP client (the API is versioned under /v1; the
 // pre-versioning paths without the prefix remain as aliases):
@@ -43,6 +44,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -76,6 +78,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		cellCache  = fs.Int("cell-cache-size", 1024, "grid cell cache entries (LRU; negative disables)")
 		runners    = fs.Int("runners", 1, "jobs executing concurrently (each parallelizes internally)")
 		profile    = fs.String("profile", "", "default carrier profile for legacy flat payloads that name none (see GET /v1/profiles)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +101,33 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		DefaultProfile: *profile,
 	})
 	defer manager.Close()
+
+	// The profiling endpoints live on their own listener, never on the API
+	// address: -addr is routinely exposed beyond localhost, and pprof leaks
+	// heap contents and symbol names. The explicit mux carries only the
+	// pprof handlers — importing net/http/pprof for its side effect would
+	// register them on http.DefaultServeMux, which is a shared global this
+	// daemon deliberately never serves.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: mux}
+		go func() {
+			fmt.Printf("rrcsimd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+			if err := pprofSrv.Serve(pln); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "rrcsimd: pprof server:", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -126,6 +156,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if pprofSrv != nil {
+		// Best-effort: an in-flight CPU profile may outlive the timeout;
+		// the API listener's drain is the one that matters.
+		defer pprofSrv.Shutdown(shutdownCtx)
+	}
 	return srv.Shutdown(shutdownCtx)
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -141,6 +142,38 @@ func TestDaemonSIGTERM(t *testing.T) {
 	// The listener must be gone after shutdown.
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("daemon still serving after SIGTERM shutdown")
+	}
+}
+
+// TestDaemonPprofFlag: -pprof serves the profiling endpoints on its own
+// listener, and the API listener never exposes them.
+func TestDaemonPprofFlag(t *testing.T) {
+	// Reserve a free port for the pprof listener. Closing it before the
+	// daemon boots is a small race, but the port was free moments ago and
+	// the test fails loudly if it was snatched.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, errCh := startDaemon(t, ctx,
+		[]string{"-addr", "127.0.0.1:0", "-pprof", pprofAddr})
+
+	body, code := get(t, "http://"+pprofAddr+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index returned %d: %.120s", code, body)
+	}
+	if _, code := get(t, base+"/debug/pprof/"); code == http.StatusOK {
+		t.Fatal("API listener serves pprof; it must stay on the side listener")
+	}
+
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatalf("shutdown returned %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/policy"
@@ -21,6 +22,12 @@ type Scheme struct {
 	Demote   func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error)
 	Active   func(tr trace.Trace, prof power.Profile) (policy.ActivePolicy, error)
 	FitTrace bool
+	// PolicyKey, when non-empty on a non-FitTrace scheme, marks the
+	// factories as pure functions of (key, profile), letting workers
+	// reuse constructed policies across jobs (see Job.PolicyKey).
+	// SchemeFromSpec derives it from the registry's canonical encoding;
+	// hand-built schemes may leave it empty to always construct fresh.
+	PolicyKey string
 }
 
 // Cohort describes a synthetic multi-user population to fan out.
@@ -44,6 +51,72 @@ type Cohort struct {
 	// Opts are the simulation options applied to every job (burst gap,
 	// recording); nil gives the simulator defaults.
 	Opts *sim.Options
+	// CacheKeyBase, when non-empty, stamps every expanded job with a trace
+	// cache key of "base|seed" so Options.TraceCache can memoize the
+	// cohort's per-user traces across cells. It must determine the packet
+	// stream up to the seed — the cohort's canonical encoding (users,
+	// duration, mixes, diurnal, stride) qualifies; jobs.plan supplies
+	// exactly that. Empty disables trace caching for the cohort.
+	CacheKeyBase string
+
+	// srcs and cacheKeys cache Prepare's precomputations. They are derived
+	// from the exported fields, so they are only ever set by Prepare,
+	// immediately after those fields reach their final values; mutating
+	// the cohort afterwards would leave them stale.
+	srcs      []func(int64) trace.Source
+	cacheKeys []string
+}
+
+// prepareKeysMaxUsers bounds the populations whose per-user trace cache
+// keys Prepare materializes: small cohorts are exactly the ones whose jobs
+// the trace cache can actually hold, and huge ones must not pin O(users)
+// strings for the grid's lifetime.
+const prepareKeysMaxUsers = 1 << 16
+
+// Prepare precomputes what every Jobs expansion of this cohort rebuilds —
+// the per-mix source constructors, and (for populations small enough to
+// cache) the per-user trace cache keys. A grid expands one cell per
+// scheme × profile over the same cohort, so cells copying the Cohort value
+// share the work. Call it once the other fields are final; Jobs works
+// without it, building everything locally.
+func (c *Cohort) Prepare() {
+	c.srcs = c.buildSources()
+	c.cacheKeys = nil
+	if c.CacheKeyBase != "" && c.Users <= prepareKeysMaxUsers {
+		stride := c.SeedStride
+		if stride < 1 {
+			stride = 1
+		}
+		c.cacheKeys = make([]string, c.Users)
+		for i := range c.cacheKeys {
+			seed := UserSeed(c.Seed, i*stride)
+			c.cacheKeys[i] = c.CacheKeyBase + "|" + strconv.FormatInt(seed, 10)
+		}
+	}
+}
+
+// buildSources constructs one trace-source builder per mix the population
+// actually uses: users cycle through the mixes, so with fewer users than
+// mixes only the first Users blends are ever drawn.
+func (c *Cohort) buildSources() []func(int64) trace.Source {
+	mixes := c.Mixes
+	if len(mixes) == 0 {
+		mixes = workload.Verizon3GUsers()
+	}
+	n := len(mixes)
+	if c.Users > 0 && c.Users < n {
+		n = c.Users
+	}
+	srcs := make([]func(int64) trace.Source, n)
+	for i := 0; i < n; i++ {
+		u := mixes[i]
+		if c.Diurnal {
+			u = workload.DayUser(u)
+		}
+		d := c.Duration
+		srcs[i] = func(seed int64) trace.Source { return u.Stream(seed, d) }
+	}
+	return srcs
 }
 
 // Jobs expands the cohort into one job per (user, scheme) against the
@@ -53,34 +126,41 @@ type Cohort struct {
 // c.Duration (except under FitTrace schemes, which materialize). Baselines
 // are enabled so summaries get relative metrics.
 func (c Cohort) Jobs(prof power.Profile, schemes []Scheme) []Job {
-	mixes := c.Mixes
-	if len(mixes) == 0 {
-		mixes = workload.Verizon3GUsers()
-	}
 	stride := c.SeedStride
 	if stride < 1 {
 		stride = 1
 	}
+	// Users cycle through a small mix set, so the diurnal wrap and the
+	// source constructor are built once per mix, not once per user: users
+	// sharing a mix differ only by their seed, which the constructor takes
+	// as an argument. Prepared cohorts amortize even that across cells.
+	srcs := c.srcs
+	if srcs == nil {
+		srcs = c.buildSources()
+	}
 	jobs := make([]Job, 0, c.Users*len(schemes))
 	for i := 0; i < c.Users; i++ {
-		u := mixes[i%len(mixes)]
-		if c.Diurnal {
-			u = workload.DayUser(u)
+		src := srcs[i%len(srcs)]
+		seed := UserSeed(c.Seed, i*stride)
+		cacheKey := ""
+		if i < len(c.cacheKeys) {
+			cacheKey = c.cacheKeys[i]
+		} else if c.CacheKeyBase != "" {
+			cacheKey = c.CacheKeyBase + "|" + strconv.FormatInt(seed, 10)
 		}
-		src := func(u workload.User) func(int64) trace.Source {
-			return func(seed int64) trace.Source { return u.Stream(seed, c.Duration) }
-		}(u)
 		for _, s := range schemes {
 			jobs = append(jobs, Job{
-				Seed:     UserSeed(c.Seed, i*stride),
-				Source:   src,
-				Profile:  prof,
-				Scheme:   s.Name,
-				Demote:   s.Demote,
-				Active:   s.Active,
-				FitTrace: s.FitTrace,
-				Opts:     c.Opts,
-				Baseline: true,
+				Seed:      seed,
+				Source:    src,
+				Profile:   prof,
+				Scheme:    s.Name,
+				Demote:    s.Demote,
+				Active:    s.Active,
+				FitTrace:  s.FitTrace,
+				Opts:      c.Opts,
+				Baseline:  true,
+				CacheKey:  cacheKey,
+				PolicyKey: s.PolicyKey,
 			})
 		}
 	}

@@ -62,6 +62,10 @@ func CohortFromSpec(r *workload.CohortRegistry, cs CohortSpec, seed int64, opts 
 	if err != nil {
 		return Cohort{}, err
 	}
+	return cohortFromPlan(plan, seed, opts), nil
+}
+
+func cohortFromPlan(plan workload.CohortPlan, seed int64, opts *sim.Options) Cohort {
 	return Cohort{
 		Users:      plan.Users,
 		Seed:       seed,
@@ -70,6 +74,43 @@ func CohortFromSpec(r *workload.CohortRegistry, cs CohortSpec, seed int64, opts 
 		Mixes:      plan.Mixes,
 		SeedStride: plan.SeedStride,
 		Opts:       opts,
+	}
+}
+
+// ResolvedCohort is one resolution pass over a cohort axis value: the
+// runnable Cohort, the axis label, and the axis canonical encoding
+// ("label|canonicalCohort") — each byte-identical to CohortFromSpec,
+// ResolvedLabel and Canonical.
+type ResolvedCohort struct {
+	Cohort    Cohort
+	Label     string
+	Canonical string
+}
+
+// ResolveCohort resolves the axis value once and returns the full bundle.
+func ResolveCohort(r *workload.CohortRegistry, cs CohortSpec, seed int64, opts *sim.Options) (ResolvedCohort, error) {
+	res, err := r.Resolution(cs.Spec())
+	if err != nil {
+		return ResolvedCohort{}, err
+	}
+	label := cs.Label
+	if label == "" {
+		label = res.Label
+	}
+	c := cohortFromPlan(res.Plan, seed, opts)
+	// The cohort canonical determines the packet streams up to the seed,
+	// which is exactly the trace cache's key contract — every cell of this
+	// cohort replays the same memoized traffic.
+	c.CacheKeyBase = label + "|" + res.Canonical
+	// Every field Prepare derives from is final here, so the per-mix
+	// source constructors (and small cohorts' per-user cache keys) are
+	// built once; every grid cell's Jobs expansion (cells copy the Cohort
+	// value) shares them.
+	c.Prepare()
+	return ResolvedCohort{
+		Cohort:    c,
+		Label:     label,
+		Canonical: c.CacheKeyBase,
 	}, nil
 }
 

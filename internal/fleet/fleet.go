@@ -55,6 +55,11 @@ type Options struct {
 	// starts, and Run returns ErrCanceled. The final aggregate is
 	// discarded — a canceled run never exposes a partial total.
 	Cancel <-chan struct{}
+	// TraceCache, when non-nil, memoizes materialized traces for Source
+	// jobs that carry a CacheKey, so repeated sweeps over the same cohort
+	// synthesize each user's packets once instead of once per cell. Safe
+	// to share across concurrent runs.
+	TraceCache *TraceCache
 }
 
 func (o Options) workers() int {
@@ -131,6 +136,18 @@ type Job struct {
 	// Baseline also replays the trace under policy.StatusQuo so the fold
 	// can compute relative metrics (savings, switch ratio).
 	Baseline bool
+	// CacheKey, when non-empty on a Source job, lets Options.TraceCache
+	// memoize the materialized packets. The key must determine the packet
+	// stream completely (generator config plus Seed); Cohort.Jobs derives
+	// one from the cohort's canonical encoding. Empty disables caching for
+	// this job.
+	CacheKey string
+	// PolicyKey, when non-empty on a non-FitTrace job, lets workers reuse
+	// one constructed policy pair per (PolicyKey, Profile) across jobs,
+	// relying on the engine's per-run policy Reset. The key must determine
+	// the factories' output completely (the registry's canonical spec
+	// encoding qualifies). Empty constructs fresh policies per job.
+	PolicyKey string
 }
 
 // Outcome hands one finished job to the fold. Result and Baseline are only
@@ -155,6 +172,72 @@ type Accumulator[A any] struct {
 	New   func() A
 	Fold  func(A, Outcome) A
 	Merge func(A, A) A
+}
+
+// workerState is the scratch one worker goroutine carries across jobs: a
+// reusable engine plus a cache of constructed policies keyed by
+// (Job.PolicyKey, profile). Both live across runs via workerPool, so a
+// sweep of N cells allocates O(workers) engines and policy sets, not
+// O(cells). The policy cache relies on the engine's contract of Resetting
+// policies at the start of every run; each state is owned by exactly one
+// goroutine at a time, so no locking.
+type workerState struct {
+	engine   *sim.Engine
+	policies map[policyCacheKey]cachedPolicies
+}
+
+// policyCacheKey identifies a reusable policy pair. The profile is part of
+// the key (not just its name) because factories close over profile values
+// and callers may sweep parameterized profiles sharing a name.
+type policyCacheKey struct {
+	key  string
+	prof power.Profile
+}
+
+type cachedPolicies struct {
+	demote policy.DemotePolicy
+	active policy.ActivePolicy
+}
+
+// maxPolicyCache bounds a worker's policy cache; beyond it the cache is
+// dropped wholesale (sweeps cycle a small scheme set, so this never fires
+// in practice — it only guards pathological key churn).
+const maxPolicyCache = 256
+
+var workerPool = sync.Pool{New: func() any {
+	return &workerState{
+		engine:   sim.NewEngine(),
+		policies: map[policyCacheKey]cachedPolicies{},
+	}
+}}
+
+// policyPair returns the job's constructed policy pair, reusing the
+// worker's cache when the job allows it (PolicyKey set, not trace-fitted).
+func (ws *workerState) policyPair(job *Job, fit trace.Trace) (policy.DemotePolicy, policy.ActivePolicy, error) {
+	cacheable := job.PolicyKey != "" && !job.FitTrace
+	ck := policyCacheKey{key: job.PolicyKey, prof: job.Profile}
+	if cacheable {
+		if p, ok := ws.policies[ck]; ok {
+			return p.demote, p.active, nil
+		}
+	}
+	demote, err := job.Demote(fit, job.Profile)
+	if err != nil {
+		return nil, nil, err
+	}
+	var active policy.ActivePolicy
+	if job.Active != nil {
+		if active, err = job.Active(fit, job.Profile); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cacheable {
+		if len(ws.policies) >= maxPolicyCache {
+			clear(ws.policies)
+		}
+		ws.policies[ck] = cachedPolicies{demote: demote, active: active}
+	}
+	return demote, active, nil
 }
 
 // Run executes every job across the worker pool and returns the merged
@@ -200,9 +283,10 @@ func runHooked[A any](jobs []Job, opts Options, acc Accumulator[A], hook func(sh
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			engine := sim.NewEngine()
+			ws := workerPool.Get().(*workerState)
+			defer workerPool.Put(ws)
 			for s := range shardCh {
-				partials[s], errs[s] = runShard(jobs, s, nshards, engine, acc, opts.Cancel)
+				partials[s], errs[s] = runShard(jobs, s, nshards, ws, acc, opts)
 				if errs[s] != nil || (hook == nil && opts.OnShard == nil) {
 					continue
 				}
@@ -276,11 +360,12 @@ func Map[T any](n int, opts Options, fn func(i int, engine *sim.Engine) (T, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			engine := sim.NewEngine()
+			ws := workerPool.Get().(*workerState)
+			defer workerPool.Put(ws)
 			for s := range shardCh {
 				lo, hi := shardRange(n, s, nshards)
 				for i := lo; i < hi; i++ {
-					results[i], errs[i] = fn(i, engine)
+					results[i], errs[i] = fn(i, ws.engine)
 				}
 			}
 		}()
@@ -331,15 +416,15 @@ func shardRange(jobs, s, nshards int) (lo, hi int) {
 
 // runShard replays the shard's jobs in order on one engine, folding each
 // outcome as it completes. Cancellation is checked before every job.
-func runShard[A any](jobs []Job, s, nshards int, engine *sim.Engine, acc Accumulator[A], cancel <-chan struct{}) (A, error) {
+func runShard[A any](jobs []Job, s, nshards int, ws *workerState, acc Accumulator[A], opts Options) (A, error) {
 	a := acc.New()
 	lo, hi := shardRange(len(jobs), s, nshards)
 	for i := lo; i < hi; i++ {
-		if canceled(cancel) {
+		if canceled(opts.Cancel) {
 			var zero A
 			return zero, fmt.Errorf("fleet: shard %d at job %d: %w", s, i, ErrCanceled)
 		}
-		out, err := runJob(&jobs[i], i, engine)
+		out, err := runJob(&jobs[i], i, ws, opts.TraceCache)
 		if err != nil {
 			var zero A
 			return zero, fmt.Errorf("fleet: job %d (scheme %q, seed %d): %w",
@@ -353,9 +438,15 @@ func runShard[A any](jobs []Job, s, nshards int, engine *sim.Engine, acc Accumul
 // runJob replays the job (plus its baseline) on the worker's engine:
 // streaming straight from the source constructor when one is given,
 // falling back to a materialized trace for explicit traces and Gen jobs.
-func runJob(job *Job, index int, engine *sim.Engine) (Outcome, error) {
+// Cacheable Source jobs (CacheKey set, cache provided) replay the memoized
+// materialized trace instead — byte-identical to streaming the same seed,
+// but synthesized once per cache lifetime rather than per replay.
+func runJob(job *Job, index int, ws *workerState, tc *TraceCache) (Outcome, error) {
 	if job.Source != nil && job.Trace == nil && job.Gen == nil {
-		return runJobStreaming(job, index, engine)
+		if tc != nil && job.CacheKey != "" {
+			return runJobCached(job, index, ws, tc)
+		}
+		return runJobStreaming(job, index, ws)
 	}
 	tr := job.Trace
 	if tr == nil {
@@ -363,23 +454,54 @@ func runJob(job *Job, index int, engine *sim.Engine) (Outcome, error) {
 	}
 	out := Outcome{Index: index, Job: job}
 	if job.Baseline {
-		base, err := engine.Run(tr, job.Profile, policy.StatusQuo{}, nil, job.Opts)
+		base, err := ws.engine.Run(tr, job.Profile, policy.StatusQuo{}, nil, job.Opts)
 		if err != nil {
 			return out, fmt.Errorf("baseline: %w", err)
 		}
 		out.Baseline = base
 	}
-	demote, err := job.Demote(tr, job.Profile)
+	demote, active, err := ws.policyPair(job, tr)
 	if err != nil {
 		return out, err
 	}
-	var active policy.ActivePolicy
-	if job.Active != nil {
-		if active, err = job.Active(tr, job.Profile); err != nil {
-			return out, err
-		}
+	res, err := ws.engine.Run(tr, job.Profile, demote, active, job.Opts)
+	if err != nil {
+		return out, err
 	}
-	res, err := engine.Run(tr, job.Profile, demote, active, job.Opts)
+	out.Result = res
+	return out, nil
+}
+
+// runJobCached replays a cacheable Source job from the trace cache,
+// collecting and memoizing the source on miss. Policy factories keep the
+// streaming path's semantics — nil trace unless FitTrace — so a job
+// behaves identically whether or not its trace happened to be cached.
+func runJobCached(job *Job, index int, ws *workerState, tc *TraceCache) (Outcome, error) {
+	out := Outcome{Index: index, Job: job}
+	tr, ok := tc.Get(job.CacheKey)
+	if !ok {
+		var err error
+		if tr, err = trace.Collect(job.Source(job.Seed)); err != nil {
+			return out, fmt.Errorf("collecting source: %w", err)
+		}
+		tc.Put(job.CacheKey, tr)
+	}
+	var fit trace.Trace
+	if job.FitTrace {
+		fit = tr
+	}
+	demote, active, err := ws.policyPair(job, fit)
+	if err != nil {
+		return out, err
+	}
+	if job.Baseline {
+		base, err := ws.engine.Run(tr, job.Profile, policy.StatusQuo{}, nil, job.Opts)
+		if err != nil {
+			return out, fmt.Errorf("baseline: %w", err)
+		}
+		out.Baseline = base
+	}
+	res, err := ws.engine.Run(tr, job.Profile, demote, active, job.Opts)
 	if err != nil {
 		return out, err
 	}
@@ -396,20 +518,20 @@ func runJob(job *Job, index int, engine *sim.Engine) (Outcome, error) {
 // so only the fit is O(trace) and the replays stream like any other job
 // (sim.RunSource and sim.Run are byte-identical on the same packets, so
 // fitting materialized and replaying streamed changes nothing).
-func runJobStreaming(job *Job, index int, engine *sim.Engine) (Outcome, error) {
+func runJobStreaming(job *Job, index int, ws *workerState) (Outcome, error) {
 	out := Outcome{Index: index, Job: job}
-	demote, active, err := fitPolicies(job)
+	demote, active, err := fitPolicies(job, ws)
 	if err != nil {
 		return out, err
 	}
 	if job.Baseline {
-		base, err := engine.RunSource(job.Source(job.Seed), job.Profile, policy.StatusQuo{}, nil, job.Opts)
+		base, err := ws.engine.RunSource(job.Source(job.Seed), job.Profile, policy.StatusQuo{}, nil, job.Opts)
 		if err != nil {
 			return out, fmt.Errorf("baseline: %w", err)
 		}
 		out.Baseline = base
 	}
-	res, err := engine.RunSource(job.Source(job.Seed), job.Profile, demote, active, job.Opts)
+	res, err := ws.engine.RunSource(job.Source(job.Seed), job.Profile, demote, active, job.Opts)
 	if err != nil {
 		return out, err
 	}
@@ -421,7 +543,7 @@ func runJobStreaming(job *Job, index int, engine *sim.Engine) (Outcome, error) {
 // the source is collected here so the fit-pass trace is a local that
 // becomes unreachable — and collectable — as soon as construction
 // returns, before any replay allocates its lookahead.
-func fitPolicies(job *Job) (policy.DemotePolicy, policy.ActivePolicy, error) {
+func fitPolicies(job *Job, ws *workerState) (policy.DemotePolicy, policy.ActivePolicy, error) {
 	var fit trace.Trace
 	if job.FitTrace {
 		var err error
@@ -429,15 +551,5 @@ func fitPolicies(job *Job) (policy.DemotePolicy, policy.ActivePolicy, error) {
 			return nil, nil, fmt.Errorf("collecting source for fit: %w", err)
 		}
 	}
-	demote, err := job.Demote(fit, job.Profile)
-	if err != nil {
-		return nil, nil, err
-	}
-	var active policy.ActivePolicy
-	if job.Active != nil {
-		if active, err = job.Active(fit, job.Profile); err != nil {
-			return nil, nil, err
-		}
-	}
-	return demote, active, nil
+	return ws.policyPair(job, fit)
 }

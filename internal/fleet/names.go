@@ -94,38 +94,68 @@ func (ss SchemeSpec) Canonical(reg *policy.Registry) (string, error) {
 	return label + "|" + dc + "|" + ac, nil
 }
 
-// SchemeFromSpec resolves a SchemeSpec against a registry into a runnable
-// Scheme: parameters are coerced and bounds-checked eagerly (so typos and
+// ResolvedScheme is one resolution pass over a scheme axis value: the
+// runnable Scheme (named by the axis label), the label itself, and the
+// axis canonical encoding ("label|demoteCanonical|activeCanonical") — each
+// byte-identical to SchemeFromSpec, ResolvedLabel and Canonical.
+type ResolvedScheme struct {
+	Scheme    Scheme
+	Label     string
+	Canonical string
+}
+
+// ResolveScheme resolves a SchemeSpec against a registry in one pass per
+// role: parameters are coerced and bounds-checked eagerly (so typos and
 // out-of-range sweeps fail before a fleet spins up), FitTrace is derived
 // from the schemas' trace-fitted capability instead of being hand-set,
 // and the policy factories close over the resolved parameters.
-func SchemeFromSpec(reg *policy.Registry, ss SchemeSpec) (Scheme, error) {
-	dschema, dparams, err := reg.Resolve(policy.RoleDemote, ss.Policy)
+func ResolveScheme(reg *policy.Registry, ss SchemeSpec) (ResolvedScheme, error) {
+	d, err := reg.Resolution(policy.RoleDemote, ss.Policy)
 	if err != nil {
-		return Scheme{}, err
+		return ResolvedScheme{}, err
 	}
-	aspec := ss.activeSpec()
-	aschema, aparams, err := reg.Resolve(policy.RoleActive, aspec)
+	a, err := reg.Resolution(policy.RoleActive, ss.activeSpec())
 	if err != nil {
-		return Scheme{}, err
+		return ResolvedScheme{}, err
 	}
-	label, err := ss.ResolvedLabel(reg)
-	if err != nil {
-		return Scheme{}, err
+	label := ss.Label
+	if label == "" {
+		label = d.Label
+		if a.Schema.Name != ActiveNone {
+			label += "+" + a.Label
+		}
 	}
 	s := Scheme{
 		Name: label,
 		Demote: func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error) {
-			return dschema.NewDemote(dparams, tr, prof)
+			return d.Schema.NewDemote(d.Params, tr, prof)
 		},
-		FitTrace: dschema.TraceFitted || aschema.TraceFitted,
+		FitTrace: d.Schema.TraceFitted || a.Schema.TraceFitted,
 	}
-	if aschema.Name != ActiveNone {
+	if a.Schema.Name != ActiveNone {
 		s.Active = func(tr trace.Trace, prof power.Profile) (policy.ActivePolicy, error) {
-			return aschema.NewActive(aparams, tr, prof)
+			return a.Schema.NewActive(a.Params, tr, prof)
 		}
 	}
-	return s, nil
+	// Registry-built factories are pure functions of the canonical spec and
+	// the profile, so non-fitted schemes advertise a policy reuse key.
+	if !s.FitTrace {
+		s.PolicyKey = d.Canonical + "|" + a.Canonical
+	}
+	return ResolvedScheme{
+		Scheme:    s,
+		Label:     label,
+		Canonical: label + "|" + d.Canonical + "|" + a.Canonical,
+	}, nil
+}
+
+// SchemeFromSpec is ResolveScheme reduced to the runnable Scheme.
+func SchemeFromSpec(reg *policy.Registry, ss SchemeSpec) (Scheme, error) {
+	rs, err := ResolveScheme(reg, ss)
+	if err != nil {
+		return Scheme{}, err
+	}
+	return rs.Scheme, nil
 }
 
 // WithFixBurstGap injects a session-level burst gap into an active spec

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/metrics"
 )
@@ -57,16 +58,23 @@ type SchemeSummary struct {
 	// BurstDelay streams per-burst batching delays in seconds.
 	BurstDelay metrics.Stream
 	// EnergyHist bins per-user energy (J); DelayHist per-burst delays
-	// (s); SignalHist per-user promotion counts.
-	EnergyHist, DelayHist, SignalHist *metrics.Histogram
+	// (s); SignalHist per-user promotion counts. Embedded by value: a
+	// fleet run allocates one SchemeSummary per (shard, scheme), and the
+	// three histogram headers ride in that allocation instead of adding
+	// three more.
+	EnergyHist, DelayHist, SignalHist metrics.Histogram
 }
 
 func newSchemeSummary(cfg SummaryConfig) *SchemeSummary {
-	return &SchemeSummary{
-		EnergyHist: metrics.NewHistogram(0, cfg.EnergyMaxJ, cfg.Bins),
-		DelayHist:  metrics.NewHistogram(0, cfg.DelayMaxS, cfg.Bins),
-		SignalHist: metrics.NewHistogram(0, cfg.SignalMax, cfg.Bins),
-	}
+	s := new(SchemeSummary)
+	// One slab backs all three histograms (full slice expressions keep an
+	// append from ever crossing into a neighbour's bins).
+	n := cfg.Bins
+	slab := make([]int64, 3*n)
+	s.EnergyHist.InitCounts(0, cfg.EnergyMaxJ, slab[0:n:n])
+	s.DelayHist.InitCounts(0, cfg.DelayMaxS, slab[n:2*n:2*n])
+	s.SignalHist.InitCounts(0, cfg.SignalMax, slab[2*n:3*n:3*n])
+	return s
 }
 
 func (s *SchemeSummary) fold(out Outcome) {
@@ -91,13 +99,13 @@ func (s *SchemeSummary) merge(o *SchemeSummary) error {
 	s.SwitchRatio.Merge(o.SwitchRatio)
 	s.Promotions.Merge(o.Promotions)
 	s.BurstDelay.Merge(o.BurstDelay)
-	if err := s.EnergyHist.Merge(o.EnergyHist); err != nil {
+	if err := s.EnergyHist.Merge(&o.EnergyHist); err != nil {
 		return err
 	}
-	if err := s.DelayHist.Merge(o.DelayHist); err != nil {
+	if err := s.DelayHist.Merge(&o.DelayHist); err != nil {
 		return err
 	}
-	return s.SignalHist.Merge(o.SignalHist)
+	return s.SignalHist.Merge(&o.SignalHist)
 }
 
 // Summary is the standard fleet aggregate: per-scheme mergeable statistics
@@ -130,20 +138,37 @@ func (s *Summary) Fold(out Outcome) {
 // order (a fixed order, so merged floats are reproducible).
 func (s *Summary) Merge(o *Summary) error {
 	s.Jobs += o.Jobs
+	if len(o.Schemes) <= 1 {
+		// One key needs no ordering; grid cells run a single scheme, so
+		// their shard merges skip the sorted-keys allocation entirely.
+		for k, v := range o.Schemes {
+			if err := s.mergeScheme(k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	keys := make([]string, 0, len(o.Schemes))
 	for k := range o.Schemes {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		agg := s.Schemes[k]
-		if agg == nil {
-			agg = newSchemeSummary(s.cfg)
-			s.Schemes[k] = agg
+		if err := s.mergeScheme(k, o.Schemes[k]); err != nil {
+			return err
 		}
-		if err := agg.merge(o.Schemes[k]); err != nil {
-			return fmt.Errorf("fleet: scheme %s: %w", k, err)
-		}
+	}
+	return nil
+}
+
+func (s *Summary) mergeScheme(k string, o *SchemeSummary) error {
+	agg := s.Schemes[k]
+	if agg == nil {
+		agg = newSchemeSummary(s.cfg)
+		s.Schemes[k] = agg
+	}
+	if err := agg.merge(o); err != nil {
+		return fmt.Errorf("fleet: scheme %s: %w", k, err)
 	}
 	return nil
 }
@@ -203,36 +228,66 @@ func RunSummary(jobs []Job, opts Options, cfg SummaryConfig) (*Summary, error) {
 	return Run(jobs, opts, SummaryAccumulator(cfg))
 }
 
-// RunSummaryWithProgress is RunSummary plus a merged-partial feed: after
-// each shard completes, onPartial receives a freshly merged Summary over
-// every shard finished so far plus the progress counts. Partial snapshots
-// are built by merging completed shard accumulators in shard index order,
-// so a snapshot's content is a deterministic function of the *set* of
-// completed shards (only the arrival order of snapshots varies run to
-// run), and the final result remains bit-identical to RunSummary — the
-// shard accumulators feeding the end-of-run reduction are never mutated by
-// snapshotting. Each snapshot is an independent Summary the callback may
-// retain. onPartial runs serialized on a worker goroutine; keep it quick.
-func RunSummaryWithProgress(jobs []Job, opts Options, cfg SummaryConfig, onPartial func(partial *Summary, p Progress)) (*Summary, error) {
-	if onPartial == nil {
+// RunSummaryLazyProgress is RunSummary plus a deferred-partial feed: after
+// each shard completes, onProgress receives the progress counts and a snap
+// function that builds the merged Summary over every shard finished so far
+// — but only when called. Callers that sample partials (a status endpoint
+// polled a handful of times per run) pay the merge on read instead of once
+// per shard; callers that never read pay nothing.
+//
+// snap merges completed shard accumulators in shard index order, so a
+// snapshot's content is a deterministic function of the *set* of completed
+// shards, and the final result remains bit-identical to RunSummary — the
+// end-of-run reduction merges into a fresh accumulator, never into a shard
+// partial, so completed partials are immutable. snap is safe to call from
+// any goroutine, during the run or after it returns; later calls observe
+// newly completed shards. Each snap() result is an independent Summary the
+// caller may retain. onProgress runs serialized on a worker goroutine;
+// keep it quick (stash snap, don't call it there).
+func RunSummaryLazyProgress(jobs []Job, opts Options, cfg SummaryConfig, onProgress func(snap func() *Summary, p Progress)) (*Summary, error) {
+	if onProgress == nil {
 		return RunSummary(jobs, opts, cfg)
 	}
 	cfg = cfg.withDefaults()
-	done := make(map[int]*Summary)
-	hook := func(shard int, partial *Summary, p Progress) {
-		// Serialized by runHooked's lock, so the map needs no extra one.
-		done[shard] = partial
+	var (
+		mu      sync.Mutex
+		nshards int
+		done    = make(map[int]*Summary)
+	)
+	snap := func() *Summary {
 		merged := NewSummary(cfg)
-		for s := 0; s < p.Shards; s++ {
+		mu.Lock()
+		defer mu.Unlock()
+		for s := 0; s < nshards; s++ {
 			if d := done[s]; d != nil {
 				if err := merged.Merge(d); err != nil {
 					panic(err) // impossible: all shards share one layout
 				}
 			}
 		}
-		onPartial(merged, p)
+		return merged
+	}
+	hook := func(shard int, partial *Summary, p Progress) {
+		mu.Lock()
+		nshards = p.Shards
+		done[shard] = partial
+		mu.Unlock()
+		onProgress(snap, p)
 	}
 	return runHooked(jobs, opts, SummaryAccumulator(cfg), hook)
+}
+
+// RunSummaryWithProgress is RunSummaryLazyProgress with eager snapshots:
+// onPartial receives a freshly merged Summary after every shard. Prefer
+// the lazy form on hot paths — eager snapshots cost one full merge per
+// shard whether or not anyone looks at them.
+func RunSummaryWithProgress(jobs []Job, opts Options, cfg SummaryConfig, onPartial func(partial *Summary, p Progress)) (*Summary, error) {
+	if onPartial == nil {
+		return RunSummary(jobs, opts, cfg)
+	}
+	return RunSummaryLazyProgress(jobs, opts, cfg, func(snap func() *Summary, p Progress) {
+		onPartial(snap(), p)
+	})
 }
 
 // SeedStride spaces per-user seeds so adjacent users draw well-separated

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// TraceCache memoizes materialized traces across fleet runs, keyed by a
+// caller-chosen string that must capture everything the packets depend on
+// (generator config and seed — Cohort.Jobs derives one from the cohort's
+// canonical encoding). Grid sweeps replay the same cohort against every
+// (scheme, profile) cell; without the cache each cell re-synthesizes its
+// users' traffic from the seed, and generation — RNG setup, the reorder
+// buffer, the diurnal mask — dominates the cost of short-trace cells. With
+// it, generation runs once per user and every later cell replays the
+// memoized slice (replaying a materialized trace is byte-identical to
+// streaming the same seed, so results are unchanged).
+//
+// Capacity is bounded in *packets*, not entries, since traces vary wildly
+// in length; eviction is FIFO — sweeps touch seeds in a stable order, so
+// recency adds nothing. A nil *TraceCache disables caching everywhere it
+// is consulted.
+type TraceCache struct {
+	mu      sync.Mutex
+	cap     int // max total packets held
+	total   int
+	entries map[string]trace.Trace
+	order   []string // insertion order, for FIFO eviction
+}
+
+// NewTraceCache returns a cache bounded to maxPackets total packets;
+// maxPackets <= 0 returns nil (caching disabled).
+func NewTraceCache(maxPackets int) *TraceCache {
+	if maxPackets <= 0 {
+		return nil
+	}
+	return &TraceCache{cap: maxPackets, entries: map[string]trace.Trace{}}
+}
+
+// Get returns the cached trace for key. The returned slice is shared:
+// callers must treat it as read-only.
+func (c *TraceCache) Get(key string) (trace.Trace, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	tr, ok := c.entries[key]
+	c.mu.Unlock()
+	return tr, ok
+}
+
+// Put stores a trace under key, evicting oldest entries as needed. Traces
+// longer than the whole capacity are not stored.
+func (c *TraceCache) Put(key string, tr trace.Trace) {
+	if c == nil || len(tr) > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	for c.total+len(tr) > c.cap && len(c.order) > 0 {
+		old := c.order[0]
+		c.order = c.order[1:]
+		c.total -= len(c.entries[old])
+		delete(c.entries, old)
+	}
+	c.entries[key] = tr
+	c.order = append(c.order, key)
+	c.total += len(tr)
+}
+
+// Len reports the number of cached traces (for tests and introspection).
+func (c *TraceCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

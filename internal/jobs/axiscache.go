@@ -1,0 +1,172 @@
+package jobs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/power"
+)
+
+// axisCache memoizes successful grid-axis resolutions across Submits.
+// Registries are append-only — Register and Alias both reject re-binding an
+// existing name — so a name's resolution can never change for the life of
+// the process and cached bundles stay valid indefinitely. Entries are keyed
+// by the request's exact spelling (label, names, raw parameter types and
+// values), so differently-spelled equivalents ("4500ms" vs "4.5s") miss and
+// resolve fresh rather than risk a false hit. Failed resolutions are never
+// cached: a name unknown today may be registered tomorrow.
+//
+// Cached bundles are shared across jobs. Everything they carry — profile
+// values, cohort mixes, prepared source constructors, policy factories —
+// is read-only after resolution, so sharing is race-free. The cohort key
+// folds in the seed and burst gap because ResolveCohort bakes both into
+// the bundle (the burst gap is the only sim option the planner sets, so
+// equal gaps mean interchangeable Opts).
+type axisCache struct {
+	mu       sync.Mutex
+	schemes  map[string]fleet.ResolvedScheme
+	profiles map[string]power.ResolvedProfile
+	cohorts  map[string]fleet.ResolvedCohort
+}
+
+// axisCacheMax bounds each axis map. Overflow clears the map wholesale:
+// sweep traffic cycles a small axis vocabulary, so a reset beats LRU
+// bookkeeping, and a full rebuild costs one resolution per distinct value.
+const axisCacheMax = 4096
+
+func newAxisCache() *axisCache {
+	return &axisCache{
+		schemes:  map[string]fleet.ResolvedScheme{},
+		profiles: map[string]power.ResolvedProfile{},
+		cohorts:  map[string]fleet.ResolvedCohort{},
+	}
+}
+
+// appendSpecKey appends a collision-free encoding of one name+params spec:
+// NUL-delimited name, then the parameters sorted by key, each as name,
+// dynamic type and value ("%T"/"%v"). The type tag keeps int 4 and string
+// "4" distinct, so a spelling that would fail coercion can never collide
+// with one that resolved.
+func appendSpecKey(b []byte, name string, params map[string]any) []byte {
+	b = append(b, name...)
+	b = append(b, 0)
+	if len(params) > 1 {
+		keys := make([]string, 0, len(params))
+		for k := range params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b = fmt.Appendf(b, "%s\x00%T\x00%v\x00", k, params[k], params[k])
+		}
+		return b
+	}
+	for k, v := range params {
+		b = fmt.Appendf(b, "%s\x00%T\x00%v\x00", k, v, v)
+	}
+	return b
+}
+
+func schemeKey(ss fleet.SchemeSpec) string {
+	b := make([]byte, 0, 96)
+	b = append(b, ss.Label...)
+	b = append(b, 0)
+	b = appendSpecKey(b, ss.Policy.Name, ss.Policy.Params)
+	if ss.Active != nil {
+		b = appendSpecKey(b, ss.Active.Name, ss.Active.Params)
+	}
+	return string(b)
+}
+
+func profileKey(ps power.ProfileSpec) string {
+	b := make([]byte, 0, 96)
+	b = append(b, ps.Label...)
+	b = append(b, 0)
+	b = appendSpecKey(b, ps.Name, ps.Params)
+	return string(b)
+}
+
+func cohortKey(cs fleet.CohortSpec, seed int64, burstGap time.Duration) string {
+	b := make([]byte, 0, 96)
+	b = strconv.AppendInt(b, seed, 10)
+	b = append(b, 0)
+	b = strconv.AppendInt(b, int64(burstGap), 10)
+	b = append(b, 0)
+	b = append(b, cs.Label...)
+	b = append(b, 0)
+	b = appendSpecKey(b, cs.Name, cs.Params)
+	return string(b)
+}
+
+// All accessors are nil-receiver safe (a nil cache never hits and never
+// stores), so the planner works uncached when no manager is involved.
+
+func (c *axisCache) getScheme(key string) (fleet.ResolvedScheme, bool) {
+	if c == nil {
+		return fleet.ResolvedScheme{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.schemes[key]
+	return v, ok
+}
+
+func (c *axisCache) putScheme(key string, v fleet.ResolvedScheme) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.schemes) >= axisCacheMax {
+		clear(c.schemes)
+	}
+	c.schemes[key] = v
+}
+
+func (c *axisCache) getProfile(key string) (power.ResolvedProfile, bool) {
+	if c == nil {
+		return power.ResolvedProfile{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.profiles[key]
+	return v, ok
+}
+
+func (c *axisCache) putProfile(key string, v power.ResolvedProfile) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.profiles) >= axisCacheMax {
+		clear(c.profiles)
+	}
+	c.profiles[key] = v
+}
+
+func (c *axisCache) getCohort(key string) (fleet.ResolvedCohort, bool) {
+	if c == nil {
+		return fleet.ResolvedCohort{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.cohorts[key]
+	return v, ok
+}
+
+func (c *axisCache) putCohort(key string, v fleet.ResolvedCohort) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.cohorts) >= axisCacheMax {
+		clear(c.cohorts)
+	}
+	c.cohorts[key] = v
+}

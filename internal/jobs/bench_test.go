@@ -4,10 +4,6 @@ import (
 	"runtime"
 	"testing"
 	"time"
-
-	"repro/internal/fleet"
-	"repro/internal/policy"
-	"repro/internal/power"
 )
 
 // BenchmarkGridSweep measures grid-job execution end to end through the
@@ -19,20 +15,8 @@ import (
 func BenchmarkGridSweep(b *testing.B) {
 	m := NewManager(Config{Runners: 1, CacheSize: -1, CellCacheSize: -1})
 	defer m.Close()
-	spec := Spec{Seed: 1, Shards: 4,
-		Schemes: []fleet.SchemeSpec{
-			{Policy: policy.Spec{Name: "makeidle"}},
-			{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "2s"}}},
-		},
-		Profiles: []power.ProfileSpec{
-			{Name: "verizon-3g"},
-			{Name: "verizon-lte"},
-		},
-		Cohorts: []fleet.CohortSpec{
-			{Name: "study-3g", Params: map[string]any{"users": 4, "duration": "10m"}},
-		},
-	}
-	const cells = 4
+	spec := BenchGridSpec()
+	const cells = BenchGridCells
 
 	var before, after runtime.MemStats
 	runtime.GC()

@@ -1,0 +1,32 @@
+package jobs
+
+import (
+	"repro/internal/fleet"
+	"repro/internal/policy"
+	"repro/internal/power"
+)
+
+// BenchGridSpec is the canonical throughput-benchmark grid, shared by
+// BenchmarkGridSweep and cmd/benchdump so the committed baseline
+// (BENCH_grid.json) and the in-tree benchmark always measure the same
+// computation: 2 schemes × 2 profiles × 1 cohort (4 cells), 4 streamed
+// users of 10 minutes each, result and cell caches disabled by the caller
+// so every run replays every cell.
+func BenchGridSpec() Spec {
+	return Spec{Seed: 1, Shards: 4,
+		Schemes: []fleet.SchemeSpec{
+			{Policy: policy.Spec{Name: "makeidle"}},
+			{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "2s"}}},
+		},
+		Profiles: []power.ProfileSpec{
+			{Name: "verizon-3g"},
+			{Name: "verizon-lte"},
+		},
+		Cohorts: []fleet.CohortSpec{
+			{Name: "study-3g", Params: map[string]any{"users": 4, "duration": "10m"}},
+		},
+	}
+}
+
+// BenchGridCells is BenchGridSpec's cell count (the benchmark's work unit).
+const BenchGridCells = 4

@@ -220,8 +220,40 @@ const (
 )
 
 // validate rejects unusable specs with a client-attributable error. The
-// spec must already be normalized.
+// spec must already be normalized. Submit does not call this — it derives
+// the same checks (same error shapes) from planFingerprint's single
+// resolution pass; validate stays as the standalone product.
 func (s Spec) validate() error {
+	if err := s.checkBounds(); err != nil {
+		return err
+	}
+	if err := validateAxis("scheme", s.Schemes, func(ss fleet.SchemeSpec) (string, error) {
+		if _, err := fleet.SchemeFromSpec(registry(), ss); err != nil {
+			return "", err
+		}
+		return ss.ResolvedLabel(registry())
+	}); err != nil {
+		return err
+	}
+	if err := validateAxis("profile", s.Profiles, func(ps power.ProfileSpec) (string, error) {
+		if _, err := ps.Profile(profiles()); err != nil {
+			return "", err
+		}
+		return ps.ResolvedLabel(profiles())
+	}); err != nil {
+		return err
+	}
+	return validateAxis("cohort", s.Cohorts, func(cs fleet.CohortSpec) (string, error) {
+		if _, err := fleet.CohortFromSpec(cohorts(), cs, s.Seed, nil); err != nil {
+			return "", err
+		}
+		return cs.ResolvedLabel(cohorts())
+	})
+}
+
+// checkBounds enforces the scalar admission bounds shared by validate and
+// planFingerprint.
+func (s Spec) checkBounds() error {
 	if len(s.Cohorts) == 0 {
 		// Normalization maps every legal flat population; an empty cohort
 		// axis means the legacy users field was unusable.
@@ -249,28 +281,7 @@ func (s Spec) validate() error {
 	if cells := len(s.Schemes) * len(s.Profiles) * len(s.Cohorts); cells > MaxCells {
 		return fmt.Errorf("jobs: grid of %d cells exceeds the limit of %d", cells, MaxCells)
 	}
-	if err := validateAxis("scheme", s.Schemes, func(ss fleet.SchemeSpec) (string, error) {
-		if _, err := fleet.SchemeFromSpec(registry(), ss); err != nil {
-			return "", err
-		}
-		return ss.ResolvedLabel(registry())
-	}); err != nil {
-		return err
-	}
-	if err := validateAxis("profile", s.Profiles, func(ps power.ProfileSpec) (string, error) {
-		if _, err := ps.Profile(profiles()); err != nil {
-			return "", err
-		}
-		return ps.ResolvedLabel(profiles())
-	}); err != nil {
-		return err
-	}
-	return validateAxis("cohort", s.Cohorts, func(cs fleet.CohortSpec) (string, error) {
-		if _, err := fleet.CohortFromSpec(cohorts(), cs, s.Seed, nil); err != nil {
-			return "", err
-		}
-		return cs.ResolvedLabel(cohorts())
-	})
+	return nil
 }
 
 // validateAxis resolves every axis value eagerly (typos and out-of-range

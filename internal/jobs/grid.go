@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/fleet"
@@ -53,58 +55,168 @@ func (c *gridCell) Jobs() []fleet.Job {
 	return c.cohort.Jobs(c.profile, []fleet.Scheme{c.scheme})
 }
 
-// plan expands the normalized spec into its grid cells. Axis values are
-// resolved through the registries; the spec must already have passed
-// validate, so failures here are racing registry changes, not user error.
-func (s Spec) plan(opts fleet.Options) ([]gridCell, error) {
-	simOpts := &sim.Options{BurstGap: time.Duration(s.BurstGap)}
+// planFingerprint validates the normalized spec's axes, computes its v4
+// fingerprint, and expands its grid cells — all from ONE registry
+// resolution per axis value. This is the Submit path: the legacy
+// three-pass pipeline (validate, Fingerprint, plan) re-resolved every axis
+// value once per product, which dominated admission cost on parameter
+// sweeps. validate and Fingerprint remain as standalone products with
+// byte-identical outputs (the fingerprint hashes the same canonical
+// encodings, the errors carry the same shapes); this path simply derives
+// all three from one resolution. Axis errors are reported in validate's
+// precedence order: schemes, then profiles, then cohorts.
+//
+// axes, when non-nil, memoizes successful resolutions across Submits (see
+// axisCache); a nil cache resolves everything fresh.
+func (s Spec) planFingerprint(opts fleet.Options, axes *axisCache) ([]gridCell, string, error) {
+	if err := s.checkBounds(); err != nil {
+		return nil, "", err
+	}
+	burstGap := time.Duration(s.BurstGap)
+
+	sas := make([]fleet.ResolvedScheme, len(s.Schemes))
+	seen := make(map[string]bool, len(s.Schemes))
+	for i, ss := range s.Schemes {
+		key := ""
+		rs, ok := fleet.ResolvedScheme{}, false
+		if axes != nil {
+			key = schemeKey(ss)
+			rs, ok = axes.getScheme(key)
+		}
+		if !ok {
+			var err error
+			rs, err = fleet.ResolveScheme(registry(), ss)
+			if err != nil {
+				return nil, "", fmt.Errorf("jobs: scheme %d: %w", i, err)
+			}
+			axes.putScheme(key, rs)
+		}
+		if err := checkLabel("scheme", i, rs.Label, seen); err != nil {
+			return nil, "", err
+		}
+		sas[i] = rs
+	}
+
+	pas := make([]power.ResolvedProfile, len(s.Profiles))
+	seen = make(map[string]bool, len(s.Profiles))
+	for i, ps := range s.Profiles {
+		key := ""
+		rp, ok := power.ResolvedProfile{}, false
+		if axes != nil {
+			key = profileKey(ps)
+			rp, ok = axes.getProfile(key)
+		}
+		if !ok {
+			var err error
+			rp, err = ps.Resolution(profiles())
+			if err != nil {
+				return nil, "", fmt.Errorf("jobs: profile %d: %w", i, err)
+			}
+			axes.putProfile(key, rp)
+		}
+		if err := checkLabel("profile", i, rp.Label, seen); err != nil {
+			return nil, "", err
+		}
+		pas[i] = rp
+	}
+
+	cas := make([]fleet.ResolvedCohort, len(s.Cohorts))
+	seen = make(map[string]bool, len(s.Cohorts))
+	var simOpts *sim.Options
+	for i, cs := range s.Cohorts {
+		key := ""
+		rc, ok := fleet.ResolvedCohort{}, false
+		if axes != nil {
+			key = cohortKey(cs, s.Seed, burstGap)
+			rc, ok = axes.getCohort(key)
+		}
+		if !ok {
+			if simOpts == nil {
+				simOpts = &sim.Options{BurstGap: burstGap}
+			}
+			var err error
+			rc, err = fleet.ResolveCohort(cohorts(), cs, s.Seed, simOpts)
+			if err != nil {
+				return nil, "", fmt.Errorf("jobs: cohort %d: %w", i, err)
+			}
+			// ResolveCohort stamps CacheKeyBase with the cohort canonical,
+			// so every cell of this cohort replays the same memoized
+			// traffic.
+			axes.putCohort(key, rc)
+		}
+		if err := checkLabel("cohort", i, rc.Label, seen); err != nil {
+			return nil, "", err
+		}
+		cas[i] = rc
+	}
+
+	// Both digests hash hand-appended bytes (strconv for the scalars,
+	// Duration.String for the gap) — the exact bytes the historical
+	// Fprintf-based hashing produced, without its per-verb overhead.
+	scalars := make([]byte, 0, 64)
+	scalars = append(scalars, "seed="...)
+	scalars = strconv.AppendInt(scalars, s.Seed, 10)
+	scalars = append(scalars, "|burstgap="...)
+	scalars = append(scalars, burstGap.String()...)
+	scalars = append(scalars, "|shards="...)
+	scalars = strconv.AppendInt(scalars, int64(s.Shards), 10)
+
+	b := make([]byte, 0, 512)
+	b = append(b, "v4|"...)
+	b = append(b, scalars...)
+	b = append(b, "|schemes="...)
+	b = strconv.AppendInt(b, int64(len(s.Schemes)), 10)
+	b = append(b, "|profiles="...)
+	b = strconv.AppendInt(b, int64(len(s.Profiles)), 10)
+	b = append(b, "|cohorts="...)
+	b = strconv.AppendInt(b, int64(len(s.Cohorts)), 10)
+	for _, sa := range sas {
+		b = append(b, "|S:"...)
+		b = append(b, sa.Canonical...)
+	}
+	for _, pa := range pas {
+		b = append(b, "|P:"...)
+		b = append(b, pa.Canonical...)
+	}
+	for _, ca := range cas {
+		b = append(b, "|C:"...)
+		b = append(b, ca.Canonical...)
+	}
+	sum := sha256.Sum256(b)
+	fp := hex.EncodeToString(sum[:])
+
 	cells := make([]gridCell, 0, len(s.Schemes)*len(s.Profiles)*len(s.Cohorts))
-	for _, cs := range s.Cohorts {
-		cohort, err := fleet.CohortFromSpec(cohorts(), cs, s.Seed, simOpts)
-		if err != nil {
-			return nil, fmt.Errorf("jobs: cohort: %w", err)
-		}
-		cohortLabel, err := cs.ResolvedLabel(cohorts())
-		if err != nil {
-			return nil, fmt.Errorf("jobs: cohort: %w", err)
-		}
-		cohortCanon, err := cs.Canonical(cohorts())
-		if err != nil {
-			return nil, fmt.Errorf("jobs: cohort: %w", err)
-		}
-		for _, ps := range s.Profiles {
-			prof, err := ps.Profile(profiles())
-			if err != nil {
-				return nil, fmt.Errorf("jobs: profile: %w", err)
-			}
-			profCanon, err := ps.Canonical(profiles())
-			if err != nil {
-				return nil, fmt.Errorf("jobs: profile: %w", err)
-			}
-			for _, ss := range s.Schemes {
-				scheme, err := fleet.SchemeFromSpec(registry(), ss)
-				if err != nil {
-					return nil, fmt.Errorf("jobs: scheme: %w", err)
-				}
-				schemeCanon, err := ss.Canonical(registry())
-				if err != nil {
-					return nil, fmt.Errorf("jobs: scheme: %w", err)
-				}
+	for _, ca := range cas {
+		for _, pa := range pas {
+			for _, sa := range sas {
 				cells = append(cells, gridCell{
-					Scheme:  scheme.Name,
-					Profile: prof.Name,
-					Cohort:  cohortLabel,
-					Key:     cellKey(s, schemeCanon, profCanon, cohortCanon),
-					cohort:  cohort,
-					profile: prof,
-					scheme:  scheme,
-					NumJobs: cohort.Users,
-					Shards:  opts.NumShards(cohort.Users),
+					Scheme:  sa.Scheme.Name,
+					Profile: pa.Profile.Name,
+					Cohort:  ca.Label,
+					Key:     cellKey(scalars, sa.Canonical, pa.Canonical, ca.Canonical),
+					cohort:  ca.Cohort,
+					profile: pa.Profile,
+					scheme:  sa.Scheme,
+					NumJobs: ca.Cohort.Users,
+					Shards:  opts.NumShards(ca.Cohort.Users),
 				})
 			}
 		}
 	}
-	return cells, nil
+	return cells, fp, nil
+}
+
+// checkLabel enforces the axis-label rules (no reserved characters, no
+// duplicates within an axis — labels key grid cells).
+func checkLabel(axis string, i int, label string, seen map[string]bool) error {
+	if strings.ContainsAny(label, "|\n") {
+		return fmt.Errorf("jobs: %s %d: label %q contains reserved characters", axis, i, label)
+	}
+	if seen[label] {
+		return fmt.Errorf("jobs: %s %d: duplicate label %q (label axis values explicitly)", axis, i, label)
+	}
+	seen[label] = true
+	return nil
 }
 
 // singleAxis reports whether the normalized spec's profile and cohort axes
@@ -117,13 +229,21 @@ func (s Spec) singleAxis() bool {
 }
 
 // cellKey digests one cell's computation: the job-level scalars that
-// shape every cell (seed, burst gap, shard config) plus the cell's three
-// canonical axis encodings. Labels ride inside the canonicals, which is
-// deliberate — a relabeled cell renders different bytes, so it must not
-// share a cache entry.
-func cellKey(s Spec, schemeCanon, profCanon, cohortCanon string) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "cell|v4|seed=%d|burstgap=%s|shards=%d|S:%s|P:%s|C:%s",
-		s.Seed, time.Duration(s.BurstGap), s.Shards, schemeCanon, profCanon, cohortCanon)
-	return hex.EncodeToString(h.Sum(nil))
+// shape every cell (scalars is the pre-rendered "seed=…|burstgap=…|
+// shards=…" run, shared across the grid) plus the cell's three canonical
+// axis encodings. Labels ride inside the canonicals, which is deliberate —
+// a relabeled cell renders different bytes, so it must not share a cache
+// entry.
+func cellKey(scalars []byte, schemeCanon, profCanon, cohortCanon string) string {
+	b := make([]byte, 0, 17+len(scalars)+len(schemeCanon)+len(profCanon)+len(cohortCanon))
+	b = append(b, "cell|v4|"...)
+	b = append(b, scalars...)
+	b = append(b, "|S:"...)
+	b = append(b, schemeCanon...)
+	b = append(b, "|P:"...)
+	b = append(b, profCanon...)
+	b = append(b, "|C:"...)
+	b = append(b, cohortCanon...)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }

@@ -17,10 +17,11 @@
 // reduction grouping equal to a single-axis job's — a grid's cell
 // summaries are byte-identical to separate jobs on the same seed.
 //
-// Results are rendered (JSON/CSV/text) exactly once, when a job or cell
-// finishes; cache hits share the rendered bytes. Because the fleet
-// reduction is deterministic and the shard count is part of both keys, a
-// cache hit returns the same bytes a cold rerun would have produced.
+// Results are rendered (JSON/CSV/text) lazily, at most once per form, on
+// first read; cache hits share the *Result and with it the memoized
+// rendered bytes. Because the fleet reduction is deterministic and the
+// shard count is part of both keys, a cache hit returns the same bytes a
+// cold rerun would have produced.
 package jobs
 
 import (
@@ -89,16 +90,26 @@ type Job struct {
 	cancelOnce sync.Once
 	done       chan struct{}
 
-	mu        sync.Mutex
-	state     State
-	cacheHit  bool
-	progress  Progress
-	partial   *fleet.Summary
-	result    *Result
-	err       error
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	// cells is the Submit-time grid plan (resolved axes, cell keys,
+	// progress denominators); runners execute it without re-resolving.
+	cells []gridCell
+
+	mu       sync.Mutex
+	state    State
+	cacheHit bool
+	progress Progress
+	// partialFn lazily materializes the latest partial summary; partialVer
+	// advances whenever the underlying snapshot does, so Partial memoizes
+	// the merge and redoes it only after new work completes.
+	partialFn   func() *fleet.Summary
+	partialVer  uint64
+	partialMemo *fleet.Summary
+	memoVer     uint64
+	result      *Result
+	err         error
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
 }
 
 // ID returns the job's identifier.
@@ -129,11 +140,40 @@ func (j *Job) Status() Status {
 }
 
 // Partial returns the latest merged partial summary (nil before the first
-// shard completes). The returned summary is an immutable snapshot.
+// shard completes). The returned summary is an immutable snapshot. The
+// merge materializes lazily on read and is memoized per snapshot version,
+// so unread partials cost nothing and repeated polls of a quiet job reuse
+// one merge.
 func (j *Job) Partial() *fleet.Summary {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.partial
+	fn, ver := j.partialFn, j.partialVer
+	if fn == nil {
+		j.mu.Unlock()
+		return nil
+	}
+	if ver == j.memoVer {
+		memo := j.partialMemo
+		j.mu.Unlock()
+		return memo
+	}
+	j.mu.Unlock()
+	sum := fn() // outside j.mu: may merge many shard accumulators
+	j.mu.Lock()
+	if ver > j.memoVer {
+		j.memoVer, j.partialMemo = ver, sum
+	}
+	j.mu.Unlock()
+	return sum
+}
+
+// setPartial installs a new lazy partial producer with its progress counts
+// and advances the snapshot version so the next Partial re-materializes.
+func (j *Job) setPartial(fn func() *fleet.Summary, p Progress) {
+	j.mu.Lock()
+	j.partialFn = fn
+	j.partialVer++
+	j.progress = p
+	j.mu.Unlock()
 }
 
 // Result returns the rendered result, or nil unless the job is done.
@@ -174,9 +214,11 @@ func (j *Job) finish(state State, res *Result, err error) {
 
 // runFleetFunc is the seam between the job layer and the fleet runtime;
 // tests substitute a controllable fake to exercise the lifecycle without
-// replaying real cohorts.
+// replaying real cohorts. The progress callback carries a lazy snapshot
+// function (fleet.RunSummaryLazyProgress's shape), so per-shard progress
+// costs nothing until somebody reads a partial.
 type runFleetFunc func(fjobs []fleet.Job, opts fleet.Options, cfg fleet.SummaryConfig,
-	onPartial func(*fleet.Summary, fleet.Progress)) (*fleet.Summary, error)
+	onProgress func(snap func() *fleet.Summary, p fleet.Progress)) (*fleet.Summary, error)
 
 // Config tunes a Manager. The zero value gives a 32-deep queue, a
 // 128-entry cache, one job runner, and all-core fleet workers per job.
@@ -209,6 +251,13 @@ type Config struct {
 	// memory pinned by retained results — cannot grow without bound on a
 	// long-running daemon.
 	MaxRecords int
+	// TraceCachePackets bounds the shared trace cache (in packets) that
+	// memoizes cohort traffic across a grid's cells, so a sweep
+	// synthesizes each user's trace once instead of once per cell
+	// (default 1M packets, roughly 24 MB; negative disables). Results are
+	// unchanged — replaying a materialized trace is byte-identical to
+	// streaming the same seed.
+	TraceCachePackets int
 
 	// runFleet overrides the fleet call in tests; nil means the real one.
 	runFleet runFleetFunc
@@ -230,8 +279,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxRecords <= 0 {
 		c.MaxRecords = 1024
 	}
+	if c.TraceCachePackets == 0 {
+		c.TraceCachePackets = 1 << 20
+	}
 	if c.runFleet == nil {
-		c.runFleet = fleet.RunSummaryWithProgress
+		c.runFleet = fleet.RunSummaryLazyProgress
 	}
 	return c
 }
@@ -254,16 +306,27 @@ type Manager struct {
 	order   []string
 	cache   *lruCache[*Result]
 	cells   *lruCache[*CellResult]
+
+	// traces memoizes cohort traffic across cells and jobs (nil when
+	// disabled). It has its own internal lock — the fleet's workers
+	// consult it directly, outside mu.
+	traces *fleet.TraceCache
+
+	// axes memoizes resolved grid-axis values across Submits (own lock;
+	// consulted by planFingerprint outside mu).
+	axes *axisCache
 }
 
 // NewManager starts a manager with cfg.Runners runner goroutines.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:   cfg,
-		jobs:  make(map[string]*Job),
-		cache: newLRUCache[*Result](cfg.CacheSize),
-		cells: newLRUCache[*CellResult](cfg.CellCacheSize),
+		cfg:    cfg,
+		jobs:   make(map[string]*Job),
+		cache:  newLRUCache[*Result](cfg.CacheSize),
+		cells:  newLRUCache[*CellResult](cfg.CellCacheSize),
+		traces: fleet.NewTraceCache(cfg.TraceCachePackets),
+		axes:   newAxisCache(),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Runners; i++ {
@@ -313,16 +376,19 @@ func (m *Manager) Close() {
 // Submit validates and enqueues a job. A fingerprint already in the result
 // cache short-circuits: the returned job is born done with CacheHit set
 // and shares the cached rendered bytes. A full queue fails fast with
-// ErrQueueFull and registers nothing.
+// ErrQueueFull and registers nothing. Validation, the fingerprint and the
+// grid plan all come from one registry resolution per axis value
+// (planFingerprint); the runner executes the stored plan without
+// re-resolving.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if spec.Profile == "" && len(spec.Profiles) == 0 && m.cfg.DefaultProfile != "" {
 		spec.Profile = m.cfg.DefaultProfile
 	}
 	spec = spec.withDefaults()
-	if err := spec.validate(); err != nil {
+	cells, fp, err := spec.planFingerprint(fleet.Options{Shards: spec.Shards}, m.axes)
+	if err != nil {
 		return nil, err
 	}
-	fp := spec.Fingerprint()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -355,6 +421,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
 	}
 	job := m.newJobLocked(spec, fp)
+	job.cells = cells
 	m.pending = append(m.pending, job)
 	m.registerLocked(job)
 	m.cond.Signal()
@@ -467,7 +534,11 @@ func (j *Job) requestCancel() {
 // labels are disjoint within an axis, and merging into an empty aggregate
 // copies it exactly. Partial snapshots accumulate across cells for them;
 // wider grids expose the in-flight cell's partial (labels repeat across
-// cells, so a cross-cell merge would conflate them).
+// cells, so a cross-cell merge would conflate them). Partials stay lazy
+// end to end: each progress event installs a closure over the completed
+// cell summaries so far (an append-only slice, so captured headers stay
+// immutable) plus the fleet's shard snapshot; nothing merges until
+// somebody calls Job.Partial.
 func (m *Manager) runJob(job *Job) {
 	job.mu.Lock()
 	if job.state.Terminal() { // canceled while queued
@@ -477,28 +548,32 @@ func (m *Manager) runJob(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	spec := job.spec
+	cells := job.cells
 	job.mu.Unlock()
 
 	opts := fleet.Options{
-		Workers: m.cfg.Workers,
-		Shards:  spec.Shards,
-		Cancel:  job.cancel,
+		Workers:    m.cfg.Workers,
+		Shards:     spec.Shards,
+		Cancel:     job.cancel,
+		TraceCache: m.traces,
 	}
 	cfg := fleet.SummaryConfig{}
-	cells, err := spec.plan(opts)
-	if err != nil {
-		job.finish(StateFailed, nil, err)
-		return
-	}
 	totals := Progress{}
 	for _, cell := range cells {
 		totals.Shards += cell.Shards
 		totals.TotalJobs += cell.NumJobs
 	}
 	singleAxis := spec.singleAxis()
-	var combined *fleet.Summary
-	if singleAxis {
-		combined = fleet.NewSummary(cfg)
+	// prior accumulates completed cell summaries in cell order. Append-only:
+	// partial closures capture the current slice header, whose elements are
+	// never rewritten, so reads need no lock.
+	prior := make([]*fleet.Summary, 0, len(cells))
+	mergePrior := func(base []*fleet.Summary) *fleet.Summary {
+		merged := fleet.NewSummary(cfg)
+		for _, b := range base {
+			mustMerge(merged, b)
+		}
+		return merged
 	}
 	done := Progress{Shards: totals.Shards, TotalJobs: totals.TotalJobs}
 	results := make([]*CellResult, 0, len(cells))
@@ -514,42 +589,38 @@ func (m *Manager) runJob(job *Job) {
 		m.mu.Unlock()
 		if hit {
 			results = append(results, cached)
-			if singleAxis {
-				mustMerge(combined, cached.Summary)
-			}
+			prior = append(prior, cached.Summary)
 			done.DoneShards += cached.shards
 			done.DoneJobs += cached.jobs
-			job.mu.Lock()
-			if singleAxis {
-				snap := fleet.NewSummary(cfg)
-				mustMerge(snap, combined)
-				job.partial = snap
-			} else {
-				job.partial = cached.Summary
-			}
-			job.progress = Progress{
+			overall := Progress{
 				DoneShards: done.DoneShards, Shards: totals.Shards,
 				DoneJobs: done.DoneJobs, TotalJobs: totals.TotalJobs,
 			}
-			job.mu.Unlock()
+			if singleAxis {
+				base := prior
+				job.setPartial(func() *fleet.Summary { return mergePrior(base) }, overall)
+			} else {
+				sum := cached.Summary
+				job.setPartial(func() *fleet.Summary { return sum }, overall)
+			}
 			continue
 		}
+		base, doneAtStart := prior, done
 		sum, err := m.cfg.runFleet(cell.Jobs(), opts, cfg,
-			func(partial *fleet.Summary, p fleet.Progress) {
-				snap := partial
-				if singleAxis {
-					snap = fleet.NewSummary(cfg)
-					mustMerge(snap, combined)
-					mustMerge(snap, partial)
-				}
+			func(snap func() *fleet.Summary, p fleet.Progress) {
 				overall := Progress{
-					DoneShards: done.DoneShards + p.DoneShards, Shards: totals.Shards,
-					DoneJobs: done.DoneJobs + p.DoneJobs, TotalJobs: totals.TotalJobs,
+					DoneShards: doneAtStart.DoneShards + p.DoneShards, Shards: totals.Shards,
+					DoneJobs: doneAtStart.DoneJobs + p.DoneJobs, TotalJobs: totals.TotalJobs,
 				}
-				job.mu.Lock()
-				job.partial = snap
-				job.progress = overall
-				job.mu.Unlock()
+				fn := snap
+				if singleAxis {
+					fn = func() *fleet.Summary {
+						merged := mergePrior(base)
+						mustMerge(merged, snap())
+						return merged
+					}
+				}
+				job.setPartial(fn, overall)
 			})
 		if err != nil {
 			if errors.Is(err, fleet.ErrCanceled) {
@@ -559,26 +630,23 @@ func (m *Manager) runJob(job *Job) {
 			}
 			return
 		}
-		cellRes, err := renderCell(cell, sum)
-		if err != nil {
-			job.finish(StateFailed, nil, err)
-			return
-		}
+		cellRes := newCellResult(cell, sum)
 		m.mu.Lock()
 		m.cells.put(cell.Key, cellRes)
 		m.mu.Unlock()
 		results = append(results, cellRes)
-		if singleAxis {
-			mustMerge(combined, sum)
-		}
+		prior = append(prior, sum)
 		done.DoneShards += cell.Shards
 		done.DoneJobs += cell.NumJobs
 	}
-	res, err := renderResult(results, combined)
-	if err != nil {
-		job.finish(StateFailed, nil, err)
-		return
+	var combined *fleet.Summary
+	if singleAxis {
+		// Merging the cell summaries in cell order into one empty aggregate
+		// reproduces, byte for byte, the incremental merge the run used to
+		// do — only deferred to the end.
+		combined = mergePrior(prior)
 	}
+	res := newResult(results, combined)
 	res.Progress = done
 	job.mu.Lock()
 	job.progress = res.Progress

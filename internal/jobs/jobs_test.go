@@ -18,9 +18,9 @@ func testSpec(users int) Spec {
 // ErrCanceled) or `release` closes (returning an empty summary).
 func blockingRunner(started, release chan struct{}) runFleetFunc {
 	return func(fjobs []fleet.Job, opts fleet.Options, cfg fleet.SummaryConfig,
-		onPartial func(*fleet.Summary, fleet.Progress)) (*fleet.Summary, error) {
-		if onPartial != nil {
-			onPartial(fleet.NewSummary(cfg),
+		onProgress func(func() *fleet.Summary, fleet.Progress)) (*fleet.Summary, error) {
+		if onProgress != nil {
+			onProgress(func() *fleet.Summary { return fleet.NewSummary(cfg) },
 				fleet.Progress{DoneShards: 1, Shards: 4, DoneJobs: 1, TotalJobs: len(fjobs)})
 		}
 		if started != nil {
@@ -246,14 +246,30 @@ func TestCacheHitIsByteIdentical(t *testing.T) {
 	if cr == nil || wr == nil {
 		t.Fatal("missing results")
 	}
-	if !bytes.Equal(cr.JSON, wr.JSON) {
-		t.Fatalf("cache hit JSON differs:\n%s\nvs\n%s", cr.JSON, wr.JSON)
+	crJSON, err := cr.JSON()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !bytes.Equal(cr.CSV, wr.CSV) {
+	wrJSON, err := wr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(crJSON, wrJSON) {
+		t.Fatalf("cache hit JSON differs:\n%s\nvs\n%s", crJSON, wrJSON)
+	}
+	crCSV, err := cr.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrCSV, err := wr.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(crCSV, wrCSV) {
 		t.Fatal("cache hit CSV differs")
 	}
-	if len(cr.JSON) == 0 || cr.Stats.Jobs != 3 {
-		t.Fatalf("implausible result: %d JSON bytes, %d jobs", len(cr.JSON), cr.Stats.Jobs)
+	if len(crJSON) == 0 || cr.Stats().Jobs != 3 {
+		t.Fatalf("implausible result: %d JSON bytes, %d jobs", len(crJSON), cr.Stats().Jobs)
 	}
 	// A different spec must not hit the cache.
 	other, err := m.Submit(Spec{Users: 3, Seed: 12, Duration: Duration(10 * time.Minute), Shards: 4})

@@ -1,50 +1,73 @@
 package jobs
 
 import (
+	"sync"
+
 	"repro/internal/fleet"
 	"repro/internal/report"
 )
 
 // CellResult is one finished grid cell: its axis labels, its fleet
-// summary, and its rendered JSON. Cell renderings are produced exactly
-// once — the cell cache shares them across overlapping grids — and a
-// cell's JSON is byte-identical to the flat JSON of the equivalent
-// single-axis job, because both are report.JSON(SummaryStatsOf) over the
-// same deterministic summary. Callers must treat the fields as immutable.
+// summary, and its rendered forms. Renderings are produced lazily, at most
+// once per cell (the accessors memoize under sync.Once) — the cell cache
+// shares the CellResult across overlapping grids, so whoever renders
+// first renders for everyone, and a cell's JSON is byte-identical to the
+// flat JSON of the equivalent single-axis job, because both are
+// report.JSON(SummaryStatsOf) over the same deterministic summary.
+// Laziness matters at sweep scale: a 10k-cell grid that is only ever read
+// as CSV (or never read at all) skips 10k JSON marshals entirely.
 type CellResult struct {
 	// Scheme, Profile, Cohort are the cell's axis labels.
 	Scheme, Profile, Cohort string
 	// Summary is the cell's fleet aggregate.
 	Summary *fleet.Summary
-	// Stats is the serializable view of Summary.
-	Stats report.SummaryStats
-	// JSON is the indented JSON rendering of Stats.
-	JSON []byte
+
+	renderOnce sync.Once
+	stats      report.SummaryStats
+	json       []byte
+	renderErr  error
+
 	// shards/jobs are the cell's progress contribution, replayed when the
 	// cell is served from the cell cache.
 	shards, jobs int
 }
 
-// renderCell renders one cell's summary.
-func renderCell(cell gridCell, sum *fleet.Summary) (*CellResult, error) {
-	stats := report.SummaryStatsOf(sum)
-	js, err := report.JSON(stats)
-	if err != nil {
-		return nil, err
-	}
+// newCellResult wraps one cell's summary; rendering is deferred to the
+// accessors.
+func newCellResult(cell gridCell, sum *fleet.Summary) *CellResult {
 	return &CellResult{
 		Scheme: cell.Scheme, Profile: cell.Profile, Cohort: cell.Cohort,
-		Summary: sum, Stats: stats, JSON: js,
-		shards: cell.Shards, jobs: cell.NumJobs,
-	}, nil
+		Summary: sum,
+		shards:  cell.Shards, jobs: cell.NumJobs,
+	}
 }
 
-// Result is a finished job's output, rendered exactly once. Cache hits
-// share these byte slices verbatim, which is what makes a warm response
-// byte-identical to the cold run that produced it. Callers must treat the
-// slices as immutable. All stats shapes live in internal/report so the
-// HTTP service and the CLIs render fleet summaries through one
-// implementation.
+func (c *CellResult) render() {
+	c.renderOnce.Do(func() {
+		c.stats = report.SummaryStatsOf(c.Summary)
+		c.json, c.renderErr = report.JSON(c.stats)
+	})
+}
+
+// Stats returns the serializable view of Summary.
+func (c *CellResult) Stats() report.SummaryStats {
+	c.render()
+	return c.stats
+}
+
+// JSON returns the indented JSON rendering of Stats. The returned bytes
+// are memoized and shared; callers must treat them as immutable.
+func (c *CellResult) JSON() ([]byte, error) {
+	c.render()
+	return c.json, c.renderErr
+}
+
+// Result is a finished job's output. Rendered forms (JSON, CSV, text) are
+// produced lazily, at most once each — cache hits share the *Result, so a
+// warm response serves the same memoized bytes the cold run's first reader
+// produced, byte for byte. Callers must treat returned slices as
+// immutable. All stats shapes live in internal/report so the HTTP service
+// and the CLIs render fleet summaries through one implementation.
 //
 // Single-axis jobs (one profile, one cohort — every pre-grid job) keep
 // the legacy flat rendering: one summary merged across the scheme sweep,
@@ -53,71 +76,108 @@ func renderCell(cell gridCell, sum *fleet.Summary) (*CellResult, error) {
 // profile/cohort cells and a flat merge would conflate them.
 type Result struct {
 	// Summary is the merged fleet aggregate (single-axis jobs only; nil
-	// for wider grids).
+	// for wider grids — the axis shape selects every rendering below).
 	Summary *fleet.Summary
-	// Stats is the serializable view of Summary (single-axis jobs only).
-	Stats report.SummaryStats
-	// Grid is the serializable per-cell view (wider grids only).
-	Grid *report.GridStats
 	// Cells lists every cell's result in execution order (cohort-major,
 	// then profile, then scheme).
 	Cells []*CellResult
-	// JSON is the indented JSON rendering: flat SummaryStats for
-	// single-axis jobs, GridStats for wider grids.
-	JSON []byte
-	// CSV is the tabular rendering (per-scheme rows, or per-cell rows with
-	// axis columns for grids).
-	CSV []byte
-	// Text is the human-readable summary.
-	Text string
 	// Progress is the terminal progress count, replayed to late watchers.
 	Progress Progress
+
+	statsOnce sync.Once
+	stats     report.SummaryStats
+	gridOnce  sync.Once
+	grid      *report.GridStats
+	jsonOnce  sync.Once
+	json      []byte
+	jsonErr   error
+	csvOnce   sync.Once
+	csv       []byte
+	csvErr    error
+	textOnce  sync.Once
+	text      string
 }
 
-// renderResult renders every output format of a finished job. combined is
-// the label-keyed merge of every cell summary and is only meaningful (and
-// only non-nil) for single-axis jobs.
-func renderResult(cells []*CellResult, combined *fleet.Summary) (*Result, error) {
-	res := &Result{Cells: cells}
-	if combined != nil {
-		stats := report.SummaryStatsOf(combined)
-		js, err := report.JSON(stats)
-		if err != nil {
-			return nil, err
-		}
-		csv, err := report.SummaryTable(combined).CSVBytes()
-		if err != nil {
-			return nil, err
-		}
-		res.Summary = combined
-		res.Stats = stats
-		res.JSON = js
-		res.CSV = csv
-		res.Text = combined.String()
-		return res, nil
+// newResult wraps a finished job's cells (plus, for single-axis jobs, the
+// label-keyed merge of every cell summary); rendering is deferred to the
+// accessors.
+func newResult(cells []*CellResult, combined *fleet.Summary) *Result {
+	return &Result{Summary: combined, Cells: cells}
+}
+
+// Stats returns the flat serializable view (single-axis jobs only; the
+// zero value for wider grids, which render through Grid).
+func (r *Result) Stats() report.SummaryStats {
+	if r.Summary == nil {
+		return report.SummaryStats{}
 	}
-	grid := report.GridStats{Cells: make([]report.GridCellStats, 0, len(cells))}
-	gcells := make([]report.GridCell, 0, len(cells))
-	for _, c := range cells {
-		grid.Cells = append(grid.Cells, report.GridCellStats{
-			Scheme: c.Scheme, Profile: c.Profile, Cohort: c.Cohort, Summary: c.Stats,
-		})
+	r.statsOnce.Do(func() { r.stats = report.SummaryStatsOf(r.Summary) })
+	return r.stats
+}
+
+// Grid returns the per-cell serializable view (nil for single-axis jobs,
+// which render flat).
+func (r *Result) Grid() *report.GridStats {
+	if r.Summary != nil {
+		return nil
+	}
+	r.gridOnce.Do(func() {
+		grid := &report.GridStats{Cells: make([]report.GridCellStats, 0, len(r.Cells))}
+		for _, c := range r.Cells {
+			grid.Cells = append(grid.Cells, report.GridCellStats{
+				Scheme: c.Scheme, Profile: c.Profile, Cohort: c.Cohort, Summary: c.Stats(),
+			})
+		}
+		r.grid = grid
+	})
+	return r.grid
+}
+
+// gridCells adapts the cells for the table renderer.
+func (r *Result) gridCells() []report.GridCell {
+	gcells := make([]report.GridCell, 0, len(r.Cells))
+	for _, c := range r.Cells {
 		gcells = append(gcells, report.GridCell{
 			Scheme: c.Scheme, Profile: c.Profile, Cohort: c.Cohort, Summary: c.Summary,
 		})
 	}
-	js, err := report.JSON(grid)
-	if err != nil {
-		return nil, err
-	}
-	table := report.GridTable(gcells)
-	csv, err := table.CSVBytes()
-	if err != nil {
-		return nil, err
-	}
-	res.Grid = &grid
-	res.JSON = js
-	res.CSV = csv
-	res.Text = table.String()
-	return res, nil
+	return gcells
+}
+
+// JSON returns the indented JSON rendering: flat SummaryStats for
+// single-axis jobs, GridStats for wider grids. Memoized and shared.
+func (r *Result) JSON() ([]byte, error) {
+	r.jsonOnce.Do(func() {
+		if r.Summary != nil {
+			r.json, r.jsonErr = report.JSON(r.Stats())
+			return
+		}
+		r.json, r.jsonErr = report.JSON(r.Grid())
+	})
+	return r.json, r.jsonErr
+}
+
+// CSV returns the tabular rendering (per-scheme rows, or per-cell rows
+// with axis columns for grids). Memoized and shared.
+func (r *Result) CSV() ([]byte, error) {
+	r.csvOnce.Do(func() {
+		if r.Summary != nil {
+			r.csv, r.csvErr = report.SummaryTable(r.Summary).CSVBytes()
+			return
+		}
+		r.csv, r.csvErr = report.GridTable(r.gridCells()).CSVBytes()
+	})
+	return r.csv, r.csvErr
+}
+
+// Text returns the human-readable summary. Memoized and shared.
+func (r *Result) Text() string {
+	r.textOnce.Do(func() {
+		if r.Summary != nil {
+			r.text = r.Summary.String()
+			return
+		}
+		r.text = report.GridTable(r.gridCells()).String()
+	})
+	return r.text
 }

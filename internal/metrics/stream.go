@@ -110,13 +110,29 @@ type Histogram struct {
 // NewHistogram builds a histogram of n bins over [lo, hi). n < 1 is clamped
 // to 1; hi <= lo is widened to lo+1 so the layout is always valid.
 func NewHistogram(lo, hi float64, n int) *Histogram {
+	h := new(Histogram)
+	h.Init(lo, hi, n)
+	return h
+}
+
+// Init (re)initializes h in place with n bins over [lo, hi), applying the
+// same clamping as NewHistogram. It lets aggregates embed histograms by
+// value instead of holding three separately allocated ones.
+func (h *Histogram) Init(lo, hi float64, n int) {
 	if n < 1 {
 		n = 1
 	}
+	h.InitCounts(lo, hi, make([]int64, n))
+}
+
+// InitCounts is Init with caller-provided bin storage: counts (non-empty,
+// all zero; its length is the bin count) becomes the histogram's Counts,
+// so aggregates holding several histograms can carve them from one slab.
+func (h *Histogram) InitCounts(lo, hi float64, counts []int64) {
 	if hi <= lo {
 		hi = lo + 1
 	}
-	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, n)}
+	*h = Histogram{Lo: lo, Hi: hi, Counts: counts}
 }
 
 // bin returns the bin index for a sample, clamped to the edge bins.

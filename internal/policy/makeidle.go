@@ -3,7 +3,6 @@ package policy
 import (
 	"time"
 
-	"repro/internal/dist"
 	"repro/internal/energy"
 	"repro/internal/power"
 )
@@ -28,15 +27,47 @@ import (
 // are a grid over [0, t_threshold] (§4.2 notes waits beyond t_threshold
 // leave no room for savings); if even the best wait shows no expected gain,
 // MakeIdle leaves the timers in charge for this packet.
+//
+// Every energy term above is a pure function of the profile and either a
+// windowed gap or a fixed grid wait, so the implementation precomputes
+// them — per gap at Observe time, per candidate wait at construction —
+// and Decide reduces to compare-and-add over the window. The summation
+// order (window order, oldest gap first) and every individual term are
+// unchanged, so the chosen waits are bit-identical to evaluating the
+// energy functions inline.
 type MakeIdle struct {
 	profile   power.Profile
 	threshold time.Duration
-	window    *dist.Window
 	grid      []time.Duration
 	minSample int
 	paperExp  bool
 
+	// ring is the sliding window of recent inter-arrivals with their
+	// energy terms memoized: ring[i].tailJ = TailJ(gap) (the arrival
+	// branch of E[E_wait_switch]) and ring[i].gapJ = E(gap) (the
+	// status-quo cost). head is the slot the next Observe writes; count
+	// the number of valid samples.
+	ring  []gapSample
+	head  int
+	count int
+
+	// gridCost[i] = TailJ(grid[i]) + Eswitch: the no-arrival branch of
+	// E[E_wait_switch(grid[i])], and (addition being commutative) also the
+	// paper's literal Eswitch + E(t_wait) used under WithPaperExpectation.
+	gridCost []float64
+	// satGapJ = TailJ(tail) + Eswitch: E(g) for gaps past the timer tail,
+	// where the status-quo cost saturates.
+	satGapJ float64
+	tail    time.Duration
+
 	lastWait time.Duration
+}
+
+// gapSample is one windowed inter-arrival with its memoized energy terms.
+type gapSample struct {
+	gap   time.Duration
+	tailJ float64
+	gapJ  float64
 }
 
 // MakeIdleOption customizes construction.
@@ -98,15 +129,21 @@ func NewMakeIdle(p power.Profile, opts ...MakeIdleOption) (*MakeIdle, error) {
 		cfg.minSample = 1
 	}
 	th := energy.Threshold(&p)
+	eswitch := p.SwitchJ()
 	grid := make([]time.Duration, cfg.gridSteps)
+	gridCost := make([]float64, cfg.gridSteps)
 	for i := range grid {
 		grid[i] = th * time.Duration(i) / time.Duration(cfg.gridSteps-1)
+		gridCost[i] = energy.TailJ(&p, grid[i]) + eswitch
 	}
 	return &MakeIdle{
 		profile:   p,
 		threshold: th,
-		window:    dist.NewWindow(cfg.windowSize),
 		grid:      grid,
+		gridCost:  gridCost,
+		satGapJ:   energy.TailJ(&p, p.Tail()) + eswitch,
+		tail:      p.Tail(),
+		ring:      make([]gapSample, cfg.windowSize),
 		minSample: cfg.minSample,
 		paperExp:  cfg.paperExp,
 		lastWait:  Never,
@@ -120,45 +157,82 @@ func (m *MakeIdle) Name() string { return "MakeIdle" }
 func (m *MakeIdle) Threshold() time.Duration { return m.threshold }
 
 // WindowLen reports how many gaps the distribution currently holds.
-func (m *MakeIdle) WindowLen() int { return m.window.Len() }
+func (m *MakeIdle) WindowLen() int { return m.count }
 
 // LastWait returns the wait chosen by the most recent Decide (Never when
 // the policy deferred to the timers). Fig. 14 plots this trajectory.
 func (m *MakeIdle) LastWait() time.Duration { return m.lastWait }
 
-// Observe implements DemotePolicy: slide the window forward.
-func (m *MakeIdle) Observe(gap time.Duration) { m.window.Add(gap) }
+// Observe implements DemotePolicy: slide the window forward, memoizing the
+// gap's two energy terms so Decide never re-evaluates them.
+func (m *MakeIdle) Observe(gap time.Duration) {
+	tj := energy.TailJ(&m.profile, gap)
+	gj := tj
+	if gap > m.tail {
+		gj = m.satGapJ
+	}
+	m.ring[m.head] = gapSample{gap: gap, tailJ: tj, gapJ: gj}
+	m.head = (m.head + 1) % len(m.ring)
+	if m.count < len(m.ring) {
+		m.count++
+	}
+}
+
+// window returns the ring's live samples as (up to) two contiguous spans,
+// oldest gap first — the same iteration order dist.Window.Each used, which
+// fixes the float summation order in Decide.
+func (m *MakeIdle) window() (a, b []gapSample) {
+	start := m.head - m.count
+	if start < 0 {
+		start += len(m.ring)
+	}
+	if start+m.count <= len(m.ring) {
+		return m.ring[start : start+m.count], nil
+	}
+	return m.ring[start:], m.ring[:start+m.count-len(m.ring)]
+}
 
 // Decide implements DemotePolicy.
 func (m *MakeIdle) Decide(time.Duration) time.Duration {
-	if m.window.Len() < m.minSample {
+	if m.count < m.minSample {
 		m.lastWait = Never
 		return Never
 	}
+	wa, wb := m.window()
 	// Expected status-quo energy for a gap drawn from the window.
-	n := float64(m.window.Len())
+	n := float64(m.count)
 	var eNoSwitch float64
-	m.window.Each(func(g time.Duration) {
-		eNoSwitch += energy.GapJ(&m.profile, g)
-	})
+	for i := range wa {
+		eNoSwitch += wa[i].gapJ
+	}
+	for i := range wb {
+		eNoSwitch += wb[i].gapJ
+	}
 	eNoSwitch /= n
 
-	eswitch := m.profile.SwitchJ()
 	bestWait := Never
 	bestGain := 0.0 // only accept strictly positive expected gain
-	for _, w := range m.grid {
+	for i, w := range m.grid {
 		var eWait float64
 		if m.paperExp {
 			// Paper's literal eq.: Eswitch + E(t_wait), unconditionally.
-			eWait = eswitch + energy.TailJ(&m.profile, w)
+			eWait = m.gridCost[i]
 		} else {
-			m.window.Each(func(g time.Duration) {
-				if g <= w {
-					eWait += energy.TailJ(&m.profile, g)
+			wcost := m.gridCost[i]
+			for k := range wa {
+				if wa[k].gap <= w {
+					eWait += wa[k].tailJ
 				} else {
-					eWait += energy.TailJ(&m.profile, w) + eswitch
+					eWait += wcost
 				}
-			})
+			}
+			for k := range wb {
+				if wb[k].gap <= w {
+					eWait += wb[k].tailJ
+				} else {
+					eWait += wcost
+				}
+			}
 			eWait /= n
 		}
 		if gain := eNoSwitch - eWait; gain > bestGain {
@@ -172,6 +246,6 @@ func (m *MakeIdle) Decide(time.Duration) time.Duration {
 
 // Reset implements DemotePolicy.
 func (m *MakeIdle) Reset() {
-	m.window.Reset()
+	m.head, m.count = 0, 0
 	m.lastWait = Never
 }

@@ -167,6 +167,31 @@ func (r *Registry) Label(role Role, sp Spec) (string, error) {
 	return r.reg(role).Label(sp)
 }
 
+// Resolution is one resolution pass over a policy spec: the policy schema
+// (builders, capabilities), the resolved parameters, and both registry
+// encodings — byte-identical to Canonical and Label. Admission paths that
+// need the builder and the encodings resolve once instead of per product.
+type Resolution struct {
+	Schema    *Schema
+	Params    Params
+	Canonical string
+	Label     string
+}
+
+// Resolution resolves a spec once and returns the full bundle.
+func (r *Registry) Resolution(role Role, sp Spec) (Resolution, error) {
+	res, err := r.reg(role).Resolution(sp)
+	if err != nil {
+		return Resolution{}, err
+	}
+	return Resolution{
+		Schema:    res.Schema.Meta.(*Schema),
+		Params:    res.Params,
+		Canonical: res.Canonical,
+		Label:     res.Label,
+	}, nil
+}
+
 // BuildDemote resolves and constructs a demote policy. tr may be nil
 // unless the resolved schema is TraceFitted.
 func (r *Registry) BuildDemote(spec Spec, tr trace.Trace, prof power.Profile) (DemotePolicy, error) {
@@ -258,7 +283,12 @@ func buildDefaultRegistry() *Registry {
 			Help: "dormancy timer applied after each packet",
 		}},
 		NewDemote: func(p Params, _ trace.Trace, _ power.Profile) (DemotePolicy, error) {
-			return &FixedTail{Wait: p.Duration("wait")}, nil
+			f := &FixedTail{Wait: p.Duration("wait")}
+			// The simulator stamps Name() on every result; freeze the
+			// derived "FixedTail(wait)" form here so replays don't
+			// rebuild the string once per run.
+			f.Label = f.Name()
+			return f, nil
 		},
 	})
 	mustRegister(&Schema{

@@ -56,3 +56,31 @@ func (ps ProfileSpec) Profile(r *Registry) (Profile, error) {
 	}
 	return r.NamedProfile(ps.Spec(), label)
 }
+
+// ResolvedProfile is one resolution pass over a profile axis value: the
+// runnable Profile (named by the axis label), the label itself, and the
+// axis canonical encoding ("label|canonicalProfile") — each byte-identical
+// to Profile, ResolvedLabel and Canonical.
+type ResolvedProfile struct {
+	Profile   Profile
+	Label     string
+	Canonical string
+}
+
+// Resolution resolves the axis value once and returns the full bundle.
+func (ps ProfileSpec) Resolution(r *Registry) (ResolvedProfile, error) {
+	res, err := r.Resolution(ps.Spec())
+	if err != nil {
+		return ResolvedProfile{}, err
+	}
+	label := res.Label
+	if ps.Label != "" {
+		label = ps.Label
+		res.Profile.Name = label
+	}
+	return ResolvedProfile{
+		Profile:   res.Profile,
+		Label:     label,
+		Canonical: label + "|" + res.Canonical,
+	}, nil
+}

@@ -93,6 +93,11 @@ func (r *Registry) NamedProfile(s spec.Spec, name string) (Profile, error) {
 	if err != nil {
 		return Profile{}, err
 	}
+	return buildProfile(schema, params, name)
+}
+
+// buildProfile assembles and validates a Profile from a resolved schema.
+func buildProfile(schema *spec.Schema, params spec.Params, name string) (Profile, error) {
 	meta := schema.Meta.(profileMeta)
 	p := Profile{
 		Name:             name,
@@ -116,6 +121,28 @@ func (r *Registry) NamedProfile(s spec.Spec, name string) (Profile, error) {
 		return Profile{}, fmt.Errorf("profile %q: %w", schema.Name, err)
 	}
 	return p, nil
+}
+
+// ProfileResolution is one resolution pass over a profile spec: the
+// validated Profile (named by the registry label) plus both registry
+// encodings, byte-identical to Canonical and Label.
+type ProfileResolution struct {
+	Profile   Profile
+	Canonical string
+	Label     string
+}
+
+// Resolution resolves a profile spec once and returns the full bundle.
+func (r *Registry) Resolution(s spec.Spec) (ProfileResolution, error) {
+	res, err := r.reg.Resolution(s)
+	if err != nil {
+		return ProfileResolution{}, err
+	}
+	p, err := buildProfile(res.Schema, res.Params, res.Label)
+	if err != nil {
+		return ProfileResolution{}, err
+	}
+	return ProfileResolution{Profile: p, Canonical: res.Canonical, Label: res.Label}, nil
 }
 
 // Register adds a carrier base schema derived from a measured Profile:

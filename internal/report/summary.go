@@ -70,9 +70,9 @@ func SummaryStatsOf(s *fleet.Summary) SummaryStats {
 			BurstDelayS: StreamStatsOf(a.BurstDelay),
 			DelayP50S:   a.DelayHist.Quantile(0.5),
 			DelayP95S:   a.DelayHist.Quantile(0.95),
-			EnergyHist:  HistogramStatsOf(a.EnergyHist),
-			DelayHist:   HistogramStatsOf(a.DelayHist),
-			SignalHist:  HistogramStatsOf(a.SignalHist),
+			EnergyHist:  HistogramStatsOf(&a.EnergyHist),
+			DelayHist:   HistogramStatsOf(&a.DelayHist),
+			SignalHist:  HistogramStatsOf(&a.SignalHist),
 		}
 	}
 	return out

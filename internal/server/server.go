@@ -246,20 +246,35 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("bad cell %q (job has cells 0..%d)", cellParam, len(res.Cells)-1))
 			return
 		}
+		body, err := res.Cells[idx].JSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("rendering cell: %w", err))
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(res.Cells[idx].JSON)
+		w.Write(body)
 		return
 	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
+		body, err := res.JSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("rendering result: %w", err))
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(res.JSON)
+		w.Write(body)
 	case "csv":
+		body, err := res.CSV()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("rendering result: %w", err))
+			return
+		}
 		w.Header().Set("Content-Type", "text/csv")
-		w.Write(res.CSV)
+		w.Write(body)
 	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, res.Text)
+		fmt.Fprint(w, res.Text())
 	default:
 		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json, csv, text)", format))
 	}

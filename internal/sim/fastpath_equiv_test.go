@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// These tests pin the devirtualization refactor's core promise: the
+// constant-wait fast path (one type switch per run instead of a Decide/
+// Observe interface call pair per packet) is an optimization, never a
+// behaviour change. forceGeneric is the test seam that disables the type
+// switch, so both paths replay the same policies over the same packets.
+
+// TestFastPathMatchesGenericAllSchemes replays every registered demote
+// scheme — at default parameters — through a fast-path engine and a
+// forced-generic engine, and requires bit-identical Results including the
+// recorded decision logs. Iterating the registry (not a hand-kept list)
+// means a newly registered scheme is covered the day it lands: if its
+// policy type is ever added to the fast-path switch incorrectly, this test
+// is the tripwire.
+func TestFastPathMatchesGenericAllSchemes(t *testing.T) {
+	reg := policy.Default()
+	opts := &Options{RecordDecisions: true, RecordEpisodes: true}
+	for _, prof := range []power.Profile{power.Verizon3G, power.VerizonLTE} {
+		for _, schema := range reg.Schemas(policy.RoleDemote) {
+			u := workload.Verizon3GUsers()[1]
+			tr := u.Generate(33, time.Hour)
+			mk := func() policy.DemotePolicy {
+				d, err := reg.BuildDemote(policy.Spec{Name: schema.Name}, tr, prof)
+				if err != nil {
+					t.Fatalf("%s/%s: build: %v", prof.Name, schema.Name, err)
+				}
+				return d
+			}
+			fast := NewEngine()
+			fastRes, err := fast.Run(tr, prof, mk(), nil, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: fast path: %v", prof.Name, schema.Name, err)
+			}
+			gen := NewEngine()
+			gen.forceGeneric = true
+			genRes, err := gen.Run(tr, prof, mk(), nil, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: generic path: %v", prof.Name, schema.Name, err)
+			}
+			assertSameResult(t, prof.Name+"/"+schema.Name, genRes, fastRes)
+		}
+	}
+}
+
+// TestEngineReuseAfterError runs a valid replay, then a replay that fails
+// mid-stream (unsorted timestamps discovered at the offending packet), then
+// the valid replay again on the same engine. The post-error run must be
+// byte-identical to a fresh engine's: an aborted replay may leave no state
+// behind.
+func TestEngineReuseAfterError(t *testing.T) {
+	prof := power.Verizon3G
+	tr := workload.Verizon3GUsers()[0].Generate(5, 30*time.Minute)
+	opts := &Options{RecordDecisions: true}
+	mkIdle := func() policy.DemotePolicy {
+		mi, err := policy.NewMakeIdle(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mi
+	}
+	bad := trace.Trace{
+		{T: time.Second, Dir: trace.In, Size: 1},
+		{T: 0, Dir: trace.In, Size: 1},
+	}
+
+	e := NewEngine()
+	if _, err := e.Run(tr, prof, mkIdle(), policy.NewLearnedDelay(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunSource(bad.Source(), prof, policy.StatusQuo{}, nil, nil); err == nil {
+		t.Fatal("unsorted source accepted")
+	}
+	got, err := e.Run(tr, prof, mkIdle(), policy.NewLearnedDelay(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(tr, prof, mkIdle(), policy.NewLearnedDelay(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "post-error reuse", want, got)
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// mergeInput lays out n time-sorted runs consecutively in one trace, with
+// deliberately colliding timestamps across runs so stability is observable:
+// packets carry their append position in Size, and equal-timestamp packets
+// must come out in append order.
+func mergeInput(r *rand.Rand, n int) (trace.Trace, []int) {
+	var buf trace.Trace
+	var runs []int
+	for i := 0; i < n; i++ {
+		runs = append(runs, len(buf))
+		t := time.Duration(r.Intn(5)) * time.Millisecond
+		for j, m := 0, r.Intn(6); j < m; j++ {
+			buf = append(buf, trace.Packet{T: t, Dir: trace.In, Size: len(buf)})
+			t += time.Duration(r.Intn(3)) * time.Millisecond
+		}
+	}
+	return buf, runs
+}
+
+// TestMergeRunsMatchesStableSort checks the bottom-up pairwise merge against
+// the sort.SliceStable ordering it replaced — by (timestamp, append
+// position) — across run counts 1..8, including empty runs and heavy
+// timestamp collisions.
+func TestMergeRunsMatchesStableSort(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	e := NewEngine()
+	for n := 1; n <= 8; n++ {
+		for rep := 0; rep < 50; rep++ {
+			base, offsets := mergeInput(r, n)
+			want := append(trace.Trace(nil), base...)
+			sort.SliceStable(want, func(i, j int) bool { return want[i].T < want[j].T })
+
+			buf := append(e.merged[:0], base...)
+			runs := append(e.runs[:0], offsets...)
+			got := e.mergeRuns(buf, runs)
+			e.merged = got
+			if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(want, got)) {
+				t.Fatalf("n=%d rep=%d: merge diverged from stable sort\n got %v\nwant %v", n, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeRunsSteadyStateAllocs pins the point of the in-place merge: after
+// the ping-pong scratch buffers have grown to the episode's size, merging
+// allocates nothing. This is the regression guard for reintroducing the
+// per-episode sort.SliceStable closure (or any other hidden allocation) in
+// the batching hot path.
+func TestMergeRunsSteadyStateAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	base, offsets := mergeInput(r, 5)
+	e := NewEngine()
+	step := func() {
+		buf := append(e.merged[:0], base...)
+		runs := append(e.runs[:0], offsets...)
+		e.merged = e.mergeRuns(buf, runs)
+	}
+	// Two warm-up merges grow both sides of the ping-pong pair.
+	step()
+	step()
+	if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+		t.Fatalf("steady-state merge allocates: %.1f allocs/episode, want 0", allocs)
+	}
+}

@@ -40,7 +40,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"math"
 	"sync"
 	"time"
 
@@ -164,13 +164,37 @@ func RunSource(src trace.Source, prof power.Profile, demote policy.DemotePolicy,
 // caller-visible slices are fresh per run). An Engine is not safe for
 // concurrent use; use one per goroutine.
 type Engine struct {
-	prof      *power.Profile
+	// prof is stored by value: taking the address of the parameter would
+	// force a heap copy of the profile on every run.
+	prof      power.Profile
 	demote    policy.DemotePolicy
 	active    policy.ActivePolicy
 	lookahead policy.GapLookahead
 	opts      *Options
 	res       *Result
 	tail      time.Duration
+
+	// Per-run accounting coefficients, precomputed once in RunSource so the
+	// per-gap hot path does no profile-method calls. The tail-stage values
+	// keep the exact operand order of energy.TailBreakdown (only the
+	// Duration->seconds conversions are hoisted, which is the same float),
+	// so the fast accounting is bit-identical to the generic helpers.
+	t1s, t2s   float64 // T1/T2 timer lengths in seconds
+	t1MW, t2MW float64 // tail-stage powers
+	dormJ      float64 // fast-dormancy demotion energy
+	promJ      float64 // promotion energy
+	promDelay  time.Duration
+	recDec     bool // opts.recordDecisions(), hoisted out of the gap loop
+
+	// Devirtualized decision fast path: the built-in constant-wait demote
+	// policies (StatusQuo, FixedTail, PercentileIAT) are recognized by a
+	// single type switch per run; every per-packet Decide/Observe interface
+	// call is then skipped, with pending pinned to constVal. forceGeneric
+	// (a test knob) disables this and the direct no-batching loop so
+	// equivalence tests can drive the generic interface path on demand.
+	constWait    bool
+	constVal     time.Duration
+	forceGeneric bool
 
 	started bool
 	lastT   time.Duration // time of the last processed packet
@@ -182,6 +206,9 @@ type Engine struct {
 	// Scratch buffers reused across runs (never escape to the Result).
 	group    []trace.Burst
 	merged   trace.Trace
+	mergeTmp trace.Trace
+	runs     []int
+	runsTmp  []int
 	arrivals []time.Duration
 	window   burstWindow
 	slice    trace.SliceSource
@@ -207,7 +234,9 @@ func (e *Engine) Reset() {
 	// engine after wiring it up, so zeroing it here would drop the very
 	// trace Run is about to replay. Run clears it once the replay ends.
 	slice := e.slice
-	*e = Engine{group: group, merged: merged, arrivals: arrivals, window: window, slice: slice}
+	*e = Engine{group: group, merged: merged, arrivals: arrivals, window: window, slice: slice,
+		mergeTmp: e.mergeTmp[:0], runs: e.runs[:0], runsTmp: e.runsTmp[:0],
+		forceGeneric: e.forceGeneric}
 }
 
 // Run replays one materialized trace on this engine. Semantics are
@@ -247,13 +276,37 @@ func (e *Engine) RunSource(src trace.Source, prof power.Profile, demote policy.D
 	}
 
 	e.Reset()
-	e.prof = &prof
+	e.prof = prof
 	e.demote = demote
 	e.active = active
 	e.opts = opts
 	e.res = res
 	e.tail = prof.Tail()
 	e.lookahead, _ = demote.(policy.GapLookahead)
+	e.t1s, e.t2s = prof.T1.Seconds(), prof.T2.Seconds()
+	e.t1MW, e.t2MW = prof.T1MW, prof.T2MW
+	e.dormJ, e.promJ = prof.DormancyJ(), prof.PromotionJ()
+	e.promDelay = prof.PromotionDelay
+	e.recDec = opts.recordDecisions()
+	// Devirtualize constant-wait built-ins: one type switch here replaces
+	// an interface Decide/Observe pair per packet. The recognized policies
+	// are stateless (Observe is a no-op, Decide a constant), so skipping
+	// their calls is behaviour-preserving; the clamp matches
+	// ensureDecision's. Clairvoyant policies keep the generic path — they
+	// need the per-gap lookahead feed.
+	if !e.forceGeneric && e.lookahead == nil {
+		switch d := demote.(type) {
+		case policy.StatusQuo:
+			e.constWait, e.constVal = true, policy.Never
+		case *policy.FixedTail:
+			e.constWait, e.constVal = true, d.Wait
+		case *policy.PercentileIAT:
+			e.constWait, e.constVal = true, d.Wait()
+		}
+		if e.constWait && e.constVal < 0 {
+			e.constVal = 0
+		}
+	}
 	e.window.reset(src, opts.burstGap())
 	if err := e.run(); err != nil {
 		e.Reset()
@@ -272,6 +325,11 @@ func (e *Engine) RunSource(src trace.Source, prof power.Profile, demote policy.D
 // policies receive it as the upcoming gap.
 func (e *Engine) ensureDecision(nextAt time.Duration) {
 	if e.decided || !e.started {
+		return
+	}
+	if e.constWait {
+		e.pending = e.constVal
+		e.decided = true
 		return
 	}
 	if e.lookahead != nil {
@@ -313,8 +371,14 @@ func (e *Engine) horizon(chosen time.Duration) time.Duration {
 
 // run drives the replay loop off the burst window: one burst at a time,
 // opening a batching episode whenever the active policy finds the radio
-// idle at a burst arrival.
+// idle at a burst arrival. Without an active policy the burst structure is
+// irrelevant — packets are processed strictly in arrival order either way —
+// so the replay streams packets straight off the source instead of paying
+// burst assembly and window bookkeeping per packet.
 func (e *Engine) run() error {
+	if e.active == nil && !e.forceGeneric {
+		return e.runDirect()
+	}
 	for {
 		b, ok, err := e.window.burst(0)
 		if err != nil {
@@ -338,6 +402,27 @@ func (e *Engine) run() error {
 
 		e.processPackets(b.Packets)
 		e.window.drop(1)
+	}
+	e.finish()
+	return nil
+}
+
+// runDirect is the no-batching replay loop: packets are pulled one at a
+// time through the window's validator (so invalid input fails with exactly
+// the errors the burst path reports, at the same packet) and stepped
+// directly. No burst is ever assembled and nothing is buffered. Validated
+// packets are monotone in time and never shifted, so the clamp in
+// processPackets cannot fire and is skipped.
+func (e *Engine) runDirect() error {
+	for {
+		p, ok, err := e.window.pull()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		e.step(p.T, p)
 	}
 	e.finish()
 	return nil
@@ -382,17 +467,23 @@ func (e *Engine) batch(b trace.Burst) error {
 	e.arrivals = arrivals
 	e.active.ObserveEpisode(d, arrivals)
 
-	// Shift each grouped burst to the release point and merge.
+	// Shift each grouped burst to the release point and merge. Each burst's
+	// packets are already time-sorted, so the concatenation is a sequence of
+	// sorted runs; a stable in-place merge of those runs produces exactly
+	// the order sort.SliceStable computed here before — by (timestamp,
+	// append position) — without the per-episode closure allocation.
 	merged := e.merged[:0]
+	runs := e.runs[:0]
 	for _, g := range group {
 		delta := release - g.Start
 		e.res.BurstDelays = append(e.res.BurstDelays, delta)
+		runs = append(runs, len(merged))
 		for _, p := range g.Packets {
 			p.T += delta
 			merged = append(merged, p)
 		}
 	}
-	sort.SliceStable(merged, func(a, b int) bool { return merged[a].T < merged[b].T })
+	merged = e.mergeRuns(merged, runs)
 	e.res.Episodes++
 	if e.opts.recordEpisodes() {
 		e.res.EpisodeLog = append(e.res.EpisodeLog, Episode{At: b.Start, Delay: d, Buffered: len(group)})
@@ -401,6 +492,52 @@ func (e *Engine) batch(b trace.Burst) error {
 	e.processPackets(merged)
 	e.window.drop(len(group))
 	return nil
+}
+
+// mergeRuns stable-merges the time-sorted runs laid out consecutively in
+// buf (runs holds each run's start offset) and returns the sorted slice.
+// Adjacent runs merge pairwise, bottom-up, ties taking the earlier run's
+// packet first — precisely the (timestamp, original position) order a
+// stable sort of the concatenation yields, so the episode's packet order
+// is bit-identical to the sort.SliceStable this replaces. The ping-pong
+// scratch buffers are the engine's, swapped in tandem with the caller's,
+// so steady state allocates nothing (the closure-per-episode the stable
+// sort cost is gone entirely).
+func (e *Engine) mergeRuns(buf trace.Trace, runs []int) trace.Trace {
+	alt, altRuns := e.mergeTmp, e.runsTmp
+	for len(runs) > 1 {
+		out := alt[:0]
+		next := altRuns[:0]
+		for i := 0; i < len(runs); i += 2 {
+			lo := runs[i]
+			next = append(next, len(out))
+			if i+1 == len(runs) {
+				out = append(out, buf[lo:]...)
+				break
+			}
+			mid, hi := runs[i+1], len(buf)
+			if i+2 < len(runs) {
+				hi = runs[i+2]
+			}
+			a, b := buf[lo:mid], buf[mid:hi]
+			for len(a) > 0 && len(b) > 0 {
+				if b[0].T < a[0].T {
+					out = append(out, b[0])
+					b = b[1:]
+				} else {
+					out = append(out, a[0])
+					a = a[1:]
+				}
+			}
+			out = append(out, a...)
+			out = append(out, b...)
+		}
+		buf, alt = out, buf
+		runs, altRuns = next, runs
+	}
+	e.runs, e.runsTmp = runs[:0], altRuns[:0]
+	e.mergeTmp = alt
+	return buf
 }
 
 // processPackets feeds packets through the per-gap accounting. Packets may
@@ -427,9 +564,13 @@ func (e *Engine) step(t time.Duration, p trace.Packet) {
 		e.ensureDecision(t)
 		gap := t - e.lastT
 		e.accountGap(gap)
-		e.demote.Observe(gap)
+		if !e.constWait {
+			// The recognized constant-wait policies' Observe is a no-op;
+			// everything else gets the gap feed the interface promises.
+			e.demote.Observe(gap)
+		}
 	}
-	e.res.Breakdown.DataJ += energy.TxJ(e.prof, p.Size, p.Dir == trace.Out)
+	e.res.Breakdown.DataJ += energy.TxJ(&e.prof, p.Size, p.Dir == trace.Out)
 
 	e.lastT = t
 	e.lastTx = e.prof.TxTime(p.Size, p.Dir == trace.Out)
@@ -455,27 +596,43 @@ func (e *Engine) accountGap(gap time.Duration) {
 	if stay < 0 {
 		stay = 0
 	}
-	t1J, t2J := energy.TailBreakdown(e.prof, stay)
+	t1J, t2J := e.tailBreakdown(stay)
 	e.res.Breakdown.T1TailJ += t1J
 	e.res.Breakdown.T2TailJ += t2J
 	if demoted {
-		e.res.Breakdown.SwitchJ += e.prof.DormancyJ()
+		e.res.Breakdown.SwitchJ += e.dormJ
 		e.res.Demotions++
 		e.promote()
 	}
-	if e.opts.recordDecisions() {
+	if e.recDec {
 		e.res.Decisions = append(e.res.Decisions, GapDecision{
 			At: e.lastT, Gap: gap, Wait: e.pending, Demoted: demoted,
 		})
 	}
 }
 
+// tailBreakdown is energy.TailBreakdown against the run's precomputed
+// coefficients: the operand order matches the generic helper exactly (only
+// the Duration.Seconds conversions are hoisted), so the energies are the
+// same floats bit for bit.
+func (e *Engine) tailBreakdown(d time.Duration) (t1J, t2J float64) {
+	if d <= 0 {
+		return 0, 0
+	}
+	t := d.Seconds()
+	t1J = math.Min(t, e.t1s) * e.t1MW / 1000
+	if t > e.t1s {
+		t2J = math.Min(t-e.t1s, e.t2s) * e.t2MW / 1000
+	}
+	return t1J, t2J
+}
+
 // promote charges one Idle->Active promotion and its packet delay.
 func (e *Engine) promote() {
-	e.res.Breakdown.SwitchJ += e.prof.PromotionJ()
+	e.res.Breakdown.SwitchJ += e.promJ
 	e.res.Promotions++
 	e.res.PromotedPackets++
-	e.res.PromotionDelayTotal += e.prof.PromotionDelay
+	e.res.PromotionDelayTotal += e.promDelay
 }
 
 // finish settles the trailing tail after the last packet: the radio rides
@@ -493,9 +650,9 @@ func (e *Engine) finish() {
 	if w < 0 {
 		w = 0
 	}
-	t1J, t2J := energy.TailBreakdown(e.prof, w)
+	t1J, t2J := e.tailBreakdown(w)
 	e.res.Breakdown.T1TailJ += t1J
 	e.res.Breakdown.T2TailJ += t2J
-	e.res.Breakdown.SwitchJ += e.prof.DormancyJ()
+	e.res.Breakdown.SwitchJ += e.dormJ
 	e.res.Demotions++
 }

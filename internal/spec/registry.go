@@ -40,7 +40,7 @@ func (s *Schema) validate(noun string) error {
 		return fmt.Errorf("spec: %s schema name %q contains reserved characters", noun, s.Name)
 	}
 	seen := map[string]bool{}
-	for _, p := range s.Params {
+	for i, p := range s.Params {
 		if err := p.Validate(); err != nil {
 			return fmt.Errorf("spec: %s schema %q: %w", noun, s.Name, err)
 		}
@@ -48,6 +48,7 @@ func (s *Schema) validate(noun string) error {
 			return fmt.Errorf("spec: %s schema %q declares parameter %q twice", noun, s.Name, p.Name)
 		}
 		seen[p.Name] = true
+		s.Params[i].defstr = p.Kind.Format(p.Default)
 	}
 	return nil
 }
@@ -239,9 +240,81 @@ func (r *Registry) Label(spec Spec) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return schema.Name + EncodeParams(schema.Params, resolved, func(ps ParamSpec, v any) bool {
-		return ps.Kind.Format(v) != ps.Kind.Format(ps.Default)
-	}), nil
+	return schema.Name + labelParams(schema, resolved), nil
+}
+
+func labelParams(schema *Schema, resolved Params) string {
+	return EncodeParams(schema.Params, resolved, func(ps ParamSpec, formatted string) bool {
+		return formatted != ps.DefaultString()
+	})
+}
+
+// Resolution bundles everything one Resolve pass derives from a spec: the
+// schema, the fully resolved parameters, and both string encodings.
+// Canonical and Label are byte-identical to the same-named methods. Hot
+// admission paths that need several of these per axis value (the job
+// layer's validate/fingerprint/plan) pay one alias expansion and one
+// coercion pass instead of one per product.
+type Resolution struct {
+	Schema    *Schema
+	Params    Params
+	Canonical string
+	Label     string
+}
+
+// Resolution resolves a spec once and returns the full bundle. The two
+// encodings are built in a single pass — the label is the canonical
+// filtered to non-default parameters, so each value formats once — and
+// stay byte-identical to Canonical and Label.
+func (r *Registry) Resolution(spec Spec) (Resolution, error) {
+	schema, resolved, err := r.Resolve(spec)
+	if err != nil {
+		return Resolution{}, err
+	}
+	var canon, label strings.Builder
+	canon.Grow(64)
+	canon.WriteString(schema.Name)
+	for _, ps := range schema.Params {
+		formatted := ps.Kind.Format(resolved[ps.Name])
+		encodePart(&canon, len(schema.Name), ps.Name, formatted)
+		if formatted != ps.DefaultString() {
+			if label.Len() == 0 {
+				label.Grow(64)
+				label.WriteString(schema.Name)
+			}
+			encodePart(&label, len(schema.Name), ps.Name, formatted)
+		}
+	}
+	res := Resolution{Schema: schema, Params: resolved}
+	res.Canonical = closeParams(&canon, len(schema.Name))
+	if label.Len() == 0 {
+		res.Label = schema.Name
+	} else {
+		res.Label = closeParams(&label, len(schema.Name))
+	}
+	return res, nil
+}
+
+// encodePart appends one "name=value" element to a builder holding the
+// schema name (of length base) plus any earlier parts.
+func encodePart(sb *strings.Builder, base int, name, formatted string) {
+	if sb.Len() == base {
+		sb.WriteByte('(')
+	} else {
+		sb.WriteByte(',')
+	}
+	sb.WriteString(name)
+	sb.WriteByte('=')
+	sb.WriteString(formatted)
+}
+
+// closeParams closes the parameter list opened by encodePart, or returns
+// the bare schema name when no part was appended.
+func closeParams(sb *strings.Builder, base int) string {
+	if sb.Len() > base {
+		sb.WriteByte(')')
+	}
+	return sb.String()
 }
 
 // ParamInfo is the serializable view of a ParamSpec, values in canonical

@@ -46,6 +46,20 @@ type ParamSpec struct {
 	Min     any
 	Max     any
 	Help    string
+
+	// defstr caches Kind.Format(Default), filled at registration so the
+	// label encoding (which compares every value against its default)
+	// doesn't re-format defaults on each resolution.
+	defstr string
+}
+
+// DefaultString returns the canonical string form of Default, cached at
+// registration; unregistered ParamSpec values format on demand.
+func (p ParamSpec) DefaultString() string {
+	if p.defstr != "" {
+		return p.defstr
+	}
+	return p.Kind.Format(p.Default)
 }
 
 // Validate checks the declaration itself (not a value): known kind,
@@ -293,20 +307,30 @@ func Parse(s string) (Spec, error) {
 
 // EncodeParams renders a resolved parameter set in schema declaration
 // order (a fixed order, so the encoding is byte-stable regardless of how
-// the caller's param map was built). keep filters which params appear.
-func EncodeParams(params []ParamSpec, resolved Params, keep func(ParamSpec, any) bool) string {
-	var parts []string
+// the caller's param map was built). keep filters which params appear; it
+// receives each value pre-formatted in canonical form, so filters that
+// compare encodings (the label path) don't format twice.
+func EncodeParams(params []ParamSpec, resolved Params, keep func(ParamSpec, string) bool) string {
+	var sb strings.Builder
 	for _, ps := range params {
-		v := resolved[ps.Name]
-		if keep != nil && !keep(ps, v) {
+		formatted := ps.Kind.Format(resolved[ps.Name])
+		if keep != nil && !keep(ps, formatted) {
 			continue
 		}
-		parts = append(parts, ps.Name+"="+ps.Kind.Format(v))
+		if sb.Len() == 0 {
+			sb.WriteByte('(')
+		} else {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(ps.Name)
+		sb.WriteByte('=')
+		sb.WriteString(formatted)
 	}
-	if len(parts) == 0 {
+	if sb.Len() == 0 {
 		return ""
 	}
-	return "(" + strings.Join(parts, ",") + ")"
+	sb.WriteByte(')')
+	return sb.String()
 }
 
 // SortedNames returns map keys sorted, for deterministic error messages.

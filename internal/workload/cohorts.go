@@ -101,6 +101,11 @@ func (r *CohortRegistry) Plan(s spec.Spec) (CohortPlan, error) {
 	if err != nil {
 		return CohortPlan{}, err
 	}
+	return buildPlan(schema, params)
+}
+
+// buildPlan assembles a CohortPlan from a resolved cohort schema.
+func buildPlan(schema *spec.Schema, params spec.Params) (CohortPlan, error) {
 	mixes, err := schema.Meta.(mixBuilder)(params)
 	if err != nil {
 		return CohortPlan{}, fmt.Errorf("cohort %q: %w", schema.Name, err)
@@ -112,6 +117,28 @@ func (r *CohortRegistry) Plan(s spec.Spec) (CohortPlan, error) {
 		SeedStride: params.Int("seedstride"),
 		Mixes:      mixes,
 	}, nil
+}
+
+// CohortResolution is one resolution pass over a cohort spec: the runnable
+// plan plus both registry encodings, byte-identical to Canonical and
+// Label.
+type CohortResolution struct {
+	Plan      CohortPlan
+	Canonical string
+	Label     string
+}
+
+// Resolution resolves a cohort spec once and returns the full bundle.
+func (r *CohortRegistry) Resolution(s spec.Spec) (CohortResolution, error) {
+	res, err := r.reg.Resolution(s)
+	if err != nil {
+		return CohortResolution{}, err
+	}
+	plan, err := buildPlan(res.Schema, res.Params)
+	if err != nil {
+		return CohortResolution{}, err
+	}
+	return CohortResolution{Plan: plan, Canonical: res.Canonical, Label: res.Label}, nil
 }
 
 // MaxCohortUsers bounds a single cohort's population (the fleet's
