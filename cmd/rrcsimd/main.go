@@ -13,6 +13,11 @@
 //	rrcsimd -addr :8080 -parallel 0 -queue-depth 32 -cache-size 128
 //	rrcsimd -profile "att-hspa+"     # default profile for flat payloads
 //	rrcsimd -pprof localhost:6060    # profiling endpoints on a side listener
+//	rrcsimd -store-dir /var/lib/rrcsim/cells -store-max-bytes 1073741824
+//	                                 # durable cell store: finished grid
+//	                                 # cells persist across restarts (crash
+//	                                 # included) and resubmitted grids
+//	                                 # replay only never-computed cells
 //
 // Then, from any HTTP client (the API is versioned under /v1; the
 // pre-versioning paths without the prefix remain as aliases):
@@ -29,6 +34,7 @@
 //	curl -s localhost:8080/v1/jobs/job-000001/stream   # NDJSON progress
 //	curl -s localhost:8080/v1/jobs/job-000001/result   # final JSON (per cell for grids)
 //	curl -s localhost:8080/v1/jobs/job-000001/result?cell=2   # one cell, verbatim
+//	curl -s localhost:8080/v1/cells/$FINGERPRINT       # same cell by content address
 //	curl -s localhost:8080/v1/jobs/job-000001/result?format=csv
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000001  # cancel
 //
@@ -53,6 +59,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/power"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -79,6 +86,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		runners    = fs.Int("runners", 1, "jobs executing concurrently (each parallelizes internally)")
 		profile    = fs.String("profile", "", "default carrier profile for legacy flat payloads that name none (see GET /v1/profiles)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+		storeDir   = fs.String("store-dir", "", "directory for the durable cell store (empty disables; created if missing)")
+		storeMax   = fs.Int64("store-max-bytes", 0, "cell store payload budget in bytes (LRU eviction; 0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +101,22 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		}
 	}
 
+	// The store opens before the manager and closes after it: the manager
+	// writes cells until its runners drain. Open recovers from whatever a
+	// previous life left behind (partial temp files, a torn index tail),
+	// so a SIGKILL'd daemon restarts with every fully-written cell intact.
+	var cellStore *store.Store
+	if *storeDir != "" {
+		var err error
+		cellStore, err = store.Open(store.Config{Dir: *storeDir, MaxBytes: *storeMax})
+		if err != nil {
+			return fmt.Errorf("cell store: %w", err)
+		}
+		defer cellStore.Close()
+		fmt.Printf("rrcsimd: cell store %s (%d cells, %d bytes)\n",
+			*storeDir, cellStore.Stats().Cells, cellStore.Stats().Bytes)
+	}
+
 	manager := jobs.NewManager(jobs.Config{
 		QueueDepth:     *queueDepth,
 		CacheSize:      *cacheSize,
@@ -99,6 +124,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Runners:        *runners,
 		Workers:        *parallel,
 		DefaultProfile: *profile,
+		Store:          cellStore,
 	})
 	defer manager.Close()
 

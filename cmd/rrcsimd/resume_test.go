@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDaemon compiles the real rrcsimd binary once per test run — the
+// SIGKILL test needs a separate process; killing a goroutine cannot
+// prove crash durability.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rrcsimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemonProc is one rrcsimd process under test.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startProc launches the binary and parses the bound address off its
+// stdout banner.
+func startProc(t *testing.T, bin string, args ...string) *daemonProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "serving on "); ok {
+			addr, _, _ = strings.Cut(rest, " ")
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("daemon never printed its listen address")
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return &daemonProc{cmd: cmd, base: "http://" + addr}
+}
+
+// stop terminates the process gracefully (SIGTERM) and reaps it.
+func (p *daemonProc) stop(t *testing.T) {
+	t.Helper()
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}
+
+// resumeGrid is the e2e grid: 12 cells with enough per-cell work that
+// SIGKILL reliably lands mid-run (the kill loop waits for the second
+// durable cell, so at least one cell survives and at least one is still
+// owed).
+const resumeGrid = `{"seed": 77, "shards": 2,
+	"schemes": [
+		{"policy": {"name": "fixedtail", "params": {"wait": "1s"}}},
+		{"policy": {"name": "fixedtail", "params": {"wait": "2s"}}},
+		{"policy": {"name": "fixedtail", "params": {"wait": "3s"}}},
+		{"policy": {"name": "fixedtail", "params": {"wait": "4s"}}},
+		{"policy": {"name": "fixedtail", "params": {"wait": "5s"}}},
+		{"policy": {"name": "makeidle"}}],
+	"profiles": [{"name": "verizon-3g"}, {"name": "verizon-lte"}],
+	"cohorts": [{"name": "study-3g", "params": {"users": 30, "duration": "30m"}}]}`
+
+const resumeGridCells = 12
+
+func submitGrid(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(resumeGrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit returned %d: %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+func waitJobDone(t *testing.T, base, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		body, _ := get(t, base+"/v1/jobs/"+id)
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "done":
+			res, code := get(t, base+"/v1/jobs/"+id+"/result")
+			if code != http.StatusOK {
+				t.Fatalf("result returned %d", code)
+			}
+			return res
+		case "failed", "canceled":
+			t.Fatalf("job ended %s: %s", st.State, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// durableCells counts fully-committed cell records in the store dir.
+func durableCells(t *testing.T, storeDir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(storeDir, "cells"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if len(e.Name()) == 64 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDaemonSIGKILLResume is the end-to-end crash-resume proof: a real
+// rrcsimd process with a durable store is SIGKILL'd mid-grid (no
+// shutdown hooks run), a fresh process over the same directory recovers
+// the committed cells, and resubmitting the grid executes only the
+// still-missing frontier — finishing with bytes identical to a daemon
+// that was never interrupted.
+func TestDaemonSIGKILLResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildDaemon(t)
+	storeDir := filepath.Join(t.TempDir(), "store")
+
+	// Life 1: start computing the grid, then SIGKILL once at least two
+	// cells are durable (and well before the grid can finish).
+	p1 := startProc(t, bin, "-store-dir", storeDir)
+	submitGrid(t, p1.base)
+	killDeadline := time.Now().Add(60 * time.Second)
+	for durableCells(t, storeDir) < 2 {
+		if time.Now().After(killDeadline) {
+			t.Fatal("no cells became durable before the kill deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+	survived := durableCells(t, storeDir)
+	if survived == 0 {
+		t.Fatal("kill left no durable cells")
+	}
+	if survived >= resumeGridCells {
+		t.Skipf("grid finished before SIGKILL landed (%d cells); nothing to resume", survived)
+	}
+	t.Logf("SIGKILL after %d/%d durable cells", survived, resumeGridCells)
+
+	// Life 2: same store directory. Recovery must surface the committed
+	// cells, and the resubmitted grid must execute only the frontier.
+	p2 := startProc(t, bin, "-store-dir", storeDir)
+	defer p2.stop(t)
+	hb, _ := get(t, p2.base+"/healthz")
+	var health struct {
+		CellsExecuted uint64 `json:"cells_executed"`
+		Store         struct {
+			Cells uint64 `json:"cells"`
+			Hits  uint64 `json:"hits"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(hb, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Store.Cells < uint64(survived) {
+		t.Fatalf("restart recovered %d cells, want >= %d", health.Store.Cells, survived)
+	}
+	id := submitGrid(t, p2.base)
+	resumed := waitJobDone(t, p2.base, id)
+	hb, _ = get(t, p2.base+"/healthz")
+	if err := json.Unmarshal(hb, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.CellsExecuted > uint64(resumeGridCells-survived) {
+		t.Fatalf("resumed run executed %d cells, want <= frontier %d",
+			health.CellsExecuted, resumeGridCells-survived)
+	}
+	if health.Store.Hits < uint64(survived) {
+		t.Fatalf("store hits = %d, want >= %d (survivors must be served from disk)",
+			health.Store.Hits, survived)
+	}
+
+	// Reference: an uninterrupted daemon over an empty store computes the
+	// same grid; the resumed result must be byte-identical.
+	ref := startProc(t, bin, "-store-dir", filepath.Join(t.TempDir(), "ref-store"))
+	defer ref.stop(t)
+	refBytes := waitJobDone(t, ref.base, submitGrid(t, ref.base))
+	if !bytes.Equal(resumed, refBytes) {
+		t.Fatalf("resumed result differs from uninterrupted run:\n%.400s\nvs\n%.400s",
+			resumed, refBytes)
+	}
+
+	// The cells are individually addressable on the resumed daemon.
+	var grid struct {
+		Cells []struct {
+			Fingerprint string `json:"fingerprint"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(resumed, &grid); err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Cells) != resumeGridCells {
+		t.Fatalf("resumed grid has %d cells, want %d", len(grid.Cells), resumeGridCells)
+	}
+	if _, code := get(t, fmt.Sprintf("%s/v1/cells/%s", p2.base, grid.Cells[0].Fingerprint)); code != http.StatusOK {
+		t.Fatalf("cell fingerprint lookup returned %d", code)
+	}
+}

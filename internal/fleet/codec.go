@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// This file is the durable serialization of a Summary — the payload the
+// content-addressed cell store persists. The encoding is canonical and
+// bit-exact: schemes in sorted label order, every float carried as its
+// IEEE-754 bit pattern, so DecodeSummary(EncodeSummary(s)) reproduces s
+// down to the last bit and a summary re-rendered after a round trip
+// yields byte-identical JSON/CSV/text. A version tag leads the bytes;
+// unknown versions decode to an error (the store treats that as a miss),
+// never to a guess.
+
+// summaryCodecVersion tags the encoding. Bump it whenever the Summary
+// shape or the encoding changes; old cells then read as misses and are
+// recomputed rather than misinterpreted.
+const summaryCodecVersion = "FSUM1"
+
+// Config returns the summary's histogram layout configuration (the
+// normalized form NewSummary stored). The codec persists it so a decoded
+// summary merges with — and renders exactly like — the live summaries of
+// the same configuration.
+func (s *Summary) Config() SummaryConfig { return s.cfg }
+
+// EncodeSummary serializes a summary into its canonical binary form.
+func EncodeSummary(s *Summary) []byte {
+	b := make([]byte, 0, 256)
+	b = append(b, summaryCodecVersion...)
+	b = appendFloat(b, s.cfg.EnergyMaxJ)
+	b = appendFloat(b, s.cfg.DelayMaxS)
+	b = appendFloat(b, s.cfg.SignalMax)
+	b = binary.AppendUvarint(b, uint64(s.cfg.Bins))
+	b = binary.AppendUvarint(b, uint64(s.Jobs))
+	names := s.SchemeNames()
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		b = binary.AppendUvarint(b, uint64(len(name)))
+		b = append(b, name...)
+		agg := s.Schemes[name]
+		for _, st := range []*metrics.Stream{
+			&agg.Energy, &agg.SavingsPct, &agg.SwitchRatio, &agg.Promotions, &agg.BurstDelay,
+		} {
+			b = appendStream(b, st)
+		}
+		for _, h := range []*metrics.Histogram{&agg.EnergyHist, &agg.DelayHist, &agg.SignalHist} {
+			b = appendHistogram(b, h)
+		}
+	}
+	return b
+}
+
+// DecodeSummary reconstructs a summary from EncodeSummary's bytes. Any
+// structural inconsistency — wrong version, truncation, trailing bytes,
+// a histogram layout that contradicts the encoded config — is an error.
+func DecodeSummary(data []byte) (*Summary, error) {
+	d := &decoder{data: data}
+	if string(d.take(len(summaryCodecVersion))) != summaryCodecVersion {
+		return nil, fmt.Errorf("fleet: summary codec version mismatch (want %s)", summaryCodecVersion)
+	}
+	cfg := SummaryConfig{
+		EnergyMaxJ: d.float(),
+		DelayMaxS:  d.float(),
+		SignalMax:  d.float(),
+		Bins:       int(d.uvarint()),
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if cfg != cfg.withDefaults() {
+		return nil, fmt.Errorf("fleet: encoded summary config %+v is not normalized", cfg)
+	}
+	s := NewSummary(cfg)
+	s.Jobs = int64(d.uvarint())
+	n := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > uint64(len(data)) { // cheap bound: each scheme costs >> 1 byte
+		return nil, fmt.Errorf("fleet: implausible scheme count %d", n)
+	}
+	prev := ""
+	for i := uint64(0); i < n; i++ {
+		name := string(d.take(int(d.uvarint())))
+		if d.err != nil {
+			return nil, d.err
+		}
+		if i > 0 && name <= prev {
+			return nil, fmt.Errorf("fleet: scheme labels out of canonical order (%q after %q)", name, prev)
+		}
+		prev = name
+		agg := newSchemeSummary(cfg)
+		for _, st := range []*metrics.Stream{
+			&agg.Energy, &agg.SavingsPct, &agg.SwitchRatio, &agg.Promotions, &agg.BurstDelay,
+		} {
+			d.stream(st)
+		}
+		for _, h := range []*metrics.Histogram{&agg.EnergyHist, &agg.DelayHist, &agg.SignalHist} {
+			if err := d.histogram(h); err != nil {
+				return nil, err
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		s.Schemes[name] = agg
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.data) != 0 {
+		return nil, fmt.Errorf("fleet: %d trailing bytes after summary", len(d.data))
+	}
+	return s, nil
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendStream(b []byte, s *metrics.Stream) []byte {
+	b = binary.AppendUvarint(b, uint64(s.N))
+	b = appendFloat(b, s.Mean)
+	b = appendFloat(b, s.M2)
+	b = appendFloat(b, s.Min)
+	return appendFloat(b, s.Max)
+}
+
+func appendHistogram(b []byte, h *metrics.Histogram) []byte {
+	b = appendFloat(b, h.Lo)
+	b = appendFloat(b, h.Hi)
+	b = binary.AppendUvarint(b, uint64(len(h.Counts)))
+	for _, c := range h.Counts {
+		b = binary.AppendUvarint(b, uint64(c))
+	}
+	return b
+}
+
+// decoder is a sticky-error cursor over the encoded bytes.
+type decoder struct {
+	data []byte
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("fleet: "+format, args...)
+		d.data = nil
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || n > len(d.data) {
+		d.fail("truncated summary (need %d bytes, have %d)", n, len(d.data))
+		return nil
+	}
+	out := d.data[:n]
+	d.data = d.data[n:]
+	return out
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *decoder) float() float64 {
+	b := d.take(8)
+	if d.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (d *decoder) stream(s *metrics.Stream) {
+	s.N = int64(d.uvarint())
+	s.Mean = d.float()
+	s.M2 = d.float()
+	s.Min = d.float()
+	s.Max = d.float()
+}
+
+// histogram decodes into an already-laid-out histogram (the layout comes
+// from the summary config) and cross-checks the encoded layout against
+// it, so a tampered config cannot silently re-bin counts.
+func (d *decoder) histogram(h *metrics.Histogram) error {
+	lo, hi := d.float(), d.float()
+	n := d.uvarint()
+	if d.err != nil {
+		return d.err
+	}
+	if lo != h.Lo || hi != h.Hi || n != uint64(len(h.Counts)) {
+		return fmt.Errorf("fleet: histogram layout [%g,%g)x%d contradicts config layout [%g,%g)x%d",
+			lo, hi, n, h.Lo, h.Hi, len(h.Counts))
+	}
+	counts := make([]int64, n)
+	for i := range counts {
+		c := d.uvarint()
+		if c > math.MaxInt64 {
+			d.fail("bin count overflow")
+		}
+		counts[i] = int64(c)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	return h.RestoreCounts(counts)
+}

@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// codecSummary runs a small real fleet job so the encoded summary has
+// every field populated: savings/switch ratios (baseline-bearing
+// schemes), burst delays, non-trivial histogram counts.
+func codecSummary(t *testing.T) *Summary {
+	t.Helper()
+	s, err := RunSummary(testJobs(t, 6), Options{Workers: 2, Shards: 3}, SummaryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSummaryCodecRoundTrip is the store's byte-identity foundation: a
+// decoded summary must equal the original down to unexported state, so
+// everything rendered from it (JSON, CSV, text, quantiles) is
+// byte-identical to a never-persisted run.
+func TestSummaryCodecRoundTrip(t *testing.T) {
+	orig := codecSummary(t)
+	enc := EncodeSummary(orig)
+	dec, err := DecodeSummary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, dec) {
+		t.Fatalf("round trip changed the summary:\n%+v\nvs\n%+v", orig, dec)
+	}
+	if orig.String() != dec.String() {
+		t.Fatal("rendered text differs after round trip")
+	}
+	// The encoding itself is canonical: re-encoding the decoded summary
+	// reproduces the identical bytes.
+	if !bytes.Equal(enc, EncodeSummary(dec)) {
+		t.Fatal("re-encoding is not canonical")
+	}
+	// An empty summary round-trips too.
+	empty := NewSummary(SummaryConfig{})
+	dec2, err := DecodeSummary(EncodeSummary(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(empty, dec2) {
+		t.Fatal("empty summary round trip differs")
+	}
+}
+
+// TestDecodedSummaryMerges checks a decoded summary is a full citizen:
+// merging it into a live aggregate gives exactly what merging the
+// original would have — the resume path's cross-cell merge property.
+func TestDecodedSummaryMerges(t *testing.T) {
+	orig := codecSummary(t)
+	dec, err := DecodeSummary(EncodeSummary(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewSummary(SummaryConfig{}), NewSummary(SummaryConfig{})
+	if err := a.Merge(orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Merge(dec); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("merging decoded vs original summaries diverges")
+	}
+}
+
+// TestSummaryCodecRejects refuses structurally damaged encodings — the
+// codec never guesses. (Bit rot inside float payloads is the store
+// record digest's job, not the codec's.)
+func TestSummaryCodecRejects(t *testing.T) {
+	enc := EncodeSummary(codecSummary(t))
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad-version":    append([]byte("FSUM9"), enc[5:]...),
+		"header-only":    enc[:8],
+		"truncated-half": enc[:len(enc)/2],
+		"truncated-tail": enc[:len(enc)-3],
+		"trailing-bytes": append(bytes.Clone(enc), 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := DecodeSummary(data); err == nil {
+			t.Errorf("%s: decoder accepted damaged bytes", name)
+		}
+	}
+}

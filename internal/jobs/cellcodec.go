@@ -1,0 +1,74 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/fleet"
+)
+
+// This file is the store payload codec: the bytes persisted for one
+// finished grid cell. A payload carries the cell's axis labels, its
+// progress denominators, and the canonical fleet.Summary encoding, so a
+// cell loaded from disk renders, merges and reports progress exactly
+// like the freshly computed cell it was. Integrity is layered: the
+// store's record format proves these are the bytes Put wrote (sha256),
+// this codec proves they mean a cell (version tag, framing), and the
+// job layer proves they mean *this* cell (labels and summary layout are
+// cross-checked against the submitted grid plan before use).
+
+// cellCodecVersion tags the payload encoding. Bump on any change; old
+// cells then decode to an error, which the job layer treats as a miss.
+const cellCodecVersion = "RCEL1"
+
+// encodeCellResult serializes a finished cell for the store.
+func encodeCellResult(c *CellResult) []byte {
+	b := make([]byte, 0, 256)
+	b = append(b, cellCodecVersion...)
+	for _, label := range []string{c.Scheme, c.Profile, c.Cohort} {
+		b = binary.AppendUvarint(b, uint64(len(label)))
+		b = append(b, label...)
+	}
+	b = binary.AppendUvarint(b, uint64(c.shards))
+	b = binary.AppendUvarint(b, uint64(c.jobs))
+	return append(b, fleet.EncodeSummary(c.Summary)...)
+}
+
+// decodeCellResult reconstructs a cell from its store payload. The
+// returned cell has no Key; the caller stamps the key it was looked up
+// under after its own cross-checks.
+func decodeCellResult(data []byte) (*CellResult, error) {
+	if len(data) < len(cellCodecVersion) || string(data[:len(cellCodecVersion)]) != cellCodecVersion {
+		return nil, fmt.Errorf("jobs: cell codec version mismatch (want %s)", cellCodecVersion)
+	}
+	data = data[len(cellCodecVersion):]
+	var labels [3]string
+	for i := range labels {
+		n, taken := binary.Uvarint(data)
+		if taken <= 0 || n > uint64(len(data)-taken) {
+			return nil, fmt.Errorf("jobs: truncated cell label %d", i)
+		}
+		data = data[taken:]
+		labels[i] = string(data[:n])
+		data = data[n:]
+	}
+	shards, taken := binary.Uvarint(data)
+	if taken <= 0 {
+		return nil, fmt.Errorf("jobs: truncated cell shard count")
+	}
+	data = data[taken:]
+	njobs, taken := binary.Uvarint(data)
+	if taken <= 0 {
+		return nil, fmt.Errorf("jobs: truncated cell job count")
+	}
+	data = data[taken:]
+	sum, err := fleet.DecodeSummary(data)
+	if err != nil {
+		return nil, err
+	}
+	return &CellResult{
+		Scheme: labels[0], Profile: labels[1], Cohort: labels[2],
+		Summary: sum,
+		shards:  int(shards), jobs: int(njobs),
+	}, nil
+}

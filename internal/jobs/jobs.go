@@ -28,9 +28,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/store"
 )
 
 // State is a job's lifecycle phase.
@@ -251,6 +253,16 @@ type Config struct {
 	// memory pinned by retained results — cannot grow without bound on a
 	// long-running daemon.
 	MaxRecords int
+	// Store, when non-nil, is the durable content-addressed cell store —
+	// the second cache tier beneath the in-memory cell cache. Finished
+	// cells are persisted to it (atomic, digest-protected writes) and
+	// grid submissions diff their planned cells against it, so only the
+	// frontier — cells no prior run of this or any earlier daemon ever
+	// computed — executes. Store-served cells are byte-identical to cold
+	// runs (the summary codec is bit-exact and rendering is
+	// deterministic). The caller owns the store's lifecycle; close it
+	// after Close.
+	Store *store.Store
 	// TraceCachePackets bounds the shared trace cache (in packets) that
 	// memoizes cohort traffic across a grid's cells, so a sweep
 	// synthesizes each user's trace once instead of once per cell
@@ -315,6 +327,11 @@ type Manager struct {
 	// axes memoizes resolved grid-axis values across Submits (own lock;
 	// consulted by planFingerprint outside mu).
 	axes *axisCache
+
+	// cellsRun counts cells actually executed by the fleet (as opposed to
+	// served from a cache tier) — the observable the resume-equivalence
+	// tests pin and a health gauge for cache effectiveness.
+	cellsRun atomic.Uint64
 }
 
 // NewManager starts a manager with cfg.Runners runner goroutines.
@@ -584,9 +601,7 @@ func (m *Manager) runJob(job *Job) {
 			return
 		default:
 		}
-		m.mu.Lock()
-		cached, hit := m.cells.get(cell.Key)
-		m.mu.Unlock()
+		cached, hit := m.lookupCell(cell)
 		if hit {
 			results = append(results, cached)
 			prior = append(prior, cached.Summary)
@@ -630,10 +645,16 @@ func (m *Manager) runJob(job *Job) {
 			}
 			return
 		}
+		m.cellsRun.Add(1)
 		cellRes := newCellResult(cell, sum)
 		m.mu.Lock()
 		m.cells.put(cell.Key, cellRes)
 		m.mu.Unlock()
+		if m.cfg.Store != nil {
+			// Best effort: a full disk or dying store must not fail the job —
+			// the result is already in memory; durability just degrades.
+			_ = m.cfg.Store.Put(cell.Key, encodeCellResult(cellRes))
+		}
 		results = append(results, cellRes)
 		prior = append(prior, sum)
 		done.DoneShards += cell.Shards
@@ -655,6 +676,94 @@ func (m *Manager) runJob(job *Job) {
 	m.cache.put(job.fingerprint, res)
 	m.mu.Unlock()
 	job.finish(StateDone, res, nil)
+}
+
+// lookupCell consults the cache tiers for a planned cell: the in-memory
+// cell cache first, then the durable store. A store hit must survive
+// three independent proofs before it is served: the store's record
+// digest (these are the bytes Put wrote), the codec's framing (they
+// mean a cell), and this function's cross-checks (they mean *this*
+// cell: axis labels match the plan, and the summary's histogram layout
+// equals the current default — mergePrior would panic on a drifted
+// layout). Anything short of full proof quarantines the record and
+// reports a miss; the cell recomputes, which is always safe.
+func (m *Manager) lookupCell(cell gridCell) (*CellResult, bool) {
+	m.mu.Lock()
+	cached, hit := m.cells.get(cell.Key)
+	m.mu.Unlock()
+	if hit {
+		return cached, true
+	}
+	if m.cfg.Store == nil {
+		return nil, false
+	}
+	payload, ok := m.cfg.Store.Get(cell.Key)
+	if !ok {
+		return nil, false
+	}
+	res, err := decodeCellResult(payload)
+	if err == nil && (res.Scheme != cell.Scheme || res.Profile != cell.Profile || res.Cohort != cell.Cohort) {
+		err = fmt.Errorf("jobs: stored cell labels %s/%s/%s do not match plan %s/%s/%s",
+			res.Scheme, res.Profile, res.Cohort, cell.Scheme, cell.Profile, cell.Cohort)
+	}
+	if err == nil && res.Summary.Config() != fleet.NewSummary(fleet.SummaryConfig{}).Config() {
+		err = fmt.Errorf("jobs: stored cell summary layout drifted from current defaults")
+	}
+	if err != nil {
+		m.cfg.Store.Quarantine(cell.Key)
+		return nil, false
+	}
+	res.Key = cell.Key
+	m.mu.Lock()
+	m.cells.put(cell.Key, res)
+	m.mu.Unlock()
+	return res, true
+}
+
+// Cell returns a finished cell by its content-addressed key, consulting
+// the in-memory cell cache and then the durable store (with the same
+// verification lookupCell applies). It backs GET /v1/cells/{fingerprint}.
+func (m *Manager) Cell(key string) (*CellResult, bool) {
+	m.mu.Lock()
+	cached, hit := m.cells.get(key)
+	m.mu.Unlock()
+	if hit {
+		return cached, true
+	}
+	if m.cfg.Store == nil {
+		return nil, false
+	}
+	payload, ok := m.cfg.Store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	res, err := decodeCellResult(payload)
+	if err == nil && res.Summary.Config() != fleet.NewSummary(fleet.SummaryConfig{}).Config() {
+		err = fmt.Errorf("jobs: stored cell summary layout drifted from current defaults")
+	}
+	if err != nil {
+		m.cfg.Store.Quarantine(key)
+		return nil, false
+	}
+	res.Key = key
+	m.mu.Lock()
+	m.cells.put(key, res)
+	m.mu.Unlock()
+	return res, true
+}
+
+// CellsExecuted reports how many cells this manager actually ran through
+// the fleet (cache- and store-served cells excluded) — the resume
+// tests' frontier counter and a health gauge.
+func (m *Manager) CellsExecuted() uint64 { return m.cellsRun.Load() }
+
+// StoreStats snapshots the durable store's gauges; ok is false when the
+// manager runs without a store.
+func (m *Manager) StoreStats() (store.Stats, bool) {
+	if m.cfg.Store == nil {
+		return store.Stats{}, false
+	}
+	return m.cfg.Store.Stats(), true
 }
 
 // mustMerge folds src into dst; layout mismatches are impossible (every

@@ -19,6 +19,10 @@ import (
 type CellResult struct {
 	// Scheme, Profile, Cohort are the cell's axis labels.
 	Scheme, Profile, Cohort string
+	// Key is the cell's deterministic identity (the per-cell restriction
+	// of the v4 fingerprint) — the cell cache key, the store filename,
+	// and the handle GET /v1/cells/{fingerprint} looks cells up by.
+	Key string
 	// Summary is the cell's fleet aggregate.
 	Summary *fleet.Summary
 
@@ -37,6 +41,7 @@ type CellResult struct {
 func newCellResult(cell gridCell, sum *fleet.Summary) *CellResult {
 	return &CellResult{
 		Scheme: cell.Scheme, Profile: cell.Profile, Cohort: cell.Cohort,
+		Key:     cell.Key,
 		Summary: sum,
 		shards:  cell.Shards, jobs: cell.NumJobs,
 	}
@@ -125,7 +130,8 @@ func (r *Result) Grid() *report.GridStats {
 		grid := &report.GridStats{Cells: make([]report.GridCellStats, 0, len(r.Cells))}
 		for _, c := range r.Cells {
 			grid.Cells = append(grid.Cells, report.GridCellStats{
-				Scheme: c.Scheme, Profile: c.Profile, Cohort: c.Cohort, Summary: c.Stats(),
+				Scheme: c.Scheme, Profile: c.Profile, Cohort: c.Cohort,
+				Fingerprint: c.Key, Summary: c.Stats(),
 			})
 		}
 		r.grid = grid

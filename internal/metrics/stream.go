@@ -135,6 +135,27 @@ func (h *Histogram) InitCounts(lo, hi float64, counts []int64) {
 	*h = Histogram{Lo: lo, Hi: hi, Counts: counts}
 }
 
+// RestoreCounts overwrites the histogram's bin counts in place — the
+// deserialization path of a persisted histogram. The layout (Lo, Hi, bin
+// count) is unchanged and must match len(counts); the sample total is
+// recomputed as the counts' sum, which is exact because every Add and
+// Merge keeps total equal to that sum.
+func (h *Histogram) RestoreCounts(counts []int64) error {
+	if len(counts) != len(h.Counts) {
+		return fmt.Errorf("metrics: restoring %d bins into a %d-bin histogram", len(counts), len(h.Counts))
+	}
+	var total int64
+	for i, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("metrics: negative bin count %d at bin %d", c, i)
+		}
+		h.Counts[i] = c
+		total += c
+	}
+	h.total = total
+	return nil
+}
+
 // bin returns the bin index for a sample, clamped to the edge bins.
 func (h *Histogram) bin(x float64) int {
 	if x < h.Lo {

@@ -22,10 +22,15 @@ type GridCell struct {
 
 // GridCellStats is the serializable view of one grid cell.
 type GridCellStats struct {
-	Scheme  string       `json:"scheme"`
-	Profile string       `json:"profile"`
-	Cohort  string       `json:"cohort"`
-	Summary SummaryStats `json:"summary"`
+	Scheme  string `json:"scheme"`
+	Profile string `json:"profile"`
+	Cohort  string `json:"cohort"`
+	// Fingerprint is the cell's content-addressed identity: the key the
+	// durable store files it under and GET /v1/cells/{fingerprint}
+	// serves it by. Empty on surfaces that render grids without cache
+	// identities (the CLI's ad-hoc sweeps).
+	Fingerprint string       `json:"fingerprint,omitempty"`
+	Summary     SummaryStats `json:"summary"`
 }
 
 // GridStats is the serializable view of a whole grid, cells in execution

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/report"
+	"repro/internal/store"
+)
+
+// newStoreServer is newTestServer with a durable store under dir backing
+// the manager's cell cache.
+func newStoreServer(t *testing.T, dir string) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	old := pollInterval
+	pollInterval = 5 * time.Millisecond
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jobs.NewManager(jobs.Config{Store: st})
+	ts := httptest.NewServer(New(m))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Close()
+		st.Close()
+		pollInterval = old
+	})
+	return ts, m
+}
+
+// TestCellEndpoint drives GET /v1/cells/{fingerprint} across process
+// lives: a grid job's cells are addressable by the fingerprints its
+// result advertises, byte-identical to the ?cell=N renderings; a second
+// service over the same store directory serves the same bytes with zero
+// recomputation; unknown fingerprints 404; and /healthz exposes the
+// store gauges.
+func TestCellEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv1, m1 := newStoreServer(t, dir)
+	body := fmt.Sprintf(`{"seed": 71, "shards": 2, "schemes": [%s, %s], "profiles": [%s, %s], "cohorts": [%s]}`,
+		gridSchemes[0], gridSchemes[1], gridProfiles[0], gridProfiles[1],
+		`{"name": "study-3g", "params": {"users": 2, "duration": "5m"}}`)
+	id := submitAndWait(t, &gridServer{srv: srv1, m: m1}, body)
+
+	raw, code := getBody(t, srv1.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result returned %d: %s", code, raw)
+	}
+	var grid report.GridStats
+	if err := json.Unmarshal(raw, &grid); err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(grid.Cells))
+	}
+	wantCell := make([][]byte, len(grid.Cells))
+	for i, c := range grid.Cells {
+		if len(c.Fingerprint) != 64 {
+			t.Fatalf("cell %d fingerprint %q is not a 64-hex key", i, c.Fingerprint)
+		}
+		cellN, code := getBody(t, fmt.Sprintf("%s/v1/jobs/%s/result?cell=%d", srv1.URL, id, i))
+		if code != http.StatusOK {
+			t.Fatalf("?cell=%d returned %d", i, code)
+		}
+		byFP, code := getBody(t, srv1.URL+"/v1/cells/"+c.Fingerprint)
+		if code != http.StatusOK {
+			t.Fatalf("/v1/cells/%s returned %d", c.Fingerprint, code)
+		}
+		if !bytes.Equal(cellN, byFP) {
+			t.Fatalf("cell %d: fingerprint route differs from ?cell route", i)
+		}
+		wantCell[i] = byFP
+	}
+
+	// A fresh service over the same store directory serves the same cells
+	// without executing anything.
+	srv2, m2 := newStoreServer(t, t.TempDir())
+	_ = m2
+	if _, code := getBody(t, srv2.URL+"/v1/cells/"+grid.Cells[0].Fingerprint); code != http.StatusNotFound {
+		t.Fatalf("empty store served a cell (code %d)", code)
+	}
+	srv3, m3 := newStoreServer(t, dir)
+	for i, c := range grid.Cells {
+		got, code := getBody(t, srv3.URL+"/v1/cells/"+c.Fingerprint)
+		if code != http.StatusOK {
+			t.Fatalf("restarted service: /v1/cells/%s returned %d", c.Fingerprint, code)
+		}
+		if !bytes.Equal(wantCell[i], got) {
+			t.Fatalf("restarted service: cell %d bytes differ", i)
+		}
+	}
+	if m3.CellsExecuted() != 0 {
+		t.Fatalf("restarted service executed %d cells serving store reads", m3.CellsExecuted())
+	}
+
+	if _, code := getBody(t, srv3.URL+"/v1/cells/"+strings.Repeat("0", 64)); code != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint returned %d, want 404", code)
+	}
+
+	hb, _ := getBody(t, srv3.URL+"/healthz")
+	var health struct {
+		CellsExecuted uint64       `json:"cells_executed"`
+		Store         *store.Stats `json:"store"`
+	}
+	if err := json.Unmarshal(hb, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Store == nil {
+		t.Fatalf("healthz missing store gauges: %s", hb)
+	}
+	if health.Store.Cells != 4 || health.Store.Hits < 4 {
+		t.Fatalf("store gauges off: %+v", health.Store)
+	}
+}

@@ -36,7 +36,16 @@
 //	                             equivalent single-axis job's result.
 //	DELETE /v1/jobs/{id}         cancel (queued cancels at once, running
 //	                             at the fleet's next between-jobs check)
-//	GET    /healthz              liveness + queue/cache gauges
+//	GET    /v1/cells/{fp}        one finished grid cell by its
+//	                             content-addressed fingerprint (the
+//	                             "fingerprint" field of grid results),
+//	                             served from the in-memory cell cache or
+//	                             the durable store — byte-identical to the
+//	                             ?cell=N rendering of any job containing
+//	                             it. 404 when unknown to both tiers.
+//	GET    /healthz              liveness + queue/cache gauges (plus
+//	                             durable-store gauges when a store is
+//	                             configured)
 //
 // The pre-versioning /jobs... routes remain mounted as aliases of the
 // /v1 handlers, so existing clients keep working unchanged.
@@ -84,6 +93,7 @@ func New(m *jobs.Manager) *Server {
 		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", s.result)
 		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/stream", s.stream)
 	}
+	s.mux.HandleFunc("GET /v1/cells/{fingerprint}", s.cell)
 	s.mux.HandleFunc("GET /v1/policies", s.policies)
 	s.mux.HandleFunc("GET /v1/profiles", s.profiles)
 	s.mux.HandleFunc("GET /v1/workloads", s.workloads)
@@ -155,13 +165,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"jobs":           s.manager.Len(),
 		"queue_depth":    s.manager.QueueDepth(),
 		"cache_len":      s.manager.CacheLen(),
 		"cell_cache_len": s.manager.CellCacheLen(),
-	})
+		"cells_executed": s.manager.CellsExecuted(),
+	}
+	if stats, ok := s.manager.StoreStats(); ok {
+		body["store"] = stats
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// cell serves one finished grid cell by its content-addressed
+// fingerprint, whichever tier holds it. The bytes are the cell's
+// memoized JSON rendering — identical to the ?cell=N bytes of any job
+// that contains the cell, and to the flat rendering of the equivalent
+// single-axis job.
+func (s *Server) cell(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.manager.Cell(r.PathValue("fingerprint"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such cell"))
+		return
+	}
+	body, err := c.JSON()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("rendering cell: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {

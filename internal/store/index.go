@@ -1,0 +1,81 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The index is an append-only journal of fixed-size, individually
+// checksummed operation records. Fixed framing makes recovery trivial: a
+// torn append leaves a short tail (length not a multiple of the record
+// size), a bit flip fails one record's CRC, and in either case replay
+// simply stops at the first bad record — everything before it is intact
+// by construction, everything at or after it is rebuilt from the cell
+// directory itself (every cell file is independently self-verifying, so
+// the journal is an accelerator and an LRU ordering, never the truth).
+//
+//	offset  size  field
+//	0       1     op: 'P' (put) or 'D' (delete)
+//	1       32    key (raw sha256 bytes)
+//	33      8     record file size in bytes, little-endian ('P' only; 0 for 'D')
+//	41      4     IEEE CRC32 of bytes 0..40, little-endian
+const (
+	indexOpPut    = 'P'
+	indexOpDelete = 'D'
+	indexRecLen   = 1 + keyRawLen + 8 + 4
+)
+
+// indexOp is one replayed journal operation.
+type indexOp struct {
+	op   byte
+	key  string // lowercase hex
+	size int64
+}
+
+// encodeIndexRec frames one journal record.
+func encodeIndexRec(op byte, rawKey []byte, size int64) []byte {
+	rec := make([]byte, 0, indexRecLen)
+	rec = append(rec, op)
+	rec = append(rec, rawKey...)
+	rec = binary.LittleEndian.AppendUint64(rec, uint64(size))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+	return rec
+}
+
+// decodeIndexRec parses and verifies one framed record.
+func decodeIndexRec(rec []byte) (indexOp, error) {
+	if len(rec) != indexRecLen {
+		return indexOp{}, fmt.Errorf("store: index record is %d bytes, want %d", len(rec), indexRecLen)
+	}
+	body, sum := rec[:indexRecLen-4], binary.LittleEndian.Uint32(rec[indexRecLen-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return indexOp{}, fmt.Errorf("store: index record CRC mismatch")
+	}
+	op := body[0]
+	if op != indexOpPut && op != indexOpDelete {
+		return indexOp{}, fmt.Errorf("store: unknown index op %q", op)
+	}
+	return indexOp{
+		op:   op,
+		key:  fmt.Sprintf("%x", body[1:1+keyRawLen]),
+		size: int64(binary.LittleEndian.Uint64(body[1+keyRawLen:])),
+	}, nil
+}
+
+// replayIndex walks the journal bytes record by record, returning every
+// operation up to (not including) the first torn or corrupt record, plus
+// whether the journal was clean end to end. Replay never fails: damage
+// truncates the usable prefix, and Open reconciles the rest against the
+// cell directory.
+func replayIndex(data []byte) (ops []indexOp, clean bool) {
+	for len(data) >= indexRecLen {
+		op, err := decodeIndexRec(data[:indexRecLen])
+		if err != nil {
+			return ops, false
+		}
+		ops = append(ops, op)
+		data = data[indexRecLen:]
+	}
+	return ops, len(data) == 0
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// A cell record file is fully self-verifying, so a reader never has to
+// trust the filesystem: the key it claims to hold rides in the header
+// (detecting misplaced or renamed files), the payload length is explicit
+// (detecting truncation), and an embedded sha256 of the payload detects
+// any bit damage in the body. The header fields themselves are covered
+// transitively — a flipped length or key byte makes either the size check
+// or the digest comparison fail.
+//
+//	offset  size  field
+//	0       8     magic "RRCCELL1"
+//	8       32    key (raw sha256 bytes; the hex filename, decoded)
+//	40      8     payload length, little-endian
+//	48      32    sha256(payload)
+//	80      n     payload
+const (
+	recordMagic  = "RRCCELL1"
+	recordHeader = len(recordMagic) + keyRawLen + 8 + sha256.Size
+)
+
+// keyRawLen is the decoded length of a cell key: keys are lowercase hex
+// sha256 digests (the v4 cell fingerprint), 64 hex characters.
+const keyRawLen = sha256.Size
+
+// checkKey rejects anything that is not a lowercase-hex sha256 string.
+// Keys double as filenames, so this also keeps path traversal impossible.
+func checkKey(key string) ([]byte, error) {
+	if len(key) != 2*keyRawLen {
+		return nil, fmt.Errorf("store: key %q is not a %d-char hex digest", key, 2*keyRawLen)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return nil, fmt.Errorf("store: key %q is not lowercase hex", key)
+		}
+	}
+	return hex.AppendDecode(make([]byte, 0, keyRawLen), []byte(key))
+}
+
+// encodeRecord builds the on-disk bytes for one cell.
+func encodeRecord(rawKey, payload []byte) []byte {
+	rec := make([]byte, 0, recordHeader+len(payload))
+	rec = append(rec, recordMagic...)
+	rec = append(rec, rawKey...)
+	rec = binary.LittleEndian.AppendUint64(rec, uint64(len(payload)))
+	digest := sha256.Sum256(payload)
+	rec = append(rec, digest[:]...)
+	rec = append(rec, payload...)
+	return rec
+}
+
+// decodeRecord verifies a record file's bytes against the key it was
+// looked up under and returns the payload. Any inconsistency — wrong
+// magic, wrong or damaged key, torn length, digest mismatch — is an
+// error; the caller quarantines the file rather than serving it.
+func decodeRecord(key string, rec []byte) ([]byte, error) {
+	rawKey, err := checkKey(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(rec) < recordHeader {
+		return nil, fmt.Errorf("store: record is %d bytes, shorter than the %d-byte header", len(rec), recordHeader)
+	}
+	if string(rec[:len(recordMagic)]) != recordMagic {
+		return nil, fmt.Errorf("store: bad record magic %q", rec[:len(recordMagic)])
+	}
+	rec = rec[len(recordMagic):]
+	if !bytes.Equal(rec[:keyRawLen], rawKey) {
+		return nil, fmt.Errorf("store: record claims key %x, looked up as %s", rec[:keyRawLen], key)
+	}
+	rec = rec[keyRawLen:]
+	size := binary.LittleEndian.Uint64(rec[:8])
+	rec = rec[8:]
+	payload := rec[sha256.Size:]
+	if uint64(len(payload)) != size {
+		return nil, fmt.Errorf("store: record carries %d payload bytes, header says %d", len(payload), size)
+	}
+	digest := sha256.Sum256(payload)
+	if !bytes.Equal(digest[:], rec[:sha256.Size]) {
+		return nil, fmt.Errorf("store: payload digest mismatch (bit rot or torn write)")
+	}
+	return payload, nil
+}

@@ -1,0 +1,522 @@
+// Package store is the durable, content-addressed cell result store
+// beneath the job layer's in-memory caches: one file per grid cell,
+// keyed by the cell's v4 fingerprint, written atomically (temp file +
+// fsync + rename) and read paranoidly (every record embeds a sha256 of
+// its payload, so torn writes and bit rot surface as a cache miss, never
+// as wrong bytes — damaged files are quarantined, not served).
+//
+// A persistent index journal (append-only, fixed-size CRC-framed
+// records) accelerates startup and carries the LRU order and byte
+// totals, but it is never the source of truth: on Open the journal's
+// intact prefix is reconciled against the cell directory itself —
+// entries without files are dropped, files without entries are adopted,
+// torn or corrupt journal tails are discarded and the journal is
+// rewritten — so a store directory recovered from any crash point is
+// indistinguishable from one that missed the interrupted writes.
+//
+// Eviction is byte-budgeted LRU: when MaxBytes is exceeded the least
+// recently used cells are deleted (journaled) until the store fits.
+//
+// The store's contract to the job layer is exactly the in-memory cell
+// cache's: a hit returns the verbatim payload bytes a previous Put
+// stored, so warm-from-store results are byte-identical to cold runs.
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of the store's gauges, shaped for
+// the health endpoint.
+type Stats struct {
+	// Cells and Bytes describe the resident set.
+	Cells int   `json:"cells"`
+	Bytes int64 `json:"bytes"`
+	// Hits/Misses count Get outcomes; Writes counts successful Puts.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Writes uint64 `json:"writes"`
+	// Evictions counts cells deleted by the byte budget; Quarantined
+	// counts files moved aside because their contents failed
+	// verification.
+	Evictions   uint64 `json:"evictions"`
+	Quarantined uint64 `json:"quarantined"`
+}
+
+// Config configures Open.
+type Config struct {
+	// Dir is the store root. It is created if missing; cells live in
+	// Dir/cells, quarantined files in Dir/quarantine, the index journal
+	// at Dir/index.
+	Dir string
+	// MaxBytes bounds the resident cell bytes (record files, as stored);
+	// <= 0 means unlimited. The most recently written cell is never
+	// evicted, so one record larger than the budget transiently exceeds
+	// it instead of churning.
+	MaxBytes int64
+
+	// crash is the injectable write seam for crash-consistency tests:
+	// when non-nil and it returns true for a named point, the in-flight
+	// mutation aborts exactly as a process death there would leave it —
+	// partial temp file ("temp-partial"), complete temp but no rename
+	// ("rename"), renamed file but no index append ("index-skip"), or a
+	// torn index append ("index-torn") — with no cleanup. The store
+	// instance is then inconsistent by design; tests reopen the
+	// directory with a fresh Open, which is the recovery under test.
+	crash func(point string) bool
+}
+
+// errSimulatedCrash marks a write aborted by the crash seam.
+var errSimulatedCrash = errors.New("store: simulated crash")
+
+// entry is one resident cell in the LRU index.
+type entry struct {
+	key  string
+	size int64
+}
+
+// Store is a durable content-addressed cell store. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir       string
+	cellDir   string
+	quarDir   string
+	indexPath string
+	maxBytes  int64
+	crash     func(string) bool
+
+	mu      sync.Mutex
+	idx     *os.File                 // journal append handle
+	ops     int                      // journal records since last compaction
+	entries map[string]*list.Element // key -> element whose Value is *entry
+	lru     *list.List               // front = least recently used
+	bytes   int64
+	closed  bool
+
+	hits, misses, writes, evictions, quarantined uint64
+}
+
+// Open opens (creating or recovering as needed) the store rooted at
+// cfg.Dir. See the package comment for the recovery protocol.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	s := &Store{
+		dir:       cfg.Dir,
+		cellDir:   filepath.Join(cfg.Dir, "cells"),
+		quarDir:   filepath.Join(cfg.Dir, "quarantine"),
+		indexPath: filepath.Join(cfg.Dir, "index"),
+		maxBytes:  cfg.MaxBytes,
+		crash:     cfg.crash,
+		entries:   make(map[string]*list.Element),
+		lru:       list.New(),
+	}
+	for _, d := range []string{s.cellDir, s.quarDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked("")
+	return s, nil
+}
+
+// recover rebuilds a consistent in-memory index from the journal's
+// intact prefix and the cell directory, removes crash leftovers, and
+// rewrites the journal when the two disagreed.
+func (s *Store) recover() error {
+	names, err := os.ReadDir(s.cellDir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Actual resident files: the truth the journal is checked against.
+	// Interrupted writes leave *.tmp files, which are never referenced by
+	// anything — remove them. Names that are not cell keys are ignored.
+	onDisk := make(map[string]int64)
+	for _, de := range names {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(s.cellDir, name))
+			continue
+		}
+		if _, err := checkKey(name); err != nil {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		onDisk[name] = info.Size()
+	}
+
+	data, err := os.ReadFile(s.indexPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	ops, clean := replayIndex(data)
+	dirty := !clean
+
+	// Replay the journal, keeping only entries whose file actually exists
+	// with the journaled size; everything else is a lie the crash (or the
+	// corruption) left behind.
+	for _, op := range ops {
+		switch {
+		case op.op == indexOpDelete:
+			if _, ok := s.entries[op.key]; ok {
+				s.dropLocked(op.key)
+			}
+		case onDisk[op.key] == op.size && op.size > 0:
+			s.upsertLocked(op.key, op.size)
+		default:
+			dirty = true // journaled entry without a matching file
+			if _, ok := s.entries[op.key]; ok {
+				s.dropLocked(op.key)
+			}
+		}
+	}
+	// Adopt files the journal never heard of (rename landed, index append
+	// did not) in sorted order, after the journaled entries — they are at
+	// least as fresh as anything journaled.
+	var orphans []string
+	for key := range onDisk {
+		if _, ok := s.entries[key]; !ok {
+			orphans = append(orphans, key)
+			dirty = true
+		}
+	}
+	sort.Strings(orphans)
+	for _, key := range orphans {
+		s.upsertLocked(key, onDisk[key])
+	}
+
+	if dirty {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+		return nil
+	}
+	idx, err := os.OpenFile(s.indexPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.idx = idx
+	s.ops = len(ops)
+	return nil
+}
+
+// compactLocked atomically rewrites the journal as one put record per
+// resident entry in LRU order and reopens the append handle.
+func (s *Store) compactLocked() error {
+	if s.idx != nil {
+		s.idx.Close()
+		s.idx = nil
+	}
+	var buf []byte
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*entry)
+		rawKey, err := checkKey(ent.key)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, encodeIndexRec(indexOpPut, rawKey, ent.size)...)
+	}
+	tmp := s.indexPath + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, s.indexPath); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(s.dir)
+	idx, err := os.OpenFile(s.indexPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.idx = idx
+	s.ops = s.lru.Len()
+	return nil
+}
+
+// appendIndexLocked journals one operation, compacting first when the
+// journal has grown well past the resident set.
+func (s *Store) appendIndexLocked(op byte, key string, size int64) error {
+	if s.ops > 4*s.lru.Len()+1024 {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	rawKey, err := checkKey(key)
+	if err != nil {
+		return err
+	}
+	rec := encodeIndexRec(op, rawKey, size)
+	if s.crashAt("index-torn") {
+		s.idx.Write(rec[:indexRecLen/2])
+		s.idx.Sync()
+		return errSimulatedCrash
+	}
+	if _, err := s.idx.Write(rec); err != nil {
+		return fmt.Errorf("store: index append: %w", err)
+	}
+	if err := s.idx.Sync(); err != nil {
+		return fmt.Errorf("store: index sync: %w", err)
+	}
+	s.ops++
+	return nil
+}
+
+func (s *Store) crashAt(point string) bool {
+	return s.crash != nil && s.crash(point)
+}
+
+// upsertLocked installs or refreshes an entry at the most-recently-used
+// end and maintains the byte total.
+func (s *Store) upsertLocked(key string, size int64) {
+	if e, ok := s.entries[key]; ok {
+		ent := e.Value.(*entry)
+		s.bytes += size - ent.size
+		ent.size = size
+		s.lru.MoveToBack(e)
+		return
+	}
+	s.entries[key] = s.lru.PushBack(&entry{key: key, size: size})
+	s.bytes += size
+}
+
+// dropLocked removes an entry from the in-memory index only.
+func (s *Store) dropLocked(key string) {
+	e, ok := s.entries[key]
+	if !ok {
+		return
+	}
+	s.bytes -= e.Value.(*entry).size
+	s.lru.Remove(e)
+	delete(s.entries, key)
+}
+
+// evictLocked deletes least-recently-used cells until the store fits its
+// byte budget. keep, when non-empty, names the one key never evicted
+// (the cell just written).
+func (s *Store) evictLocked(keep string) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for e := s.lru.Front(); e != nil && s.bytes > s.maxBytes; {
+		ent := e.Value.(*entry)
+		e = e.Next()
+		if ent.key == keep {
+			continue
+		}
+		os.Remove(s.cellPath(ent.key))
+		s.dropLocked(ent.key)
+		s.evictions++
+		if s.idx != nil {
+			s.appendIndexLocked(indexOpDelete, ent.key, 0)
+		}
+	}
+}
+
+func (s *Store) cellPath(key string) string { return filepath.Join(s.cellDir, key) }
+
+// Put durably stores one cell's payload under its key: the record is
+// written to a temp file, fsynced, renamed into place, and journaled.
+// An existing cell is atomically replaced (content addressing makes the
+// bytes equal anyway). Put never leaves a partially visible cell: until
+// the rename the store serves the old state, after it the new.
+func (s *Store) Put(key string, payload []byte) error {
+	rawKey, err := checkKey(key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	rec := encodeRecord(rawKey, payload)
+	tmp := s.cellPath(key) + ".tmp"
+	if s.crashAt("temp-partial") {
+		writeFileSync(tmp, rec[:len(rec)/2])
+		return errSimulatedCrash
+	}
+	if err := writeFileSync(tmp, rec); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.crashAt("rename") {
+		return errSimulatedCrash
+	}
+	if err := os.Rename(tmp, s.cellPath(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(s.cellDir)
+	if s.crashAt("index-skip") {
+		return errSimulatedCrash
+	}
+	if err := s.appendIndexLocked(indexOpPut, key, int64(len(rec))); err != nil {
+		return err
+	}
+	s.upsertLocked(key, int64(len(rec)))
+	s.writes++
+	s.evictLocked(key)
+	return nil
+}
+
+// Get returns the payload stored under key. Every read re-verifies the
+// record (magic, key, length, payload digest); a file that fails
+// verification is quarantined and reported as a miss — the store never
+// serves bytes it cannot prove are the ones Put stored.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if _, err := checkKey(key); err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	e, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	rec, err := os.ReadFile(s.cellPath(key))
+	if err != nil {
+		// The index believed in a file that is gone; heal the index.
+		s.dropLocked(key)
+		if s.idx != nil {
+			s.appendIndexLocked(indexOpDelete, key, 0)
+		}
+		s.misses++
+		return nil, false
+	}
+	payload, err := decodeRecord(key, rec)
+	if err != nil {
+		s.quarantineLocked(key)
+		s.misses++
+		return nil, false
+	}
+	s.lru.MoveToBack(e)
+	s.hits++
+	return payload, true
+}
+
+// Has reports whether key is resident without reading or verifying the
+// record (the read path still verifies, so Has is a hint, not a
+// promise).
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Quarantine moves a cell's file aside and forgets it. The store calls
+// it internally on verification failures; the job layer calls it when a
+// record verifies at this layer but fails higher-level decoding (a
+// codec version drift), so the bad file is preserved for inspection
+// instead of being served again.
+func (s *Store) Quarantine(key string) {
+	if _, err := checkKey(key); err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarantineLocked(key)
+}
+
+func (s *Store) quarantineLocked(key string) {
+	if err := os.Rename(s.cellPath(key), filepath.Join(s.quarDir, key)); err != nil {
+		// Rename across the same filesystem only fails if the source is
+		// already gone; removing is the next best containment.
+		os.Remove(s.cellPath(key))
+	}
+	s.quarantined++
+	if _, ok := s.entries[key]; ok {
+		s.dropLocked(key)
+		if s.idx != nil {
+			s.appendIndexLocked(indexOpDelete, key, 0)
+		}
+	}
+}
+
+// Stats snapshots the store's gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Cells:       s.lru.Len(),
+		Bytes:       s.bytes,
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Writes:      s.writes,
+		Evictions:   s.evictions,
+		Quarantined: s.quarantined,
+	}
+}
+
+// Len reports the resident cell count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Close releases the journal handle. The store directory remains valid
+// for a later Open.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.idx != nil {
+		err := s.idx.Close()
+		s.idx = nil
+		return err
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing — the
+// first half of the atomic write protocol (the rename is the other).
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best effort: not every platform supports fsync on directories.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
