@@ -1,22 +1,27 @@
-// benchdump measures the canonical grid-sweep benchmark (the same
-// computation as BenchmarkGridSweep, via jobs.BenchGridSpec) and either
-// records the result as a committed baseline or checks the current tree
-// against one. It exists so the perf trajectory is a tracked artifact:
+// benchdump measures the canonical grid benchmarks (the same computations
+// as BenchmarkGridSweep and BenchmarkGridSweepWide, via jobs.BenchGridSpec
+// and jobs.BenchWideGridSpec) and either records the results as a committed
+// baseline or checks the current tree against one. It exists so the perf
+// trajectory is a tracked artifact:
 //
 //	go run ./cmd/benchdump -out BENCH_grid.json     # refresh the baseline
 //	go run ./cmd/benchdump -check BENCH_grid.json   # CI regression gate
 //
-// -check fails (exit 1) when throughput falls below -min-throughput times
-// the baseline or allocations per cell exceed -max-allocs times it. A slow
-// or noisy machine can depress throughput without any code regression, so
-// failed checks re-measure up to -retries times and pass if any attempt is
-// within bounds; allocations are scheduling-independent, so their bound
-// stays tight. Baselines embed the benchmark spec's fingerprint — a check
+// The baseline file is a JSON array with one record per registered
+// benchmark (a legacy single-object file still parses as a one-entry
+// baseline). -check validates every entry: it fails (exit 1) when any
+// benchmark's throughput falls below -min-throughput times its baseline or
+// its allocations per cell exceed -max-allocs times it. A slow or noisy
+// machine can depress throughput without any code regression, so failed
+// checks re-measure up to -retries times and pass if any attempt is within
+// bounds; allocations are scheduling-independent, so their bound stays
+// tight. Baselines embed each benchmark spec's fingerprint — a check
 // against a baseline recorded for a different grid refuses to compare and
 // asks for a refresh instead.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,7 +32,7 @@ import (
 	"repro/internal/jobs"
 )
 
-// baseline is the committed benchmark record. Field names are the file
+// baseline is one committed benchmark record. Field names are the file
 // format; don't rename without migrating BENCH_*.json.
 type baseline struct {
 	Bench           string  `json:"bench"`
@@ -38,6 +43,32 @@ type baseline struct {
 	CellsPerSec     float64 `json:"cells_per_sec"`
 	AllocsPerCell   float64 `json:"allocs_per_cell"`
 	NsPerOp         float64 `json:"ns_per_op"`
+}
+
+// benchDef registers one measurable benchmark: the grid it replays, the
+// cell count per submission, and the manager configuration — mirroring the
+// in-tree benchmark of the same name so the committed baseline and `go
+// test -bench` always measure the same computation.
+type benchDef struct {
+	name  string
+	spec  func() jobs.Spec
+	cells int
+	cfg   jobs.Config
+}
+
+var benches = []benchDef{
+	{
+		name:  "GridSweep",
+		spec:  jobs.BenchGridSpec,
+		cells: jobs.BenchGridCells,
+		cfg:   jobs.Config{Runners: 1, CacheSize: -1, CellCacheSize: -1},
+	},
+	{
+		name:  "GridSweepWide",
+		spec:  jobs.BenchWideGridSpec,
+		cells: jobs.BenchWideGridCells,
+		cfg:   jobs.Config{Runners: 1, CacheSize: -1, CellCacheSize: -1},
+	},
 }
 
 func main() {
@@ -58,12 +89,16 @@ func main() {
 	}
 
 	if *out != "" {
-		cur, err := run(*measure, *warmup)
-		if err != nil {
-			fatal(err)
+		var records []baseline
+		for _, def := range benches {
+			cur, err := def.run(*measure, *warmup)
+			if err != nil {
+				fatal(err)
+			}
+			report("measured", cur)
+			records = append(records, cur)
 		}
-		report("measured", cur)
-		b, err := json.MarshalIndent(cur, "", "  ")
+		b, err := json.MarshalIndent(records, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
@@ -74,46 +109,92 @@ func main() {
 		return
 	}
 
-	raw, err := os.ReadFile(*check)
+	bases, err := readBaselines(*check)
 	if err != nil {
 		fatal(err)
 	}
-	var base baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fatal(fmt.Errorf("parse %s: %w", *check, err))
+	failed := false
+	for _, base := range bases {
+		def, ok := lookup(base.Bench)
+		if !ok {
+			fatal(fmt.Errorf("%s records unknown benchmark %q; refresh it with -out", *check, base.Bench))
+		}
+		if fp := def.spec().Fingerprint(); base.SpecFingerprint != fp {
+			fatal(fmt.Errorf("%s entry %s was recorded for a different benchmark grid (fingerprint %.12s, current %.12s); refresh it with -out",
+				*check, base.Bench, base.SpecFingerprint, fp))
+		}
+		fmt.Printf("== %s\n", base.Bench)
+		report("baseline", base)
+		if !checkBench(def, base, *measure, *warmup, *retries, *minTpt, *maxAll) {
+			failed = true
+		}
 	}
-	if fp := jobs.BenchGridSpec().Fingerprint(); base.SpecFingerprint != fp {
-		fatal(fmt.Errorf("%s was recorded for a different benchmark grid (fingerprint %.12s, current %.12s); refresh it with -out",
-			*check, base.SpecFingerprint, fp))
+	if failed {
+		os.Exit(1)
 	}
-	report("baseline", base)
+}
 
-	attempts := *retries
+// checkBench measures def up to retries times and reports whether any
+// attempt stays within bounds of base.
+func checkBench(def benchDef, base baseline, measure time.Duration, warmup, retries int, minTpt, maxAll float64) bool {
+	attempts := retries
 	if attempts < 1 {
 		attempts = 1
 	}
-	var cur baseline
 	for attempt := 1; ; attempt++ {
-		cur, err = run(*measure, *warmup)
+		cur, err := def.run(measure, warmup)
 		if err != nil {
 			fatal(err)
 		}
 		report(fmt.Sprintf("attempt %d", attempt), cur)
-		failures := compare(base, cur, *minTpt, *maxAll)
+		failures := compare(base, cur, minTpt, maxAll)
 		if len(failures) == 0 {
-			fmt.Printf("ok: %.0fx throughput, %.2fx allocs vs baseline\n",
+			fmt.Printf("ok: %.1fx throughput, %.2fx allocs vs baseline\n",
 				cur.CellsPerSec/base.CellsPerSec, cur.AllocsPerCell/base.AllocsPerCell)
-			return
+			return true
 		}
 		for _, f := range failures {
-			fmt.Fprintf(os.Stderr, "benchdump: %s\n", f)
+			fmt.Fprintf(os.Stderr, "benchdump: %s: %s\n", def.name, f)
 		}
 		if attempt >= attempts {
-			fmt.Fprintf(os.Stderr, "benchdump: regression persisted across %d attempts\n", attempts)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "benchdump: %s: regression persisted across %d attempts\n", def.name, attempts)
+			return false
 		}
 		fmt.Fprintln(os.Stderr, "benchdump: retrying")
 	}
+}
+
+// readBaselines parses the baseline file: a JSON array of records, or the
+// legacy single-object format (treated as a one-entry baseline).
+func readBaselines(path string) ([]baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(bytes.TrimSpace(raw), []byte("{")) {
+		var one baseline
+		if err := json.Unmarshal(raw, &one); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		return []baseline{one}, nil
+	}
+	var many []baseline
+	if err := json.Unmarshal(raw, &many); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(many) == 0 {
+		return nil, fmt.Errorf("%s holds no baseline records; refresh it with -out", path)
+	}
+	return many, nil
+}
+
+func lookup(name string) (benchDef, bool) {
+	for _, def := range benches {
+		if def.name == name {
+			return def, true
+		}
+	}
+	return benchDef{}, false
 }
 
 // compare returns the bound violations of cur against base, empty when the
@@ -133,16 +214,16 @@ func compare(base, cur baseline, minTpt, maxAll float64) []string {
 	return failures
 }
 
-// run executes the benchmark grid through a fresh manager — one runner,
-// result and cell caches disabled, exactly BenchmarkGridSweep's setup — for
-// at least the requested measuring time, and returns the record.
-func run(measure time.Duration, warmup int) (baseline, error) {
-	m := jobs.NewManager(jobs.Config{Runners: 1, CacheSize: -1, CellCacheSize: -1})
+// run executes the benchmark grid through a fresh manager — the same setup
+// as the in-tree benchmark of the same name — for at least the requested
+// measuring time, and returns the record.
+func (def benchDef) run(measure time.Duration, warmup int) (baseline, error) {
+	m := jobs.NewManager(def.cfg)
 	defer m.Close()
-	spec := jobs.BenchGridSpec()
+	spec := def.spec()
 
 	for i := 0; i < warmup; i++ {
-		if err := submit(m, spec); err != nil {
+		if err := submit(m, spec, def.cells); err != nil {
 			return baseline{}, err
 		}
 	}
@@ -153,7 +234,7 @@ func run(measure time.Duration, warmup int) (baseline, error) {
 	start := time.Now()
 	iters := 0
 	for time.Since(start) < measure {
-		if err := submit(m, spec); err != nil {
+		if err := submit(m, spec, def.cells); err != nil {
 			return baseline{}, err
 		}
 		iters++
@@ -161,9 +242,9 @@ func run(measure time.Duration, warmup int) (baseline, error) {
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 
-	cells := float64(jobs.BenchGridCells * iters)
+	cells := float64(def.cells * iters)
 	return baseline{
-		Bench:           "GridSweep",
+		Bench:           def.name,
 		SpecFingerprint: spec.Fingerprint(),
 		GoVersion:       runtime.Version(),
 		Date:            time.Now().UTC().Format("2006-01-02"),
@@ -175,7 +256,7 @@ func run(measure time.Duration, warmup int) (baseline, error) {
 }
 
 // submit runs one grid job to completion and verifies its shape.
-func submit(m *jobs.Manager, spec jobs.Spec) error {
+func submit(m *jobs.Manager, spec jobs.Spec, cells int) error {
 	job, err := m.Submit(spec)
 	if err != nil {
 		return err
@@ -184,8 +265,8 @@ func submit(m *jobs.Manager, spec jobs.Spec) error {
 	if err := job.Err(); err != nil {
 		return err
 	}
-	if n := len(job.Result().Cells); n != jobs.BenchGridCells {
-		return fmt.Errorf("grid produced %d cells, want %d", n, jobs.BenchGridCells)
+	if n := len(job.Result().Cells); n != cells {
+		return fmt.Errorf("grid produced %d cells, want %d", n, cells)
 	}
 	return nil
 }

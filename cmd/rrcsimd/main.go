@@ -11,6 +11,11 @@
 // Usage:
 //
 //	rrcsimd -addr :8080 -parallel 0 -queue-depth 32 -cache-size 128
+//	rrcsimd -cell-parallel 1                # strictly sequential cells
+//	                                 # (default 0 schedules independent grid
+//	                                 # cells concurrently under one worker
+//	                                 # budget; results are byte-identical
+//	                                 # at any setting)
 //	rrcsimd -profile "att-hspa+"     # default profile for flat payloads
 //	rrcsimd -pprof localhost:6060    # profiling endpoints on a side listener
 //	rrcsimd -store-dir /var/lib/rrcsim/cells -store-max-bytes 1073741824
@@ -84,6 +89,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		cacheSize  = fs.Int("cache-size", 128, "fingerprint result cache entries (LRU; negative disables)")
 		cellCache  = fs.Int("cell-cache-size", 1024, "grid cell cache entries (LRU; negative disables)")
 		runners    = fs.Int("runners", 1, "jobs executing concurrently (each parallelizes internally)")
+		cellPar    = fs.Int("cell-parallel", 0, "grid cells in flight per job (0 = up to the worker budget, 1 = sequential; never changes results)")
 		profile    = fs.String("profile", "", "default carrier profile for legacy flat payloads that name none (see GET /v1/profiles)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 		storeDir   = fs.String("store-dir", "", "directory for the durable cell store (empty disables; created if missing)")
@@ -123,6 +129,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		CellCacheSize:  *cellCache,
 		Runners:        *runners,
 		Workers:        *parallel,
+		CellParallel:   *cellPar,
 		DefaultProfile: *profile,
 		Store:          cellStore,
 	})

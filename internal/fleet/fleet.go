@@ -60,6 +60,14 @@ type Options struct {
 	// synthesize each user's packets once instead of once per cell. Safe
 	// to share across concurrent runs.
 	TraceCache *TraceCache
+	// Budget, when non-nil, bounds this run's worker goroutines against a
+	// shared machine-wide token pool. The run's FIRST worker spawns
+	// unconditionally — the caller is assumed to hold one token on the
+	// run's behalf (the cell dispatcher acquires it before launching the
+	// run) — and each worker beyond the first requires a TryAcquire,
+	// released when that worker exits. Acquisition failure just means
+	// fewer workers; results never depend on the worker count.
+	Budget TokenSource
 }
 
 func (o Options) workers() int {
@@ -168,10 +176,29 @@ type Outcome struct {
 // accumulator; Fold folds one outcome into it and returns it (Fold runs
 // sequentially within a shard, so no locking is needed); Merge combines two
 // shard accumulators, left side first in shard order.
+//
+// The optional fields unlock the runtime's reuse paths; all of them may be
+// left unset (Collect does) at the cost of O(shards) accumulator
+// allocations per run:
+//
+//   - Reset empties an accumulator in place for reuse; when set, the run
+//     keeps a free list of merged-out shard accumulators and allocates
+//     only O(workers) of them regardless of the shard count.
+//   - Clone deep-copies an accumulator such that later mutations of the
+//     original never show through the copy. Required for progress
+//     snapshots (runHooked), because the reuse machinery recycles shard
+//     partials as soon as they merge.
+//   - Transient declares that Fold never retains Outcome.Result or
+//     Outcome.Baseline past the call; the run then reuses one Result pair
+//     per worker across every replay instead of allocating two per job.
 type Accumulator[A any] struct {
 	New   func() A
 	Fold  func(A, Outcome) A
 	Merge func(A, A) A
+
+	Reset     func(A) A
+	Clone     func(A) A
+	Transient bool
 }
 
 // workerState is the scratch one worker goroutine carries across jobs: a
@@ -184,6 +211,48 @@ type Accumulator[A any] struct {
 type workerState struct {
 	engine   *sim.Engine
 	policies map[policyCacheKey]cachedPolicies
+
+	// base and main are the worker's reusable Result pair, used when the
+	// run's accumulator is Transient (Fold copies what it needs and retains
+	// nothing): each replay overwrites a slot in place, reusing its slice
+	// capacity, so a shard of N jobs allocates zero Results instead of
+	// 2N. Two slots because a job's baseline and policy outcomes are alive
+	// simultaneously during the fold.
+	base, main sim.Result
+}
+
+// slots returns the Result pair replays should write into, or nils when
+// the accumulator may retain results (each replay then allocates fresh).
+func (ws *workerState) slots(reuse bool) (base, main *sim.Result) {
+	if reuse {
+		return &ws.base, &ws.main
+	}
+	return nil, nil
+}
+
+// runTrace replays a materialized trace on the worker's engine, into slot
+// when one is given.
+func (ws *workerState) runTrace(slot *sim.Result, tr trace.Trace, prof power.Profile,
+	demote policy.DemotePolicy, active policy.ActivePolicy, opts *sim.Options) (*sim.Result, error) {
+	if slot == nil {
+		return ws.engine.Run(tr, prof, demote, active, opts)
+	}
+	if err := ws.engine.RunInto(slot, tr, prof, demote, active, opts); err != nil {
+		return nil, err
+	}
+	return slot, nil
+}
+
+// runSrc is runTrace for a streaming source.
+func (ws *workerState) runSrc(slot *sim.Result, src trace.Source, prof power.Profile,
+	demote policy.DemotePolicy, active policy.ActivePolicy, opts *sim.Options) (*sim.Result, error) {
+	if slot == nil {
+		return ws.engine.RunSource(src, prof, demote, active, opts)
+	}
+	if err := ws.engine.RunSourceInto(slot, src, prof, demote, active, opts); err != nil {
+		return nil, err
+	}
+	return slot, nil
 }
 
 // policyCacheKey identifies a reusable policy pair. The profile is part of
@@ -246,12 +315,29 @@ func Run[A any](jobs []Job, opts Options, acc Accumulator[A]) (A, error) {
 	return runHooked(jobs, opts, acc, nil)
 }
 
-// runHooked is Run plus an optional per-shard hook receiving the completed
-// shard's index and (read-only) partial accumulator along with the progress
-// counts. The hook runs under the same serialization lock as
-// Options.OnShard; the partial it sees is final — no goroutine touches a
-// shard accumulator after its shard completes until the end-of-run merge.
-func runHooked[A any](jobs []Job, opts Options, acc Accumulator[A], hook func(shard int, partial A, p Progress)) (A, error) {
+// runHooked is Run plus an optional per-shard hook receiving the progress
+// counts and a snap function that builds the accumulator over every shard
+// finished so far — lazily, only when called. Hooks require acc.Clone (see
+// the snapshot determinism argument below); hooks and Options.OnShard are
+// serialized under one lock, and snap is safe to call from any goroutine,
+// during the run or after it returns — including synchronously from the
+// hook itself. The hook runs on a worker goroutine; keep it quick.
+//
+// Reduction strategy: shard partials merge EAGERLY, in shard index order,
+// into a single prefix accumulator (created up front by acc.New). A shard
+// finishing out of order parks in a pending map until every earlier shard
+// has merged. The op sequence — New, ⊕s0, ⊕s1, … ⊕sN — is exactly the
+// end-of-run loop the sequential reduction performed, so the final
+// accumulator is bit-identical; but merged-out partials can now be recycled
+// (acc.Reset) onto a free list, making accumulator allocations O(workers),
+// not O(shards).
+//
+// Snapshots stay deterministic under reuse: snap clones the prefix (built
+// from shards 0..k in index order) and merges the still-pending shards in
+// index order on top. That is the same op sequence as merging every
+// completed shard in index order into a fresh accumulator, so a snapshot's
+// content remains a pure function of the set of completed shards.
+func runHooked[A any](jobs []Job, opts Options, acc Accumulator[A], hook func(snap func() A, p Progress)) (A, error) {
 	var zero A
 	for i := range jobs {
 		if jobs[i].Trace == nil && jobs[i].Gen == nil && jobs[i].Source == nil {
@@ -264,6 +350,9 @@ func runHooked[A any](jobs []Job, opts Options, acc Accumulator[A], hook func(sh
 	if len(jobs) == 0 {
 		return acc.New(), nil
 	}
+	if hook != nil && acc.Clone == nil {
+		return zero, fmt.Errorf("fleet: progress hooks require Accumulator.Clone")
+	}
 
 	nshards := opts.shards(len(jobs))
 	workers := opts.workers()
@@ -271,39 +360,110 @@ func runHooked[A any](jobs []Job, opts Options, acc Accumulator[A], hook func(sh
 		workers = nshards
 	}
 
-	partials := make([]A, nshards)
-	errs := make([]error, nshards)
 	var (
+		// hookMu serializes hook/OnShard callbacks (and keeps their progress
+		// counts monotone); mu guards the merge state. Lock order is always
+		// hookMu → mu; snap takes only mu, so a hook that calls snap
+		// synchronously cannot deadlock.
+		hookMu   sync.Mutex
 		mu       sync.Mutex
 		progress = Progress{Shards: nshards, TotalJobs: len(jobs)}
+		merged   = acc.New()   // the ordered prefix: New ⊕ s0 ⊕ s1 ⊕ …
+		next     int           // next shard index the prefix absorbs
+		pending  = map[int]A{} // completed shards beyond the prefix
+		free     []A           // recycled scratch accumulators (Reset set)
+		errs     = make([]error, nshards)
 	)
+	snap := func() A {
+		mu.Lock()
+		defer mu.Unlock()
+		s := acc.Clone(merged)
+		for i := next; i < nshards; i++ {
+			if p, ok := pending[i]; ok {
+				s = acc.Merge(s, p)
+			}
+		}
+		return s
+	}
+	// complete parks shard s's partial, advances the prefix over every
+	// in-order pending shard, and fires the callbacks with the updated
+	// counts.
+	complete := func(s int, a A) {
+		hookMu.Lock()
+		mu.Lock()
+		pending[s] = a
+		for {
+			p, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			merged = acc.Merge(merged, p)
+			if acc.Reset != nil {
+				free = append(free, acc.Reset(p))
+			}
+			next++
+		}
+		lo, hi := shardRange(len(jobs), s, nshards)
+		progress.DoneShards++
+		progress.DoneJobs += hi - lo
+		p := progress
+		mu.Unlock()
+		if hook != nil {
+			hook(snap, p)
+		}
+		if opts.OnShard != nil {
+			opts.OnShard(p)
+		}
+		hookMu.Unlock()
+	}
+	// scratch pops a recycled accumulator, or reports that the worker must
+	// allocate a fresh one (outside the lock).
+	scratch := func() (A, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if n := len(free); n > 0 {
+			a := free[n-1]
+			free = free[:n-1]
+			return a, true
+		}
+		return zero, false
+	}
+
 	shardCh := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ws := workerPool.Get().(*workerState)
-			defer workerPool.Put(ws)
-			for s := range shardCh {
-				partials[s], errs[s] = runShard(jobs, s, nshards, ws, acc, opts)
-				if errs[s] != nil || (hook == nil && opts.OnShard == nil) {
-					continue
-				}
-				lo, hi := shardRange(len(jobs), s, nshards)
-				mu.Lock()
-				progress.DoneShards++
-				progress.DoneJobs += hi - lo
-				p := progress
-				if hook != nil {
-					hook(s, partials[s], p)
-				}
-				if opts.OnShard != nil {
-					opts.OnShard(p)
-				}
-				mu.Unlock()
+	worker := func(budgeted bool) {
+		defer wg.Done()
+		if budgeted {
+			defer opts.Budget.Release()
+		}
+		ws := workerPool.Get().(*workerState)
+		defer workerPool.Put(ws)
+		for s := range shardCh {
+			a, ok := scratch()
+			if !ok {
+				a = acc.New()
 			}
-		}()
+			a, err := runShard(jobs, s, nshards, ws, acc, opts, a)
+			if err != nil {
+				mu.Lock()
+				errs[s] = err
+				mu.Unlock()
+				continue
+			}
+			complete(s, a)
+		}
+	}
+	// The first worker always runs — under a budget it is covered by the
+	// token the caller holds for this run. Extras are opportunistic.
+	wg.Add(1)
+	go worker(false)
+	for w := 1; w < workers; w++ {
+		if opts.Budget != nil && !opts.Budget.TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go worker(opts.Budget != nil)
 	}
 	for s := 0; s < nshards; s++ {
 		shardCh <- s
@@ -315,10 +475,6 @@ func runHooked[A any](jobs []Job, opts Options, acc Accumulator[A], hook func(sh
 		if errs[s] != nil {
 			return zero, errs[s]
 		}
-	}
-	merged := acc.New()
-	for s := 0; s < nshards; s++ {
-		merged = acc.Merge(merged, partials[s])
 	}
 	return merged, nil
 }
@@ -415,16 +571,18 @@ func shardRange(jobs, s, nshards int) (lo, hi int) {
 }
 
 // runShard replays the shard's jobs in order on one engine, folding each
-// outcome as it completes. Cancellation is checked before every job.
-func runShard[A any](jobs []Job, s, nshards int, ws *workerState, acc Accumulator[A], opts Options) (A, error) {
-	a := acc.New()
+// outcome into the caller-provided (empty) accumulator as it completes.
+// Cancellation is checked before every job. Transient accumulators let the
+// replays reuse the worker's Result pair instead of allocating per run.
+func runShard[A any](jobs []Job, s, nshards int, ws *workerState, acc Accumulator[A], opts Options, a A) (A, error) {
+	reuse := acc.Transient
 	lo, hi := shardRange(len(jobs), s, nshards)
 	for i := lo; i < hi; i++ {
 		if canceled(opts.Cancel) {
 			var zero A
 			return zero, fmt.Errorf("fleet: shard %d at job %d: %w", s, i, ErrCanceled)
 		}
-		out, err := runJob(&jobs[i], i, ws, opts.TraceCache)
+		out, err := runJob(&jobs[i], i, ws, opts.TraceCache, reuse)
 		if err != nil {
 			var zero A
 			return zero, fmt.Errorf("fleet: job %d (scheme %q, seed %d): %w",
@@ -440,21 +598,25 @@ func runShard[A any](jobs []Job, s, nshards int, ws *workerState, acc Accumulato
 // falling back to a materialized trace for explicit traces and Gen jobs.
 // Cacheable Source jobs (CacheKey set, cache provided) replay the memoized
 // materialized trace instead — byte-identical to streaming the same seed,
-// but synthesized once per cache lifetime rather than per replay.
-func runJob(job *Job, index int, ws *workerState, tc *TraceCache) (Outcome, error) {
+// but synthesized once per cache lifetime rather than per replay. reuse
+// (from Accumulator.Transient) routes both replays into the worker's
+// Result pair; the Outcome then aliases worker scratch and is valid only
+// during the fold, exactly what Outcome's contract already says.
+func runJob(job *Job, index int, ws *workerState, tc *TraceCache, reuse bool) (Outcome, error) {
 	if job.Source != nil && job.Trace == nil && job.Gen == nil {
 		if tc != nil && job.CacheKey != "" {
-			return runJobCached(job, index, ws, tc)
+			return runJobCached(job, index, ws, tc, reuse)
 		}
-		return runJobStreaming(job, index, ws)
+		return runJobStreaming(job, index, ws, reuse)
 	}
 	tr := job.Trace
 	if tr == nil {
 		tr = job.Gen(job.Seed)
 	}
+	baseSlot, mainSlot := ws.slots(reuse)
 	out := Outcome{Index: index, Job: job}
 	if job.Baseline {
-		base, err := ws.engine.Run(tr, job.Profile, policy.StatusQuo{}, nil, job.Opts)
+		base, err := ws.runTrace(baseSlot, tr, job.Profile, policy.StatusQuo{}, nil, job.Opts)
 		if err != nil {
 			return out, fmt.Errorf("baseline: %w", err)
 		}
@@ -464,7 +626,7 @@ func runJob(job *Job, index int, ws *workerState, tc *TraceCache) (Outcome, erro
 	if err != nil {
 		return out, err
 	}
-	res, err := ws.engine.Run(tr, job.Profile, demote, active, job.Opts)
+	res, err := ws.runTrace(mainSlot, tr, job.Profile, demote, active, job.Opts)
 	if err != nil {
 		return out, err
 	}
@@ -476,7 +638,7 @@ func runJob(job *Job, index int, ws *workerState, tc *TraceCache) (Outcome, erro
 // collecting and memoizing the source on miss. Policy factories keep the
 // streaming path's semantics — nil trace unless FitTrace — so a job
 // behaves identically whether or not its trace happened to be cached.
-func runJobCached(job *Job, index int, ws *workerState, tc *TraceCache) (Outcome, error) {
+func runJobCached(job *Job, index int, ws *workerState, tc *TraceCache, reuse bool) (Outcome, error) {
 	out := Outcome{Index: index, Job: job}
 	tr, ok := tc.Get(job.CacheKey)
 	if !ok {
@@ -494,14 +656,15 @@ func runJobCached(job *Job, index int, ws *workerState, tc *TraceCache) (Outcome
 	if err != nil {
 		return out, err
 	}
+	baseSlot, mainSlot := ws.slots(reuse)
 	if job.Baseline {
-		base, err := ws.engine.Run(tr, job.Profile, policy.StatusQuo{}, nil, job.Opts)
+		base, err := ws.runTrace(baseSlot, tr, job.Profile, policy.StatusQuo{}, nil, job.Opts)
 		if err != nil {
 			return out, fmt.Errorf("baseline: %w", err)
 		}
 		out.Baseline = base
 	}
-	res, err := ws.engine.Run(tr, job.Profile, demote, active, job.Opts)
+	res, err := ws.runTrace(mainSlot, tr, job.Profile, demote, active, job.Opts)
 	if err != nil {
 		return out, err
 	}
@@ -518,20 +681,21 @@ func runJobCached(job *Job, index int, ws *workerState, tc *TraceCache) (Outcome
 // so only the fit is O(trace) and the replays stream like any other job
 // (sim.RunSource and sim.Run are byte-identical on the same packets, so
 // fitting materialized and replaying streamed changes nothing).
-func runJobStreaming(job *Job, index int, ws *workerState) (Outcome, error) {
+func runJobStreaming(job *Job, index int, ws *workerState, reuse bool) (Outcome, error) {
 	out := Outcome{Index: index, Job: job}
 	demote, active, err := fitPolicies(job, ws)
 	if err != nil {
 		return out, err
 	}
+	baseSlot, mainSlot := ws.slots(reuse)
 	if job.Baseline {
-		base, err := ws.engine.RunSource(job.Source(job.Seed), job.Profile, policy.StatusQuo{}, nil, job.Opts)
+		base, err := ws.runSrc(baseSlot, job.Source(job.Seed), job.Profile, policy.StatusQuo{}, nil, job.Opts)
 		if err != nil {
 			return out, fmt.Errorf("baseline: %w", err)
 		}
 		out.Baseline = base
 	}
-	res, err := ws.engine.RunSource(job.Source(job.Seed), job.Profile, demote, active, job.Opts)
+	res, err := ws.runSrc(mainSlot, job.Source(job.Seed), job.Profile, demote, active, job.Opts)
 	if err != nil {
 		return out, err
 	}

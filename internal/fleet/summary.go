@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/metrics"
 )
@@ -93,6 +92,36 @@ func (s *SchemeSummary) fold(out Outcome) {
 	}
 }
 
+// clone returns an independent bitwise copy: the streams are value
+// structs, and the histograms get a fresh slab carved exactly like
+// newSchemeSummary's with the counts (and totals) copied over.
+func (s *SchemeSummary) clone() *SchemeSummary {
+	c := new(SchemeSummary)
+	*c = *s // streams by value; histogram headers share slabs until re-carved
+	n := len(s.EnergyHist.Counts)
+	slab := make([]int64, 3*n)
+	copy(slab[0:n], s.EnergyHist.Counts)
+	copy(slab[n:2*n], s.DelayHist.Counts)
+	copy(slab[2*n:3*n], s.SignalHist.Counts)
+	c.EnergyHist.Counts = slab[0:n:n]
+	c.DelayHist.Counts = slab[n : 2*n : 2*n]
+	c.SignalHist.Counts = slab[2*n : 3*n : 3*n]
+	return c
+}
+
+// reset zeroes the aggregate in place for reuse: streams back to their
+// zero values, histogram bins and totals cleared, layout and slab kept.
+func (s *SchemeSummary) reset() {
+	s.Energy = metrics.Stream{}
+	s.SavingsPct = metrics.Stream{}
+	s.SwitchRatio = metrics.Stream{}
+	s.Promotions = metrics.Stream{}
+	s.BurstDelay = metrics.Stream{}
+	s.EnergyHist.Zero()
+	s.DelayHist.Zero()
+	s.SignalHist.Zero()
+}
+
 func (s *SchemeSummary) merge(o *SchemeSummary) error {
 	s.Energy.Merge(o.Energy)
 	s.SavingsPct.Merge(o.SavingsPct)
@@ -116,6 +145,12 @@ type Summary struct {
 	Jobs int64
 	// Schemes maps scheme label to its aggregate.
 	Schemes map[string]*SchemeSummary
+
+	// spare holds zeroed SchemeSummaries recycled by Reset, popped before
+	// allocating. Only scratch accumulators inside a run ever carry spares
+	// — every Summary a caller sees has a nil spare, so DeepEqual
+	// comparisons and the codecs are unaffected.
+	spare []*SchemeSummary
 }
 
 // NewSummary returns an empty summary with the given histogram layouts.
@@ -123,15 +158,54 @@ func NewSummary(cfg SummaryConfig) *Summary {
 	return &Summary{cfg: cfg.withDefaults(), Schemes: map[string]*SchemeSummary{}}
 }
 
+// Clone returns an independent bitwise copy of the summary: mutating
+// either side (folds, merges) never shows through the other. The spare
+// list is scratch and not cloned.
+func (s *Summary) Clone() *Summary {
+	c := NewSummary(s.cfg)
+	c.Jobs = s.Jobs
+	for k, v := range s.Schemes {
+		c.Schemes[k] = v.clone()
+	}
+	return c
+}
+
+// Reset empties the summary for reuse as a scratch accumulator, moving its
+// scheme aggregates onto the spare list (zeroed, layout kept) so the next
+// fold into the same labels allocates nothing. An empty map — rather than
+// zeroed entries left in place — matters for correctness, not just
+// hygiene: merging a summary that carries empty scheme entries would
+// create spurious keys in the destination.
+func (s *Summary) Reset() *Summary {
+	s.Jobs = 0
+	for k, agg := range s.Schemes {
+		agg.reset()
+		s.spare = append(s.spare, agg)
+		delete(s.Schemes, k)
+	}
+	return s
+}
+
+// scheme returns the aggregate for label k, reusing a spare before
+// allocating.
+func (s *Summary) scheme(k string) *SchemeSummary {
+	agg := s.Schemes[k]
+	if agg == nil {
+		if n := len(s.spare); n > 0 {
+			agg = s.spare[n-1]
+			s.spare = s.spare[:n-1]
+		} else {
+			agg = newSchemeSummary(s.cfg)
+		}
+		s.Schemes[k] = agg
+	}
+	return agg
+}
+
 // Fold folds one outcome into the summary.
 func (s *Summary) Fold(out Outcome) {
 	s.Jobs++
-	agg := s.Schemes[out.Job.Scheme]
-	if agg == nil {
-		agg = newSchemeSummary(s.cfg)
-		s.Schemes[out.Job.Scheme] = agg
-	}
-	agg.fold(out)
+	s.scheme(out.Job.Scheme).fold(out)
 }
 
 // Merge folds another summary into s, scheme by scheme in sorted label
@@ -162,12 +236,7 @@ func (s *Summary) Merge(o *Summary) error {
 }
 
 func (s *Summary) mergeScheme(k string, o *SchemeSummary) error {
-	agg := s.Schemes[k]
-	if agg == nil {
-		agg = newSchemeSummary(s.cfg)
-		s.Schemes[k] = agg
-	}
-	if err := agg.merge(o); err != nil {
+	if err := s.scheme(k).merge(o); err != nil {
 		return fmt.Errorf("fleet: scheme %s: %w", k, err)
 	}
 	return nil
@@ -205,7 +274,11 @@ func (s *Summary) String() string {
 
 // SummaryAccumulator is the ready-made Accumulator reducing into a Summary.
 // Layout mismatches cannot occur (every shard shares cfg), so Merge's error
-// path is unreachable and swallowed.
+// path is unreachable and swallowed. It opts into every reuse path: Reset
+// and Clone let the runtime recycle shard accumulators (O(workers) summary
+// allocations per run) while keeping snapshots deterministic, and Transient
+// is safe because Fold copies scalars out of the Results and retains
+// nothing.
 func SummaryAccumulator(cfg SummaryConfig) Accumulator[*Summary] {
 	cfg = cfg.withDefaults()
 	return Accumulator[*Summary]{
@@ -220,6 +293,9 @@ func SummaryAccumulator(cfg SummaryConfig) Accumulator[*Summary] {
 			}
 			return a
 		},
+		Reset:     func(s *Summary) *Summary { return s.Reset() },
+		Clone:     func(s *Summary) *Summary { return s.Clone() },
+		Transient: true,
 	}
 }
 
@@ -235,46 +311,21 @@ func RunSummary(jobs []Job, opts Options, cfg SummaryConfig) (*Summary, error) {
 // polled a handful of times per run) pay the merge on read instead of once
 // per shard; callers that never read pay nothing.
 //
-// snap merges completed shard accumulators in shard index order, so a
-// snapshot's content is a deterministic function of the *set* of completed
-// shards, and the final result remains bit-identical to RunSummary — the
-// end-of-run reduction merges into a fresh accumulator, never into a shard
-// partial, so completed partials are immutable. snap is safe to call from
+// snap builds its summary by the same op sequence as merging every
+// completed shard in shard index order into a fresh accumulator (see
+// runHooked: a clone of the eagerly merged in-order prefix plus the
+// still-pending shards in index order), so a snapshot's content is a
+// deterministic function of the *set* of completed shards, and the final
+// result remains bit-identical to RunSummary. snap is safe to call from
 // any goroutine, during the run or after it returns; later calls observe
 // newly completed shards. Each snap() result is an independent Summary the
 // caller may retain. onProgress runs serialized on a worker goroutine;
-// keep it quick (stash snap, don't call it there).
+// keep it quick.
 func RunSummaryLazyProgress(jobs []Job, opts Options, cfg SummaryConfig, onProgress func(snap func() *Summary, p Progress)) (*Summary, error) {
 	if onProgress == nil {
 		return RunSummary(jobs, opts, cfg)
 	}
-	cfg = cfg.withDefaults()
-	var (
-		mu      sync.Mutex
-		nshards int
-		done    = make(map[int]*Summary)
-	)
-	snap := func() *Summary {
-		merged := NewSummary(cfg)
-		mu.Lock()
-		defer mu.Unlock()
-		for s := 0; s < nshards; s++ {
-			if d := done[s]; d != nil {
-				if err := merged.Merge(d); err != nil {
-					panic(err) // impossible: all shards share one layout
-				}
-			}
-		}
-		return merged
-	}
-	hook := func(shard int, partial *Summary, p Progress) {
-		mu.Lock()
-		nshards = p.Shards
-		done[shard] = partial
-		mu.Unlock()
-		onProgress(snap, p)
-	}
-	return runHooked(jobs, opts, SummaryAccumulator(cfg), hook)
+	return runHooked(jobs, opts, SummaryAccumulator(cfg), onProgress)
 }
 
 // RunSummaryWithProgress is RunSummaryLazyProgress with eager snapshots:

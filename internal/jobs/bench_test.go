@@ -42,3 +42,52 @@ func BenchmarkGridSweep(b *testing.B) {
 	b.ReportMetric(float64(cells*b.N)/elapsed.Seconds(), "cells/sec")
 	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(cells*b.N), "allocs/cell")
 }
+
+// BenchmarkGridSweepWide measures cell-level scheduling on a wide grid: 32
+// small cells whose replays are short enough that dispatch, budget handoff
+// and ordered collection are a visible share of the work. The seq
+// sub-benchmark pins CellParallel=1 (the historical strictly-sequential
+// loop); par uses the budget-admitted default. On a multi-core machine
+// par/seq cells/sec is the saturation ratio; results are byte-identical
+// either way (TestCellParallelDeterminism).
+func BenchmarkGridSweepWide(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"seq", 1},
+		{"par", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			m := NewManager(Config{Runners: 1, CacheSize: -1, CellCacheSize: -1,
+				CellParallel: bc.par})
+			defer m.Close()
+			spec := BenchWideGridSpec()
+			const cells = BenchWideGridCells
+
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job, err := m.Submit(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				<-job.Done()
+				if err := job.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if len(job.Result().Cells) != cells {
+					b.Fatalf("grid produced %d cells", len(job.Result().Cells))
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(cells*b.N)/elapsed.Seconds(), "cells/sec")
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(cells*b.N), "allocs/cell")
+		})
+	}
+}

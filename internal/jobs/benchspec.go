@@ -30,3 +30,33 @@ func BenchGridSpec() Spec {
 
 // BenchGridCells is BenchGridSpec's cell count (the benchmark's work unit).
 const BenchGridCells = 4
+
+// BenchWideGridSpec is the wide scheduling benchmark: many small cells
+// (4 schemes × 4 profiles × 2 cohorts = 32 cells of 2 users × 10 minutes,
+// one shard each) so per-cell replay work is short and the cost under
+// measurement is the executor itself — dispatch, budget handoff, ordered
+// collection. BenchmarkGridSweepWide runs it at CellParallel=1 and at the
+// budget-admitted default; the ratio is the machine-saturation headline.
+func BenchWideGridSpec() Spec {
+	return Spec{Seed: 1, Shards: 1,
+		Schemes: []fleet.SchemeSpec{
+			{Policy: policy.Spec{Name: "makeidle"}},
+			{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "2s"}}},
+			{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "5s"}}},
+			{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "10s"}}},
+		},
+		Profiles: []power.ProfileSpec{
+			{Name: "verizon-3g"},
+			{Name: "verizon-lte"},
+			{Name: "tmobile-3g"},
+			{Name: "att-hspa+"},
+		},
+		Cohorts: []fleet.CohortSpec{
+			{Name: "study-3g", Params: map[string]any{"users": 2, "duration": "10m"}},
+			{Name: "study-3g", Params: map[string]any{"users": 2, "duration": "15m"}},
+		},
+	}
+}
+
+// BenchWideGridCells is BenchWideGridSpec's cell count.
+const BenchWideGridCells = 32

@@ -244,9 +244,19 @@ type Config struct {
 	// Runners is the number of jobs executing concurrently (default 1;
 	// each job already parallelizes internally across Workers).
 	Runners int
-	// Workers is the fleet worker count per job (<= 0 = all cores).
-	// Worker count never changes results.
+	// Workers sizes the manager-wide worker budget (<= 0 = all cores):
+	// the bound on concurrent replay goroutines shared between intra-cell
+	// fleet shards and inter-cell parallelism, across every runner. Worker
+	// count never changes results.
 	Workers int
+	// CellParallel caps how many grid cells of one job execute
+	// concurrently (0 = as many as the worker budget admits; 1 =
+	// sequential cells, the historical behavior; results are
+	// byte-identical at every setting). Cells dispatch onto the shared
+	// worker budget either way, so raising it never over-subscribes the
+	// machine — it only lets wide grids of small cells fill workers that
+	// a single cell's shards would leave idle.
+	CellParallel int
 	// MaxRecords bounds the job registry (default 1024): once exceeded,
 	// the oldest *terminal* jobs are forgotten (their id returns 404).
 	// Live jobs are never evicted, so the registry — and with it the
@@ -332,6 +342,17 @@ type Manager struct {
 	// served from a cache tier) — the observable the resume-equivalence
 	// tests pin and a health gauge for cache effectiveness.
 	cellsRun atomic.Uint64
+
+	// cellsLive gauges cells currently executing across all runners (the
+	// /healthz in-flight gauge).
+	cellsLive atomic.Int64
+
+	// budget is the manager-wide worker-token pool (cap = Config.Workers,
+	// or GOMAXPROCS). A cell in flight holds one token (its first fleet
+	// worker); extra fleet workers and additional concurrent cells each
+	// hold one more, so total replay-goroutine pressure is capped at the
+	// budget no matter how wide the grid or how many runners race.
+	budget *fleet.Budget
 }
 
 // NewManager starts a manager with cfg.Runners runner goroutines.
@@ -344,6 +365,7 @@ func NewManager(cfg Config) *Manager {
 		cells:  newLRUCache[*CellResult](cfg.CellCacheSize),
 		traces: fleet.NewTraceCache(cfg.TraceCachePackets),
 		axes:   newAxisCache(),
+		budget: fleet.NewBudget(cfg.Workers),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Runners; i++ {
@@ -537,25 +559,11 @@ func (j *Job) requestCancel() {
 	}
 }
 
-// runJob executes one popped job against the fleet runtime: one fleet run
-// per grid cell, sequentially, in the fixed cell order (cohort-major,
-// then profile, then scheme). Per-cell runs — rather than one run over
-// the concatenated job list — keep every cell's reduction grouping
-// exactly what a single-axis job would use, so cell summaries are
-// byte-identical to separate jobs. Cells already in the cell cache are
-// served without replaying (their rendered bytes are shared verbatim);
-// progress and partials accumulate across cells either way.
-//
-// Single-axis jobs (one profile, one cohort) additionally merge their
-// cells into one combined Summary for the legacy flat rendering — scheme
-// labels are disjoint within an axis, and merging into an empty aggregate
-// copies it exactly. Partial snapshots accumulate across cells for them;
-// wider grids expose the in-flight cell's partial (labels repeat across
-// cells, so a cross-cell merge would conflate them). Partials stay lazy
-// end to end: each progress event installs a closure over the completed
-// cell summaries so far (an append-only slice, so captured headers stay
-// immutable) plus the fleet's shard snapshot; nothing merges until
-// somebody calls Job.Partial.
+// runJob executes one popped job through the cell executor (exec.go):
+// independent frontier cells dispatch concurrently onto the manager-wide
+// worker budget while results are collected in planned cell order, so
+// every rendering, partial snapshot, fingerprint and store record is
+// byte-identical to a sequential run.
 func (m *Manager) runJob(job *Job) {
 	job.mu.Lock()
 	if job.state.Terminal() { // canceled while queued
@@ -567,116 +575,12 @@ func (m *Manager) runJob(job *Job) {
 	spec := job.spec
 	cells := job.cells
 	job.mu.Unlock()
-
-	opts := fleet.Options{
-		Workers:    m.cfg.Workers,
-		Shards:     spec.Shards,
-		Cancel:     job.cancel,
-		TraceCache: m.traces,
-	}
-	cfg := fleet.SummaryConfig{}
-	totals := Progress{}
-	for _, cell := range cells {
-		totals.Shards += cell.Shards
-		totals.TotalJobs += cell.NumJobs
-	}
-	singleAxis := spec.singleAxis()
-	// prior accumulates completed cell summaries in cell order. Append-only:
-	// partial closures capture the current slice header, whose elements are
-	// never rewritten, so reads need no lock.
-	prior := make([]*fleet.Summary, 0, len(cells))
-	mergePrior := func(base []*fleet.Summary) *fleet.Summary {
-		merged := fleet.NewSummary(cfg)
-		for _, b := range base {
-			mustMerge(merged, b)
-		}
-		return merged
-	}
-	done := Progress{Shards: totals.Shards, TotalJobs: totals.TotalJobs}
-	results := make([]*CellResult, 0, len(cells))
-	for _, cell := range cells {
-		select {
-		case <-job.cancel:
-			job.finish(StateCanceled, nil, fleet.ErrCanceled)
-			return
-		default:
-		}
-		cached, hit := m.lookupCell(cell)
-		if hit {
-			results = append(results, cached)
-			prior = append(prior, cached.Summary)
-			done.DoneShards += cached.shards
-			done.DoneJobs += cached.jobs
-			overall := Progress{
-				DoneShards: done.DoneShards, Shards: totals.Shards,
-				DoneJobs: done.DoneJobs, TotalJobs: totals.TotalJobs,
-			}
-			if singleAxis {
-				base := prior
-				job.setPartial(func() *fleet.Summary { return mergePrior(base) }, overall)
-			} else {
-				sum := cached.Summary
-				job.setPartial(func() *fleet.Summary { return sum }, overall)
-			}
-			continue
-		}
-		base, doneAtStart := prior, done
-		sum, err := m.cfg.runFleet(cell.Jobs(), opts, cfg,
-			func(snap func() *fleet.Summary, p fleet.Progress) {
-				overall := Progress{
-					DoneShards: doneAtStart.DoneShards + p.DoneShards, Shards: totals.Shards,
-					DoneJobs: doneAtStart.DoneJobs + p.DoneJobs, TotalJobs: totals.TotalJobs,
-				}
-				fn := snap
-				if singleAxis {
-					fn = func() *fleet.Summary {
-						merged := mergePrior(base)
-						mustMerge(merged, snap())
-						return merged
-					}
-				}
-				job.setPartial(fn, overall)
-			})
-		if err != nil {
-			if errors.Is(err, fleet.ErrCanceled) {
-				job.finish(StateCanceled, nil, err)
-			} else {
-				job.finish(StateFailed, nil, err)
-			}
-			return
-		}
-		m.cellsRun.Add(1)
-		cellRes := newCellResult(cell, sum)
-		m.mu.Lock()
-		m.cells.put(cell.Key, cellRes)
-		m.mu.Unlock()
-		if m.cfg.Store != nil {
-			// Best effort: a full disk or dying store must not fail the job —
-			// the result is already in memory; durability just degrades.
-			_ = m.cfg.Store.Put(cell.Key, encodeCellResult(cellRes))
-		}
-		results = append(results, cellRes)
-		prior = append(prior, sum)
-		done.DoneShards += cell.Shards
-		done.DoneJobs += cell.NumJobs
-	}
-	var combined *fleet.Summary
-	if singleAxis {
-		// Merging the cell summaries in cell order into one empty aggregate
-		// reproduces, byte for byte, the incremental merge the run used to
-		// do — only deferred to the end.
-		combined = mergePrior(prior)
-	}
-	res := newResult(results, combined)
-	res.Progress = done
-	job.mu.Lock()
-	job.progress = res.Progress
-	job.mu.Unlock()
-	m.mu.Lock()
-	m.cache.put(job.fingerprint, res)
-	m.mu.Unlock()
-	job.finish(StateDone, res, nil)
+	newCellExec(m, job, spec, cells).run()
 }
+
+// CellsInFlight gauges how many grid cells are executing right now across
+// all runners (for the health endpoint).
+func (m *Manager) CellsInFlight() int64 { return m.cellsLive.Load() }
 
 // lookupCell consults the cache tiers for a planned cell: the in-memory
 // cell cache first, then the durable store. A store hit must survive

@@ -177,6 +177,16 @@ func (h *Histogram) Add(x float64) {
 // Count returns the number of samples added.
 func (h *Histogram) Count() int64 { return h.total }
 
+// Zero clears every bin and the sample count in place, keeping the bin
+// layout and backing storage — the reset half of reusing a histogram as
+// scratch across merges.
+func (h *Histogram) Zero() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.total = 0
+}
+
 // Merge folds another histogram into h. It returns an error when the bin
 // layouts differ (merging those would silently misbin samples).
 func (h *Histogram) Merge(o *Histogram) error {

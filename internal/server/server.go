@@ -166,12 +166,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
-		"status":         "ok",
-		"jobs":           s.manager.Len(),
-		"queue_depth":    s.manager.QueueDepth(),
-		"cache_len":      s.manager.CacheLen(),
-		"cell_cache_len": s.manager.CellCacheLen(),
-		"cells_executed": s.manager.CellsExecuted(),
+		"status":          "ok",
+		"jobs":            s.manager.Len(),
+		"queue_depth":     s.manager.QueueDepth(),
+		"cache_len":       s.manager.CacheLen(),
+		"cell_cache_len":  s.manager.CellCacheLen(),
+		"cells_executed":  s.manager.CellsExecuted(),
+		"cells_in_flight": s.manager.CellsInFlight(),
 	}
 	if stats, ok := s.manager.StoreStats(); ok {
 		body["store"] = stats

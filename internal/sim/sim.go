@@ -244,10 +244,23 @@ func (e *Engine) Reset() {
 // through the same streaming path RunSource uses, so the two agree bit for
 // bit on identical packets.
 func (e *Engine) Run(tr trace.Trace, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) (*Result, error) {
+	res := new(Result)
+	if err := e.RunInto(res, tr, prof, demote, active, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto is Run writing into a caller-owned Result: res is overwritten
+// wholesale, reusing its slice capacity, so a caller replaying in a loop
+// allocates no Result (and, steady-state, no slices) per run. The fields
+// are byte-identical to what Run would have returned. On error res is left
+// in an unspecified state.
+func (e *Engine) RunInto(res *Result, tr trace.Trace, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) error {
 	e.slice.Reset(tr)
-	res, err := e.RunSource(&e.slice, prof, demote, active, opts)
+	err := e.RunSourceInto(res, &e.slice, prof, demote, active, opts)
 	e.slice.Reset(nil) // drop the trace reference until the next run
-	return res, err
+	return err
 }
 
 // RunSource replays a streaming packet source on this engine. Semantics
@@ -256,21 +269,40 @@ func (e *Engine) Run(tr trace.Trace, prof power.Profile, demote policy.DemotePol
 // the same errors Trace.Validate reports, discovered at the offending
 // packet.
 func (e *Engine) RunSource(src trace.Source, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) (*Result, error) {
-	if err := prof.Validate(); err != nil {
+	res := new(Result)
+	if err := e.RunSourceInto(res, src, prof, demote, active, opts); err != nil {
 		return nil, err
 	}
+	return res, nil
+}
+
+// RunSourceInto is RunSource writing into a caller-owned Result (see
+// RunInto for the reuse contract).
+func (e *Engine) RunSourceInto(res *Result, src trace.Source, prof power.Profile, demote policy.DemotePolicy, active policy.ActivePolicy, opts *Options) error {
+	if err := prof.Validate(); err != nil {
+		return err
+	}
 	if demote == nil {
-		return nil, fmt.Errorf("sim: demote policy is nil")
+		return fmt.Errorf("sim: demote policy is nil")
 	}
 	if src == nil {
-		return nil, fmt.Errorf("sim: source is nil")
+		return fmt.Errorf("sim: source is nil")
 	}
 	demote.Reset()
 	if active != nil {
 		active.Reset()
 	}
 
-	res := &Result{Policy: demote.Name(), Profile: prof.Name}
+	// Overwrite every field; truncation (not nil) keeps a reused Result's
+	// slice capacity. A fresh Result's nil slices stay nil under [:0], so
+	// the non-reusing callers return exactly the bytes they always did.
+	*res = Result{
+		Policy:      demote.Name(),
+		Profile:     prof.Name,
+		BurstDelays: res.BurstDelays[:0],
+		EpisodeLog:  res.EpisodeLog[:0],
+		Decisions:   res.Decisions[:0],
+	}
 	if active != nil {
 		res.Active = active.Name()
 	}
@@ -310,13 +342,25 @@ func (e *Engine) RunSource(src trace.Source, prof power.Profile, demote policy.D
 	e.window.reset(src, opts.burstGap())
 	if err := e.run(); err != nil {
 		e.Reset()
-		return nil, err
+		return err
 	}
 
 	res.Packets = e.packets
 	res.Duration = e.lastT
+	// Byte-identity with Run: a run that recorded nothing into a reused
+	// slice must leave the field nil, exactly as a fresh Result would —
+	// the backing array is only dropped in that empty case.
+	if len(res.BurstDelays) == 0 {
+		res.BurstDelays = nil
+	}
+	if len(res.EpisodeLog) == 0 {
+		res.EpisodeLog = nil
+	}
+	if len(res.Decisions) == 0 {
+		res.Decisions = nil
+	}
 	e.Reset() // drop policy/profile/result references until the next run
-	return res, nil
+	return nil
 }
 
 // ensureDecision fixes the demote decision for the gap that began at the
