@@ -1,0 +1,22 @@
+// Command rrclint is the repo's determinism lint suite packaged as a go vet
+// tool. It speaks the unitchecker protocol, so it composes with the build
+// cache and vet's diagnostics plumbing:
+//
+//	go build -o /tmp/rrclint ./cmd/rrclint
+//	go vet -vettool=/tmp/rrclint ./...
+//
+// Run a single analyzer by naming it (vet semantics — naming any analyzer
+// disables the rest): go vet -vettool=/tmp/rrclint -detrange ./...
+// scripts/lint.sh wraps the build-and-run so developers and CI invoke the
+// identical gate. See internal/analysis for the analyzer suite.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	unitchecker.Main(analysis.All()...)
+}

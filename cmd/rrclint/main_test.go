@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestBinaryRegistersEveryAnalyzer builds the real vettool and asserts its
+// `help` output lists exactly the analyzers internal/analysis.All()
+// returns — the end-to-end registration guard: an analyzer dropped from
+// main.go (or a stale binary wiring) fails here even though the package
+// still compiles.
+func TestBinaryRegistersEveryAnalyzer(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "rrclint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "help").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rrclint help: %v\n%s", err, out)
+	}
+	help := string(out)
+	_, registered, ok := strings.Cut(help, "Registered analyzers:")
+	if !ok {
+		t.Fatalf("no 'Registered analyzers:' section in help output:\n%s", help)
+	}
+	registered, _, _ = strings.Cut(registered, "By default")
+	for _, a := range analysis.All() {
+		if !strings.Contains(registered, "\n    "+a.Name+" ") {
+			t.Errorf("analyzer %q not listed by the built binary", a.Name)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package analysis assembles rrclint, the repo's determinism-aware static
+// analyzer suite. Every byte-identity invariant this reproduction depends
+// on — sorted map keys before encoding, no ambient clocks or global RNG in
+// replay paths, test seams unreachable from production code, the documented
+// mutex lock order, scratch buffers that never escape — is enforced at
+// compile time by a custom go/analysis pass registered here and run via
+// `go vet -vettool` (see scripts/lint.sh and cmd/rrclint).
+//
+// Control comments use the shared //rrclint: prefix; see
+// internal/analysis/internal/directive for the marker/suppression split and
+// docs/architecture.md for the per-analyzer contract.
+package analysis
+
+import (
+	goanalysis "golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/nowallclock"
+	"repro/internal/analysis/scratchescape"
+	"repro/internal/analysis/testseam"
+)
+
+// All returns every rrclint analyzer, in stable name order. cmd/rrclint
+// registers exactly this list; a guard test asserts the list covers every
+// analyzer package in this directory.
+func All() []*goanalysis.Analyzer {
+	return []*goanalysis.Analyzer{
+		detrange.Analyzer,
+		lockorder.Analyzer,
+		nowallclock.Analyzer,
+		scratchescape.Analyzer,
+		testseam.Analyzer,
+	}
+}

@@ -1,0 +1,146 @@
+// Package detrange flags `for range` over maps in the deterministic
+// fingerprint/codec/merge/render paths. Go randomizes map iteration order,
+// so a map range that feeds an encoder, a hash, a merge or a rendered table
+// is a byte-identity bug waiting for a different schedule.
+//
+// A map range inside the scoped packages is accepted only when
+//
+//   - it is the benign collect-keys idiom — the loop body is exactly
+//     `keys = append(keys, k)` with the keys sorted before use — or
+//   - the loop carries an explicit `//rrclint:ordered <reason>` suppression
+//     on its own line or the line above, asserting that iteration order
+//     cannot reach any encoded byte.
+//
+// Everything else is reported. Test files are exempt.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/internal/directive"
+	"repro/internal/analysis/internal/scope"
+)
+
+// DefaultScope is the set of packages whose map iteration can reach
+// fingerprints, codecs, merges or rendered results.
+const DefaultScope = "internal/spec,internal/jobs,internal/fleet,internal/store,internal/report"
+
+var scopeFlag string
+
+// Analyzer is the detrange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flag nondeterministic map iteration in fingerprint/codec/merge/render paths\n\n" +
+		"Map ranges in the scoped packages must either collect keys for sorting or carry\n" +
+		"a //rrclint:ordered <reason> suppression.",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scopeFlag, "scope", DefaultScope,
+		"comma-separated import-path substrings the analyzer applies to (\"all\" for every package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scope.Match(pass.Pkg.Path(), scopeFlag) {
+		return nil, nil
+	}
+	dirs := directive.Parse(pass)
+	for _, f := range pass.Files {
+		if dirs.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := pass.TypesInfo.TypeOf(rs.X)
+			if tv == nil {
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isCollectKeys(pass, rs) {
+				return true
+			}
+			if ok, bare := dirs.Suppressed(rs.Pos(), "ordered"); ok {
+				return true
+			} else if bare != nil {
+				pass.Reportf(bare.Pos, "//rrclint:ordered needs a reason explaining why iteration order is harmless")
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map %s in a deterministic path: iterate sorted keys, or annotate //rrclint:ordered <reason>",
+				types.TypeString(tv, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isCollectKeys recognizes the sorted-iteration prologue
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// — a key-only range whose body is a single self-append of the key. The
+// subsequent sort makes the real iteration deterministic, so the range
+// itself is harmless.
+func isCollectKeys(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil || rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if obj, ok := pass.TypesInfo.Uses[fn]; !ok || obj != types.Universe.Lookup("append") {
+		return false
+	}
+	// append(dst, k) where dst is the assignment target and k the range key.
+	if !sameObject(pass, as.Lhs[0], call.Args[0]) {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ko := pass.TypesInfo.Defs[key]
+	ao := pass.TypesInfo.Uses[arg]
+	return ko != nil && ko == ao
+}
+
+func sameObject(pass *analysis.Pass, a, b ast.Expr) bool {
+	oa := exprObject(pass, a)
+	return oa != nil && oa == exprObject(pass, b)
+}
+
+func exprObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := pass.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}

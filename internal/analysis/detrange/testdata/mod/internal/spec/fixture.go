@@ -1,0 +1,54 @@
+// Package spec is a detrange fixture: its import path contains
+// "internal/spec", putting it inside the analyzer's default scope.
+package spec
+
+import "sort"
+
+// Flagged: a map range feeding appended output — iteration order reaches
+// the result bytes.
+func EncodeUnsorted(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want "range over map"
+		_ = v
+		out = append(out, k)
+	}
+	return out
+}
+
+// Accepted: the collect-keys idiom — key-only range whose body is a single
+// self-append; the sort below makes the effective iteration deterministic.
+func EncodeSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Accepted: an explicit suppression with a reason.
+func CountAll(m map[string]int) int {
+	n := 0
+	//rrclint:ordered order-independent count, no byte of output depends on iteration order
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Flagged: a suppression without a reason does not suppress.
+func DrainBare(m map[string]int) {
+	//rrclint:ordered // want "needs a reason"
+	for k := range m {
+		_ = k
+	}
+}
+
+// Not flagged: ranging a slice is always fine.
+func Slices(s []string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}

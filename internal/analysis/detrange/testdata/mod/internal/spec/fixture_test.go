@@ -1,0 +1,10 @@
+// Test files are exempt: determinism lint polices shipped encode paths,
+// not assertions.
+package spec
+
+func rangeFreely(m map[string]int) (total int) {
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package other is outside detrange's default scope: map iteration here is
+// not reported even when it reaches output.
+package other
+
+func Unscoped(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		_ = k
+		out = append(out, "x")
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestAllCoversAnalyzerPackages asserts the registry and the directory
+// tree cannot drift: every analyzer subpackage of internal/analysis must
+// be registered in All() under its package name, and every registered
+// analyzer must have a package directory. Adding a sixth analyzer package
+// without wiring it into All() (and thus into cmd/rrclint) fails here.
+func TestAllCoversAnalyzerPackages(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != "internal" && e.Name() != "testdata" {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+
+	var names []string
+	for _, a := range analysis.All() {
+		names = append(names, a.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("All() is not in stable name order: %v", names)
+	}
+	sort.Strings(names)
+
+	if strings.Join(dirs, ",") != strings.Join(names, ",") {
+		t.Fatalf("analyzer packages and All() drifted:\n  packages:   %v\n  registered: %v", dirs, names)
+	}
+}
+
+// TestAnalyzersAreWellFormed runs the frameworks's own validation-relevant
+// invariants: unique non-empty names, docs, and run functions.
+func TestAnalyzersAreWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analysis.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing name, doc or run", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestXToolsStaysOutOfProductionPackages walks every non-test Go file in
+// the module outside the analyzer suite and cmd/rrclint and asserts none
+// imports golang.org/x/tools: the repo's first dependency stays fenced
+// inside the lint tooling, so production binaries remain stdlib-only.
+func TestXToolsStaysOutOfProductionPackages(t *testing.T) {
+	root := filepath.Join("..", "..")
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		rel = filepath.ToSlash(rel)
+		if d.IsDir() {
+			switch {
+			case rel == "vendor", rel == ".git",
+				rel == "internal/analysis", rel == "cmd/rrclint",
+				strings.HasSuffix(rel, "/testdata"), rel == "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if perr != nil {
+			return perr
+		}
+		for _, imp := range f.Imports {
+			if strings.HasPrefix(strings.Trim(imp.Path.Value, `"`), "golang.org/x/tools") {
+				t.Errorf("%s imports %s: golang.org/x/tools must stay confined to internal/analysis and cmd/rrclint", rel, imp.Path.Value)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package atest is the fixture harness for the rrclint analyzers. It runs
+// each analyzer exactly the way CI and scripts/lint.sh do — a compiled
+// cmd/rrclint binary driven by `go vet -vettool` over a self-contained
+// fixture module under testdata/ — and checks the emitted diagnostics
+// against `// want "substring"` expectations in the fixture sources. The
+// x/tools analysistest package is deliberately not used: it depends on
+// go/packages (a much larger vendoring surface), and driving the real vet
+// protocol also proves the unitchecker wiring end to end.
+//
+// Expectation syntax, on the line the diagnostic is reported at:
+//
+//	for k, v := range m { // want "range over map"
+//
+// Multiple `// want "a" "b"` substrings on one line each need a matching
+// diagnostic. A fixture line with no want comment must produce no
+// diagnostic, and every want must be hit.
+package atest
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// Bin compiles cmd/rrclint once per test process and returns its path.
+func Bin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "rrclint-atest-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "rrclint")
+		cmd := exec.Command("go", "build", "-o", binPath, "repro/cmd/rrclint")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building rrclint: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// Run vets the fixture module at dir with only the named analyzer enabled
+// (vet semantics: naming one analyzer flag disables the others) and
+// compares diagnostics against the fixture's want comments. extraFlags are
+// passed through to vet (e.g. "-detrange.scope=all").
+func Run(t *testing.T, analyzer, dir string, extraFlags ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"vet", "-vettool=" + Bin(t), "-" + analyzer}, extraFlags...)
+	args = append(args, "./...")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = abs
+	out, _ := cmd.CombinedOutput() // vet exits non-zero when it reports; that is expected
+
+	got := parseDiagnostics(t, out)
+	want := collectWants(t, abs)
+	compare(t, got, want, out)
+}
+
+// diag is one reported diagnostic, keyed by base filename and line.
+type diag struct {
+	file    string // base name
+	line    int
+	message string
+	matched bool
+}
+
+// wantExp is one expectation from a `// want "..."` comment.
+type wantExp struct {
+	file    string // base name
+	line    int
+	substr  string
+	matched bool
+}
+
+var diagRe = regexp.MustCompile(`^(.*\.go):(\d+)(?::\d+)?: (.*)$`)
+
+func parseDiagnostics(t *testing.T, out []byte) []*diag {
+	t.Helper()
+	var diags []*diag
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "exit status") {
+			continue
+		}
+		m := diagRe.FindStringSubmatch(line)
+		if m == nil {
+			// Anything unparseable (compile errors, vettool protocol noise)
+			// fails loudly: a broken fixture must not pass vacuously.
+			t.Errorf("unparseable vet output line: %q", line)
+			continue
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			t.Fatalf("bad line number in %q", line)
+		}
+		diags = append(diags, &diag{file: filepath.Base(m[1]), line: n, message: m[3]})
+	}
+	return diags
+}
+
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var strRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func collectWants(t *testing.T, dir string) []*wantExp {
+	t.Helper()
+	var wants []*wantExp
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, s := range strRe.FindAllStringSubmatch(m[1], -1) {
+				wants = append(wants, &wantExp{file: filepath.Base(path), line: i + 1, substr: s[1]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func compare(t *testing.T, got []*diag, want []*wantExp, raw []byte) {
+	t.Helper()
+	for _, w := range want {
+		for _, g := range got {
+			if g.matched || g.file != w.file || g.line != w.line {
+				continue
+			}
+			if strings.Contains(g.message, w.substr) {
+				g.matched, w.matched = true, true
+				break
+			}
+		}
+	}
+	failed := false
+	for _, w := range want {
+		if !w.matched {
+			failed = true
+			t.Errorf("missing diagnostic: %s:%d want message containing %q", w.file, w.line, w.substr)
+		}
+	}
+	for _, g := range got {
+		if !g.matched {
+			failed = true
+			t.Errorf("unexpected diagnostic: %s:%d: %s", g.file, g.line, g.message)
+		}
+	}
+	if failed {
+		t.Logf("full vet output:\n%s", raw)
+	}
+}

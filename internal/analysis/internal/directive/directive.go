@@ -1,0 +1,156 @@
+// Package directive parses //rrclint: control comments out of the files an
+// analysis pass covers and answers positional queries about them.
+//
+// A directive is a line comment of the form
+//
+//	//rrclint:<name> <argument...>
+//
+// attached either to the source line it annotates (a trailing comment) or to
+// the line immediately above it. Two kinds exist by convention:
+//
+//   - markers (testseam, scratch, lockafter) declare a property of the
+//     declaration they sit on; their argument is part of the declaration
+//     (e.g. the mutex that must be acquired first) and may be empty.
+//   - suppressions (ordered, wallclock, seamok, lockok, escapeok) waive one
+//     diagnostic at one site and MUST carry a non-empty reason; analyzers
+//     report a bare suppression as its own diagnostic so silent waivers
+//     cannot accumulate.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Prefix is the comment prefix shared by every rrclint control comment.
+const Prefix = "//rrclint:"
+
+// D is one parsed directive.
+type D struct {
+	Name string    // directive name, e.g. "ordered"
+	Arg  string    // remainder of the comment line, space-trimmed
+	Pos  token.Pos // position of the comment
+}
+
+// Map indexes every rrclint directive in a pass by file and line.
+type Map struct {
+	fset   *token.FileSet
+	byFile map[*token.File]map[int][]D
+}
+
+// Parse scans all comments in the pass's files.
+func Parse(pass *analysis.Pass) *Map {
+	m := &Map{fset: pass.Fset, byFile: make(map[*token.File]map[int][]D)}
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseOne(c)
+				if !ok {
+					continue
+				}
+				lines := m.byFile[tf]
+				if lines == nil {
+					lines = make(map[int][]D)
+					m.byFile[tf] = lines
+				}
+				line := tf.Line(c.Pos())
+				lines[line] = append(lines[line], d)
+			}
+		}
+	}
+	return m
+}
+
+func parseOne(c *ast.Comment) (D, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, Prefix) {
+		return D{}, false
+	}
+	rest := text[len(Prefix):]
+	// A fixture can append a `// want "..."` expectation to the directive's
+	// own comment (a line comment can't be followed by a second one); that
+	// suffix is test metadata, not part of the argument.
+	if i := strings.Index(rest, "// want"); i >= 0 {
+		rest = rest[:i]
+	}
+	rest = strings.TrimRight(rest, " \t")
+	name := rest
+	arg := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, arg = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if name == "" {
+		return D{}, false
+	}
+	return D{Name: name, Arg: arg, Pos: c.Pos()}, true
+}
+
+// Marker returns the directive with the given name on exactly the source
+// line of pos. Markers (testseam, scratch, lockafter) must trail the
+// declaration they annotate; matching the line above would let a marker on
+// one var-block line bleed onto the declaration below it.
+func (m *Map) Marker(pos token.Pos, name string) (D, bool) {
+	tf := m.fset.File(pos)
+	if tf == nil {
+		return D{}, false
+	}
+	for _, d := range m.byFile[tf][tf.Line(pos)] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return D{}, false
+}
+
+// At returns the directive with the given name attached to the source line
+// of pos: on the same line, or on the line directly above.
+func (m *Map) At(pos token.Pos, name string) (D, bool) {
+	tf := m.fset.File(pos)
+	if tf == nil {
+		return D{}, false
+	}
+	lines := m.byFile[tf]
+	if lines == nil {
+		return D{}, false
+	}
+	line := tf.Line(pos)
+	for _, cand := range [2]int{line, line - 1} {
+		for _, d := range lines[cand] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return D{}, false
+}
+
+// Suppressed reports whether a diagnostic at pos is waived by the named
+// suppression directive. A suppression without a reason does not suppress;
+// instead the analyzer should report it via the second return so the
+// missing reason surfaces as its own finding.
+func (m *Map) Suppressed(pos token.Pos, name string) (ok bool, bare *D) {
+	d, found := m.At(pos, name)
+	if !found {
+		return false, nil
+	}
+	if d.Arg == "" {
+		bare = &d
+		return false, bare
+	}
+	return true, nil
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The determinism analyzers police shipped replay/encode paths only; tests
+// are free to range maps, read clocks and poke seams.
+func (m *Map) IsTestFile(pos token.Pos) bool {
+	tf := m.fset.File(pos)
+	return tf != nil && strings.HasSuffix(tf.Name(), "_test.go")
+}

@@ -1,0 +1,107 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const src = `package p
+
+type s struct {
+	marked   int //rrclint:testseam
+	after    int //rrclint:lockafter marked
+	unmarked int
+}
+
+func f() {
+	//rrclint:ordered map copy, order free
+	_ = 1
+	_ = 2 //rrclint:wallclock trailing reason
+	//rrclint:ordered
+	_ = 3
+	_ = 4 //rrclint:seamok // want "still bare"
+}
+`
+
+func parsePass(t *testing.T) (*analysis.Pass, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{Fset: fset, Files: []*ast.File{f}}, f
+}
+
+// posOnLine returns some position on the given 1-based line.
+func posOnLine(t *testing.T, fset *token.FileSet, f *ast.File, line int) token.Pos {
+	t.Helper()
+	tf := fset.File(f.Pos())
+	if line > tf.LineCount() {
+		t.Fatalf("line %d out of range", line)
+	}
+	return tf.LineStart(line)
+}
+
+func TestMarkerMatchesOnlyItsOwnLine(t *testing.T) {
+	pass, f := parsePass(t)
+	m := Parse(pass)
+
+	markedLine := lineOf(t, "marked   int")
+	afterLine := lineOf(t, "after    int")
+
+	if _, ok := m.Marker(posOnLine(t, pass.Fset, f, markedLine), "testseam"); !ok {
+		t.Error("testseam marker not found on its own line")
+	}
+	// The line BELOW a trailing marker must not inherit it: that is the
+	// var-block bleed Marker exists to prevent.
+	if _, ok := m.Marker(posOnLine(t, pass.Fset, f, markedLine+1), "testseam"); ok {
+		t.Error("testseam marker bled onto the following declaration line")
+	}
+	if d, ok := m.Marker(posOnLine(t, pass.Fset, f, afterLine), "lockafter"); !ok || d.Arg != "marked" {
+		t.Errorf("lockafter marker = %+v, %v; want Arg \"marked\"", d, ok)
+	}
+}
+
+func TestSuppressedRequiresReason(t *testing.T) {
+	pass, f := parsePass(t)
+	m := Parse(pass)
+
+	// Standalone suppression applies to the line below.
+	if ok, bare := m.Suppressed(posOnLine(t, pass.Fset, f, lineOf(t, "_ = 1")), "ordered"); !ok || bare != nil {
+		t.Errorf("reasoned standalone suppression: ok=%v bare=%v", ok, bare)
+	}
+	// Trailing suppression applies to its own line.
+	if ok, _ := m.Suppressed(posOnLine(t, pass.Fset, f, lineOf(t, "_ = 2")), "wallclock"); !ok {
+		t.Error("reasoned trailing suppression not honored")
+	}
+	// A bare suppression does not suppress and is surfaced for reporting.
+	if ok, bare := m.Suppressed(posOnLine(t, pass.Fset, f, lineOf(t, "_ = 3")), "ordered"); ok || bare == nil {
+		t.Errorf("bare suppression: ok=%v bare=%v; want false, non-nil", ok, bare)
+	}
+	// A `// want` suffix is fixture metadata, not a reason.
+	if ok, bare := m.Suppressed(posOnLine(t, pass.Fset, f, lineOf(t, "_ = 4")), "seamok"); ok || bare == nil {
+		t.Errorf("want-suffixed suppression: ok=%v bare=%v; want false, non-nil", ok, bare)
+	}
+	// Absent directive: neither suppressed nor bare.
+	if ok, bare := m.Suppressed(posOnLine(t, pass.Fset, f, lineOf(t, "unmarked int")), "ordered"); ok || bare != nil {
+		t.Errorf("absent directive: ok=%v bare=%v", ok, bare)
+	}
+}
+
+// lineOf finds the 1-based line containing the (unique) needle in src.
+func lineOf(t *testing.T, needle string) int {
+	t.Helper()
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("needle %q not in src", needle)
+	return 0
+}

@@ -1,0 +1,28 @@
+// Package scope implements the import-path scoping shared by the
+// path-restricted determinism analyzers (detrange, nowallclock). A scope is
+// a comma-separated list of import-path substrings; a package is in scope
+// when its path contains any of them. The special value "all" matches every
+// package (used by fixtures and by one-off audits of the whole tree).
+package scope
+
+import "strings"
+
+// All is the wildcard scope value.
+const All = "all"
+
+// Match reports whether pkgPath falls inside the comma-separated scope.
+func Match(pkgPath, scopes string) bool {
+	if pkgPath == "" {
+		return false
+	}
+	for _, s := range strings.Split(scopes, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if s == All || strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package scope
+
+import "testing"
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pkg, scopes string
+		want        bool
+	}{
+		{"repro/internal/spec", "internal/spec,internal/jobs", true},
+		{"repro/internal/jobs", "internal/spec,internal/jobs", true},
+		{"repro/internal/server", "internal/spec,internal/jobs", false},
+		{"detfix/internal/spec", "internal/spec", true},
+		{"anything/at/all", "all", true},
+		{"anything/at/all", " internal/spec , all ", true},
+		{"", "all", false},
+		{"repro/internal/spec", "", false},
+		{"repro/internal/spec", " , ,", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.pkg, c.scopes); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pkg, c.scopes, got, c.want)
+		}
+	}
+}

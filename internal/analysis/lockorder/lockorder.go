@@ -1,0 +1,171 @@
+// Package lockorder machine-checks the annotated mutex acquisition order.
+//
+// The fleet reduction path holds two locks with a documented discipline
+// (hookMu is always acquired before mu — PR 8's "hookMu → mu"). That
+// discipline becomes checkable by annotating the later lock's declaration:
+//
+//	hookMu sync.Mutex
+//	mu     sync.Mutex //rrclint:lockafter hookMu
+//
+// meaning "mu is only ever acquired after hookMu"; equivalently, code
+// holding mu must never acquire hookMu. The analyzer walks every function
+// (and every function literal, each with an empty incoming lock set) in
+// source order, tracking Lock/RLock and Unlock/RUnlock calls on named
+// mutexes, and reports an acquisition of X while Y is held when Y is
+// declared `lockafter X`. Deferred unlocks hold to the end of the scan.
+//
+// The check is a linear source-order approximation — it does not model
+// branches or cross-function call graphs — so it enforces the local shape
+// of the discipline, which is exactly where the PR 8 ordering lives. A
+// knowingly safe violation of the letter carries //rrclint:lockok <reason>.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/internal/directive"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "check //rrclint:lockafter mutex acquisition order declarations\n\n" +
+		"`mu sync.Mutex //rrclint:lockafter other` means mu is acquired only while other\n" +
+		"is (or could legally be) already held; acquiring other while holding mu is the\n" +
+		"inversion this analyzer reports.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.Parse(pass)
+	after := annotations(pass, dirs)
+	if len(after) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				scanBody(pass, dirs, after, body)
+			}
+			return true // nested literals are visited (and scanned) on their own
+		})
+	}
+	return nil, nil
+}
+
+// annotations maps each annotated mutex object to the name of the mutex
+// that must be acquired before it.
+func annotations(pass *analysis.Pass, dirs *directive.Map) map[types.Object]string {
+	after := make(map[types.Object]string)
+	note := func(id *ast.Ident) {
+		if id == nil {
+			return
+		}
+		d, ok := dirs.Marker(id.Pos(), "lockafter")
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if d.Arg == "" {
+			pass.Reportf(d.Pos, "//rrclint:lockafter needs the name of the mutex acquired first")
+			return
+		}
+		after[obj] = d.Arg
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				for _, name := range n.Names {
+					note(name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					note(name)
+				}
+			}
+			return true
+		})
+	}
+	return after
+}
+
+// scanBody runs the linear source-order lock simulation over one function
+// body, not descending into nested function literals (each gets its own
+// scan with an empty held set).
+func scanBody(pass *analysis.Pass, dirs *directive.Map, after map[types.Object]string, body *ast.BlockStmt) {
+	held := make(map[types.Object]token.Pos) // mutex object -> Lock position
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false // deferred unlocks release past the end of the scan
+		case *ast.CallExpr:
+			obj, method := lockCall(pass, n)
+			if obj == nil {
+				return true
+			}
+			switch method {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				for h := range held {
+					if after[h] == obj.Name() {
+						if ok, bare := dirs.Suppressed(n.Pos(), "lockok"); ok {
+							continue
+						} else if bare != nil {
+							pass.Reportf(bare.Pos, "//rrclint:lockok needs a reason")
+							continue
+						}
+						pass.Reportf(n.Pos(), "acquiring %s while holding %s inverts the declared order (%s is //rrclint:lockafter %s)",
+							obj.Name(), h.Name(), h.Name(), obj.Name())
+					}
+				}
+				held[obj] = n.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, obj)
+			}
+		}
+		return true
+	})
+}
+
+// lockCall resolves a call of the form x.Lock() / x.Unlock() (and RW/Try
+// variants) to the mutex-valued object x and the method name.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	var obj types.Object
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	}
+	if obj == nil {
+		return nil, ""
+	}
+	return obj, sel.Sel.Name
+}

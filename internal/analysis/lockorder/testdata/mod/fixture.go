@@ -1,0 +1,89 @@
+// Package lock is a lockorder fixture for //rrclint:lockafter checking.
+package lock
+
+import "sync"
+
+type mgr struct {
+	hookMu sync.Mutex
+	mu     sync.Mutex //rrclint:lockafter hookMu
+	n      int
+}
+
+// Accepted: the declared order — hookMu first, mu inside it.
+func Declared(m *mgr) {
+	m.hookMu.Lock()
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+	m.hookMu.Unlock()
+}
+
+// Flagged: acquiring hookMu while mu is held inverts the declaration.
+func Inverted(m *mgr) {
+	m.mu.Lock()
+	m.hookMu.Lock() // want "inverts the declared order"
+	m.hookMu.Unlock()
+	m.mu.Unlock()
+}
+
+// Accepted: sequential acquisition — mu is released before hookMu.
+func Sequential(m *mgr) {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+	m.hookMu.Lock()
+	m.hookMu.Unlock()
+}
+
+// Accepted: a deferred unlock holds mu to the end, but taking only mu
+// never violates an edge.
+func Deferred(m *mgr) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Flagged: the deferred unlock means mu is still held at the hookMu
+// acquisition.
+func DeferredInverted(m *mgr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hookMu.Lock() // want "inverts the declared order"
+	m.hookMu.Unlock()
+}
+
+// Accepted: an explicit suppression with a reason.
+func InitPath(m *mgr) {
+	m.mu.Lock()
+	//rrclint:lockok constructor path, no other goroutine can hold hookMu yet
+	m.hookMu.Lock()
+	m.hookMu.Unlock()
+	m.mu.Unlock()
+}
+
+// Local variables carry the same discipline as fields.
+func Locals() {
+	var first sync.Mutex
+	var second sync.Mutex //rrclint:lockafter first
+	second.Lock()
+	first.Lock() // want "inverts the declared order"
+	first.Unlock()
+	second.Unlock()
+}
+
+// Closures are scanned independently with an empty held set: the declared
+// order inside the literal is still enforced.
+func Closure(m *mgr) func() {
+	return func() {
+		m.mu.Lock()
+		m.hookMu.Lock() // want "inverts the declared order"
+		m.hookMu.Unlock()
+		m.mu.Unlock()
+	}
+}
+
+// Flagged: a lockafter marker without a mutex name is a broken
+// declaration.
+type halfAnnotated struct {
+	mu sync.Mutex //rrclint:lockafter // want "needs the name"
+}

@@ -1,0 +1,136 @@
+// Package nowallclock forbids ambient nondeterminism — wall-clock reads,
+// the global math/rand state, and environment lookups — inside the replay
+// and workload-generation packages. Same seed plus any schedule must give
+// byte-identical results, so every clock and every random stream has to
+// flow in as an explicit parameter (a simulated timestamp, a seeded
+// *rand.Rand), never be sampled from the process.
+//
+// Banned in scoped, non-test files:
+//
+//   - time.Now, time.Since, time.Until
+//   - package-level math/rand and math/rand/v2 functions that touch the
+//     shared global generator (rand.Int, rand.Intn, rand.Float64, rand.Perm,
+//     rand.Shuffle, rand.Seed, ...). Constructors that build an explicitly
+//     seeded generator (rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG,
+//     rand.NewChaCha8) stay legal.
+//   - os.Getenv, os.LookupEnv, os.Environ
+//
+// A site that genuinely needs ambient state (none exists today) must carry
+// `//rrclint:wallclock <reason>`.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/internal/directive"
+	"repro/internal/analysis/internal/scope"
+)
+
+// DefaultScope is the set of packages that replay traces or generate
+// workloads and therefore must be schedule- and wall-clock-independent.
+const DefaultScope = "internal/sim,internal/fleet,internal/trace,internal/workload"
+
+var scopeFlag string
+
+// Analyzer is the nowallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid wall clocks, global math/rand and env reads in replay/generation paths\n\n" +
+		"Seeds and clocks must flow in as parameters; suppress a deliberate exception\n" +
+		"with //rrclint:wallclock <reason>.",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scopeFlag, "scope", DefaultScope,
+		"comma-separated import-path substrings the analyzer applies to (\"all\" for every package)")
+}
+
+// allowedRandConstructors build explicitly seeded generators and are the
+// sanctioned way to obtain randomness in replay paths.
+var allowedRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scope.Match(pass.Pkg.Path(), scopeFlag) {
+		return nil, nil
+	}
+	dirs := directive.Parse(pass)
+	for _, f := range pass.Files {
+		if dirs.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil {
+				return true
+			}
+			what := banned(fn)
+			if what == "" {
+				return true
+			}
+			if ok, bare := dirs.Suppressed(call.Pos(), "wallclock"); ok {
+				return true
+			} else if bare != nil {
+				pass.Reportf(bare.Pos, "//rrclint:wallclock needs a reason explaining the ambient dependency")
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s in a replay/generation path: %s; pass it in as a parameter or annotate //rrclint:wallclock <reason>",
+				fn.FullName(), what)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// calleeFunc resolves the called package-level function, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // methods (e.g. (*rand.Rand).Intn) are always fine
+	}
+	return fn
+}
+
+// banned classifies a package-level function, returning a short description
+// of the ambient state it reads, or "" if it is allowed.
+func banned(fn *types.Func) string {
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "reads the wall clock"
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRandConstructors[fn.Name()] {
+			return "draws from the shared global generator"
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			return "reads the process environment"
+		}
+	}
+	return ""
+}

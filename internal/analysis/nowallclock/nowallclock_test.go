@@ -1,0 +1,11 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/internal/atest"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "nowallclock", "testdata/mod")
+}

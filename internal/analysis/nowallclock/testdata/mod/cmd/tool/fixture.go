@@ -1,0 +1,9 @@
+// Package tool is outside nowallclock's scope: daemons and CLIs own the
+// wall clock (job timestamps, graceful-shutdown deadlines).
+package tool
+
+import "time"
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func Stamp() time.Time { return time.Now() }

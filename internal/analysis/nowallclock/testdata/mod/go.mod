@@ -1,0 +1,3 @@
+module nwcfix
+
+go 1.22

@@ -1,0 +1,37 @@
+// Package sim is a nowallclock fixture inside the default scope.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Flagged: ambient clock, environment and global-RNG reads in a replay
+// path.
+func Ambient() time.Duration {
+	t := time.Now()                    // want "reads the wall clock"
+	_ = os.Getenv("RRC_ENV")           // want "reads the process environment"
+	_, _ = os.LookupEnv("X")           // want "reads the process environment"
+	_ = rand.Intn(4)                   // want "shared global generator"
+	rand.Shuffle(1, func(i, j int) {}) // want "shared global generator"
+	return time.Since(t)               // want "reads the wall clock"
+}
+
+// Accepted: explicitly seeded generators and methods on them.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Accepted: an explicit suppression with a reason.
+func Stamp() int64 {
+	//rrclint:wallclock diagnostic log stamp, never folded into any replay result
+	return time.Now().UnixNano()
+}
+
+// Flagged: a bare suppression does not suppress.
+func StampBare() int64 {
+	//rrclint:wallclock // want "needs a reason"
+	return time.Now().UnixNano()
+}

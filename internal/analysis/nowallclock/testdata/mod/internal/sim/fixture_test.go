@@ -1,0 +1,6 @@
+// Test files may read clocks (timing assertions, bench setup).
+package sim
+
+import "time"
+
+func elapsed(start time.Time) time.Duration { return time.Since(start) }

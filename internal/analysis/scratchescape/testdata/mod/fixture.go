@@ -1,0 +1,59 @@
+// Package scr is a scratchescape fixture: exported functions must not
+// return aliases of //rrclint:scratch memory.
+package scr
+
+type Engine struct {
+	merged  []byte //rrclint:scratch
+	decided []int  //rrclint:scratch
+	out     []byte
+}
+
+// Flagged: handing the scratch buffer itself to the caller.
+func (e *Engine) Leak() []byte {
+	return e.merged // want "alias of reusable scratch merged"
+}
+
+// Flagged: a reslice still aliases the backing array.
+func (e *Engine) LeakSlice() []byte {
+	return e.merged[:0] // want "alias of reusable scratch merged"
+}
+
+// Flagged: the address of scratch escapes the same way.
+func (e *Engine) LeakAddr() *[]int {
+	return &e.decided // want "alias of reusable scratch decided"
+}
+
+// Accepted: returning a copy.
+func (e *Engine) Copy() []byte {
+	out := make([]byte, len(e.merged))
+	copy(out, e.merged)
+	return out
+}
+
+// Accepted: non-scratch fields are the caller-visible surface.
+func (e *Engine) Out() []byte {
+	return e.out
+}
+
+// Accepted: unexported functions are intra-package plumbing; the exported
+// surface is where aliases become hazards.
+func (e *Engine) reuse() []byte {
+	return e.merged
+}
+
+// Accepted: an element read is a value copy, not an alias.
+func (e *Engine) First() int {
+	return e.decided[0]
+}
+
+// Accepted: an explicit suppression with a reason.
+func (e *Engine) Transient() []byte {
+	//rrclint:escapeok documented transient view; contract requires use before the next Run
+	return e.merged
+}
+
+// Flagged: a bare suppression does not suppress.
+func (e *Engine) TransientBare() []byte {
+	//rrclint:escapeok // want "needs a reason"
+	return e.merged
+}

@@ -1,0 +1,3 @@
+module scrfix
+
+go 1.22

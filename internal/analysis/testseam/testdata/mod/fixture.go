@@ -1,0 +1,55 @@
+// Package seam is a testseam fixture: marked seams may be read and plumbed
+// by production code but only tests may set them.
+package seam
+
+type engine struct {
+	forceGeneric bool //rrclint:testseam
+	workers      int
+}
+
+type config struct {
+	crash func(string) bool //rrclint:testseam
+}
+
+type system struct {
+	crash func(string) bool //rrclint:testseam
+}
+
+// Flagged: production code activating a seam.
+func EnableGeneric(e *engine) {
+	e.forceGeneric = true // want "test-only seam forceGeneric"
+}
+
+// Flagged: a composite literal injecting a live seam value.
+func Rigged() *system {
+	return &system{crash: func(string) bool { return true }} // want "test-only seam crash"
+}
+
+// Accepted: seam-to-seam propagation — plumbing a config seam into the
+// built system is how the seam reaches its consumer.
+func Build(cfg config) *system {
+	return &system{crash: cfg.crash}
+}
+
+// Accepted: reads are the seam's production-side consumers.
+func Replay(e *engine) int {
+	if e.forceGeneric {
+		return 1
+	}
+	return e.workers
+}
+
+// Accepted: assigning unmarked fields is of course fine.
+func Tune(e *engine) {
+	e.workers = 4
+}
+
+// Accepted: an explicit suppression with a reason.
+func MigrationShim(e *engine) {
+	e.forceGeneric = true //rrclint:seamok temporary rollout toggle, tracked by issue 99
+}
+
+// Flagged: a bare suppression does not suppress.
+func ShimBare(e *engine) {
+	e.forceGeneric = true //rrclint:seamok // want "needs a reason"
+}

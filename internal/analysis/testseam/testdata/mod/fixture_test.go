@@ -1,0 +1,10 @@
+// Tests own the seams: assignments here are the whole point.
+package seam
+
+func forceBothPaths(e *engine) {
+	e.forceGeneric = true
+}
+
+func withCrash(point string) *system {
+	return &system{crash: func(p string) bool { return p == point }}
+}

@@ -1,0 +1,3 @@
+module seamfix
+
+go 1.22

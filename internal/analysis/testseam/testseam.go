@@ -1,0 +1,143 @@
+// Package testseam keeps test-only seams out of production control flow.
+//
+// A seam is an unexported hook that exists purely so tests can steer
+// internals — sim.Engine's forceGeneric fast-path override, the store's
+// injectable crash func(point). Production behavior must never depend on a
+// seam being set, so the seam's declaration is marked
+//
+//	forceGeneric bool //rrclint:testseam
+//
+// and this analyzer reports any non-test code that activates it: an
+// assignment to the marked object, or a composite-literal element setting
+// it. Plumbing a seam between marked declarations (crash: cfg.crash) is
+// propagation, not activation, and stays legal — as do reads, which are the
+// seam's production-side consumers. A deliberate exception needs
+// //rrclint:seamok <reason>.
+package testseam
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/internal/directive"
+)
+
+// Analyzer is the testseam pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "testseam",
+	Doc: "test-only seams (//rrclint:testseam) must never be set by non-test code\n\n" +
+		"Assignments and composite-literal writes to marked objects are reported unless\n" +
+		"the value is itself a marked seam (propagation) or carries //rrclint:seamok <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.Parse(pass)
+	marked := markedObjects(pass, dirs, "testseam")
+	if len(marked) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if dirs.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					obj := exprObject(pass, lhs)
+					if obj == nil || !marked[obj] {
+						continue
+					}
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					report(pass, dirs, marked, n.Pos(), obj, rhs)
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.TypesInfo.Uses[key]
+					if obj == nil || !marked[obj] {
+						continue
+					}
+					report(pass, dirs, marked, kv.Pos(), obj, kv.Value)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, dirs *directive.Map, marked map[types.Object]bool, pos token.Pos, obj types.Object, rhs ast.Expr) {
+	if rhs != nil {
+		if ro := exprObject(pass, rhs); ro != nil && marked[ro] {
+			return // seam-to-seam propagation
+		}
+	}
+	if ok, bare := dirs.Suppressed(pos, "seamok"); ok {
+		return
+	} else if bare != nil {
+		pass.Reportf(bare.Pos, "//rrclint:seamok needs a reason")
+		return
+	}
+	pass.Reportf(pos, "test-only seam %s set in non-test code; seams are reachable from tests only (or annotate //rrclint:seamok <reason>)", obj.Name())
+}
+
+// markedObjects collects every object whose declaration line carries the
+// named marker directive: struct fields and package- or function-level vars.
+func markedObjects(pass *analysis.Pass, dirs *directive.Map, marker string) map[types.Object]bool {
+	marked := make(map[types.Object]bool)
+	note := func(id *ast.Ident) {
+		if id == nil {
+			return
+		}
+		if _, ok := dirs.Marker(id.Pos(), marker); !ok {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			marked[obj] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				for _, name := range n.Names {
+					note(name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					note(name)
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+func exprObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := pass.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}

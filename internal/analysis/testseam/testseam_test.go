@@ -1,0 +1,11 @@
+package testseam_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/internal/atest"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "testseam", "testdata/mod")
+}

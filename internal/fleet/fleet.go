@@ -366,7 +366,7 @@ func runHooked[A any](jobs []Job, opts Options, acc Accumulator[A], hook func(sn
 		// hookMu → mu; snap takes only mu, so a hook that calls snap
 		// synchronously cannot deadlock.
 		hookMu   sync.Mutex
-		mu       sync.Mutex
+		mu       sync.Mutex //rrclint:lockafter hookMu
 		progress = Progress{Shards: nshards, TotalJobs: len(jobs)}
 		merged   = acc.New()   // the ordered prefix: New ⊕ s0 ⊕ s1 ⊕ …
 		next     int           // next shard index the prefix absorbs
@@ -550,6 +550,7 @@ func Collect() Accumulator[map[int]Outcome] {
 			return m
 		},
 		Merge: func(a, b map[int]Outcome) map[int]Outcome {
+			//rrclint:ordered map-to-map copy of distinct job indices; the result is a map, no order reaches bytes
 			for k, v := range b {
 				a[k] = v
 			}

@@ -173,6 +173,7 @@ func WithFixBurstGap(spec policy.Spec, burstGap time.Duration) policy.Spec {
 		return spec
 	}
 	params := map[string]any{"burstgap": burstGap}
+	//rrclint:ordered map-to-map copy; the copied params map is itself unordered, no order reaches bytes
 	for k, v := range spec.Params {
 		params[k] = v
 	}

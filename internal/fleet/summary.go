@@ -150,7 +150,7 @@ type Summary struct {
 	// allocating. Only scratch accumulators inside a run ever carry spares
 	// — every Summary a caller sees has a nil spare, so DeepEqual
 	// comparisons and the codecs are unaffected.
-	spare []*SchemeSummary
+	spare []*SchemeSummary //rrclint:scratch
 }
 
 // NewSummary returns an empty summary with the given histogram layouts.
@@ -164,6 +164,7 @@ func NewSummary(cfg SummaryConfig) *Summary {
 func (s *Summary) Clone() *Summary {
 	c := NewSummary(s.cfg)
 	c.Jobs = s.Jobs
+	//rrclint:ordered map-to-map clone keyed by the same labels; no order reaches bytes
 	for k, v := range s.Schemes {
 		c.Schemes[k] = v.clone()
 	}
@@ -178,6 +179,7 @@ func (s *Summary) Clone() *Summary {
 // create spurious keys in the destination.
 func (s *Summary) Reset() *Summary {
 	s.Jobs = 0
+	//rrclint:ordered spare-list order is scratch-only: every spare is zeroed with the identical cfg layout, so which one a later fold pops is unobservable
 	for k, agg := range s.Schemes {
 		agg.reset()
 		s.spare = append(s.spare, agg)
@@ -215,6 +217,7 @@ func (s *Summary) Merge(o *Summary) error {
 	if len(o.Schemes) <= 1 {
 		// One key needs no ordering; grid cells run a single scheme, so
 		// their shard merges skip the sorted-keys allocation entirely.
+		//rrclint:ordered at most one key under the len<=1 guard; a single iteration has no order
 		for k, v := range o.Schemes {
 			if err := s.mergeScheme(k, v); err != nil {
 				return err

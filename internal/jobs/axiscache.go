@@ -65,6 +65,7 @@ func appendSpecKey(b []byte, name string, params map[string]any) []byte {
 		}
 		return b
 	}
+	//rrclint:ordered at most one key: the len>1 branch above sorted and returned, so this loop runs 0 or 1 times
 	for k, v := range params {
 		b = fmt.Appendf(b, "%s\x00%T\x00%v\x00", k, v, v)
 	}

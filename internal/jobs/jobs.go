@@ -401,6 +401,7 @@ func (m *Manager) Close() {
 	}
 	m.closed = true
 	live := make([]*Job, 0, len(m.jobs))
+	//rrclint:ordered shutdown cancel fan-out; cancellation order is unobservable in any result bytes
 	for _, j := range m.jobs {
 		live = append(live, j)
 	}

@@ -194,7 +194,7 @@ type Engine struct {
 	// equivalence tests can drive the generic interface path on demand.
 	constWait    bool
 	constVal     time.Duration
-	forceGeneric bool
+	forceGeneric bool //rrclint:testseam
 
 	started bool
 	lastT   time.Duration // time of the last processed packet
@@ -204,14 +204,14 @@ type Engine struct {
 	packets int
 
 	// Scratch buffers reused across runs (never escape to the Result).
-	group    []trace.Burst
-	merged   trace.Trace
-	mergeTmp trace.Trace
-	runs     []int
-	runsTmp  []int
-	arrivals []time.Duration
-	window   burstWindow
-	slice    trace.SliceSource
+	group    []trace.Burst     //rrclint:scratch
+	merged   trace.Trace       //rrclint:scratch
+	mergeTmp trace.Trace       //rrclint:scratch
+	runs     []int             //rrclint:scratch
+	runsTmp  []int             //rrclint:scratch
+	arrivals []time.Duration   //rrclint:scratch
+	window   burstWindow       //rrclint:scratch
+	slice    trace.SliceSource //rrclint:scratch
 }
 
 // NewEngine returns a reusable replay engine.

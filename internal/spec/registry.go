@@ -167,9 +167,11 @@ func (r *Registry) resolveSchema(spec Spec) (*Schema, Spec, error) {
 		merged := Spec{Name: alias.Name}
 		if len(alias.Params) > 0 || len(spec.Params) > 0 {
 			merged.Params = make(map[string]any, len(alias.Params)+len(spec.Params))
+			//rrclint:ordered map-to-map copy; the overlay result is a map, no iteration order reaches bytes
 			for k, v := range alias.Params {
 				merged.Params[k] = v
 			}
+			//rrclint:ordered map-to-map overlay onto distinct destination keys; result content is order-independent
 			for k, v := range spec.Params {
 				merged.Params[k] = v
 			}
@@ -198,7 +200,18 @@ func (r *Registry) Resolve(spec Spec) (*Schema, Params, error) {
 	for _, ps := range schema.Params {
 		resolved[ps.Name] = ps.Default
 	}
-	for name, raw := range spec.Params {
+	// Sorted iteration so that, with several bad parameters, WHICH error a
+	// caller sees is deterministic: validation errors are rendered into job
+	// responses, so even the failure bytes must not depend on map order.
+	// (Found by detrange; Resolve is memoized by jobs.axisCache, so the
+	// sort never lands on the hot path.)
+	names := make([]string, 0, len(spec.Params))
+	for k := range spec.Params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		raw := spec.Params[name]
 		ps, ok := schema.Param(name)
 		if !ok {
 			return nil, nil, fmt.Errorf("%s %q has no parameter %q (has: %s)",

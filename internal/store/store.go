@@ -70,7 +70,7 @@ type Config struct {
 	// torn index append ("index-torn") — with no cleanup. The store
 	// instance is then inconsistent by design; tests reopen the
 	// directory with a fresh Open, which is the recovery under test.
-	crash func(point string) bool
+	crash func(point string) bool //rrclint:testseam
 }
 
 // errSimulatedCrash marks a write aborted by the crash seam.
@@ -90,7 +90,7 @@ type Store struct {
 	quarDir   string
 	indexPath string
 	maxBytes  int64
-	crash     func(string) bool
+	crash     func(string) bool //rrclint:testseam
 
 	mu      sync.Mutex
 	idx     *os.File                 // journal append handle
@@ -190,6 +190,7 @@ func (s *Store) recover() error {
 	// did not) in sorted order, after the journaled entries — they are at
 	// least as fresh as anything journaled.
 	var orphans []string
+	//rrclint:ordered collects keys for the sort.Strings below; only the sorted slice is iterated for effect
 	for key := range onDisk {
 		if _, ok := s.entries[key]; !ok {
 			orphans = append(orphans, key)
