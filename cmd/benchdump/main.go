@@ -1,6 +1,7 @@
 // benchdump measures the canonical grid benchmarks (the same computations
-// as BenchmarkGridSweep and BenchmarkGridSweepWide, via jobs.BenchGridSpec
-// and jobs.BenchWideGridSpec) and either records the results as a committed
+// as BenchmarkGridSweep, BenchmarkGridSweepWide and
+// BenchmarkGridSweepSharedCohort, via the jobs.Bench*GridSpec
+// constructors) and either records the results as a committed
 // baseline or checks the current tree against one. It exists so the perf
 // trajectory is a tracked artifact:
 //
@@ -67,6 +68,15 @@ var benches = []benchDef{
 		name:  "GridSweepWide",
 		spec:  jobs.BenchWideGridSpec,
 		cells: jobs.BenchWideGridCells,
+		cfg:   jobs.Config{Runners: 1, CacheSize: -1, CellCacheSize: -1},
+	},
+	{
+		// The shared-cohort sweep runs with the trace cache at its default
+		// budget (the daemon's default configuration): the baseline tracks
+		// the memoized, generate-once throughput.
+		name:  "GridSweepSharedCohort",
+		spec:  jobs.BenchSharedCohortGridSpec,
+		cells: jobs.BenchSharedCohortGridCells,
 		cfg:   jobs.Config{Runners: 1, CacheSize: -1, CellCacheSize: -1},
 	},
 }

@@ -23,6 +23,12 @@
 //	                                 # cells persist across restarts (crash
 //	                                 # included) and resubmitted grids
 //	                                 # replay only never-computed cells
+//	rrcsimd -trace-cache-bytes 67108864   # cohort trace cache budget:
+//	                                 # generated traffic is memoized as
+//	                                 # encoded slabs, so a grid synthesizes
+//	                                 # each user's trace once, not once per
+//	                                 # replay (<= 0 disables; results are
+//	                                 # byte-identical either way)
 //
 // Then, from any HTTP client (the API is versioned under /v1; the
 // pre-versioning paths without the prefix remain as aliases):
@@ -75,6 +81,42 @@ func main() {
 	}
 }
 
+// daemonFlags is every rrcsimd flag, declared in one place so the
+// documentation drift test can enumerate them (each must be mentioned in
+// the README) and run() stays readable.
+type daemonFlags struct {
+	addr       *string
+	parallel   *int
+	queueDepth *int
+	cacheSize  *int
+	cellCache  *int
+	runners    *int
+	cellPar    *int
+	profile    *string
+	pprofAddr  *string
+	storeDir   *string
+	storeMax   *int64
+	traceCache *int64
+}
+
+// registerFlags declares the daemon's flags on fs.
+func registerFlags(fs *flag.FlagSet) *daemonFlags {
+	return &daemonFlags{
+		addr:       fs.String("addr", ":8080", "listen address"),
+		parallel:   fs.Int("parallel", 0, "fleet workers per job (0 = all cores; never changes results)"),
+		queueDepth: fs.Int("queue-depth", 32, "max queued jobs before submissions get 503"),
+		cacheSize:  fs.Int("cache-size", 128, "fingerprint result cache entries (LRU; negative disables)"),
+		cellCache:  fs.Int("cell-cache-size", 1024, "grid cell cache entries (LRU; negative disables)"),
+		runners:    fs.Int("runners", 1, "jobs executing concurrently (each parallelizes internally)"),
+		cellPar:    fs.Int("cell-parallel", 0, "grid cells in flight per job (0 = up to the worker budget, 1 = sequential; never changes results)"),
+		profile:    fs.String("profile", "", "default carrier profile for legacy flat payloads that name none (see GET /v1/profiles)"),
+		pprofAddr:  fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)"),
+		storeDir:   fs.String("store-dir", "", "directory for the durable cell store (empty disables; created if missing)"),
+		storeMax:   fs.Int64("store-max-bytes", 0, "cell store payload budget in bytes (LRU eviction; 0 = unbounded)"),
+		traceCache: fs.Int64("trace-cache-bytes", 32<<20, "cohort trace cache budget in bytes of encoded slab (LRU; memoizes generated traffic across grid cells; <= 0 disables; never changes results)"),
+	}
+}
+
 // run is the daemon body, factored out of main so the smoke test can
 // drive it on an ephemeral port: parse args, serve until ctx cancels (the
 // signal context in production), then drain the listener and close the
@@ -82,21 +124,28 @@ func main() {
 // once the daemon is accepting connections.
 func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("rrcsimd", flag.ContinueOnError)
+	f := registerFlags(fs)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		parallel   = fs.Int("parallel", 0, "fleet workers per job (0 = all cores; never changes results)")
-		queueDepth = fs.Int("queue-depth", 32, "max queued jobs before submissions get 503")
-		cacheSize  = fs.Int("cache-size", 128, "fingerprint result cache entries (LRU; negative disables)")
-		cellCache  = fs.Int("cell-cache-size", 1024, "grid cell cache entries (LRU; negative disables)")
-		runners    = fs.Int("runners", 1, "jobs executing concurrently (each parallelizes internally)")
-		cellPar    = fs.Int("cell-parallel", 0, "grid cells in flight per job (0 = up to the worker budget, 1 = sequential; never changes results)")
-		profile    = fs.String("profile", "", "default carrier profile for legacy flat payloads that name none (see GET /v1/profiles)")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
-		storeDir   = fs.String("store-dir", "", "directory for the durable cell store (empty disables; created if missing)")
-		storeMax   = fs.Int64("store-max-bytes", 0, "cell store payload budget in bytes (LRU eviction; 0 = unbounded)")
+		addr       = f.addr
+		parallel   = f.parallel
+		queueDepth = f.queueDepth
+		cacheSize  = f.cacheSize
+		cellCache  = f.cellCache
+		runners    = f.runners
+		cellPar    = f.cellPar
+		profile    = f.profile
+		pprofAddr  = f.pprofAddr
+		storeDir   = f.storeDir
+		storeMax   = f.storeMax
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The flag's disabled spelling is any non-positive budget; the
+	// Config's zero value means "default", so disabled maps to -1.
+	traceCacheBytes := *f.traceCache
+	if traceCacheBytes <= 0 {
+		traceCacheBytes = -1
 	}
 	// A misconfigured default profile must fail at boot, not surface as a
 	// client-attributable 400 on every legacy submission.
@@ -124,14 +173,15 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 
 	manager := jobs.NewManager(jobs.Config{
-		QueueDepth:     *queueDepth,
-		CacheSize:      *cacheSize,
-		CellCacheSize:  *cellCache,
-		Runners:        *runners,
-		Workers:        *parallel,
-		CellParallel:   *cellPar,
-		DefaultProfile: *profile,
-		Store:          cellStore,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		CellCacheSize:   *cellCache,
+		Runners:         *runners,
+		Workers:         *parallel,
+		CellParallel:    *cellPar,
+		DefaultProfile:  *profile,
+		Store:           cellStore,
+		TraceCacheBytes: traceCacheBytes,
 	})
 	defer manager.Close()
 

@@ -22,9 +22,10 @@ type Scheme struct {
 	Demote   func(tr trace.Trace, prof power.Profile) (policy.DemotePolicy, error)
 	Active   func(tr trace.Trace, prof power.Profile) (policy.ActivePolicy, error)
 	FitTrace bool
-	// PolicyKey, when non-empty on a non-FitTrace scheme, marks the
-	// factories as pure functions of (key, profile), letting workers
-	// reuse constructed policies across jobs (see Job.PolicyKey).
+	// PolicyKey, when non-empty, marks the factories as pure functions of
+	// (key, fit trace, profile), letting workers reuse constructed
+	// policies across jobs (see Job.PolicyKey; trace-fitted schemes also
+	// need a trace cache key before workers memoize their fits).
 	// SchemeFromSpec derives it from the registry's canonical encoding;
 	// hand-built schemes may leave it empty to always construct fresh.
 	PolicyKey string

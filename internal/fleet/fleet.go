@@ -55,10 +55,11 @@ type Options struct {
 	// starts, and Run returns ErrCanceled. The final aggregate is
 	// discarded — a canceled run never exposes a partial total.
 	Cancel <-chan struct{}
-	// TraceCache, when non-nil, memoizes materialized traces for Source
-	// jobs that carry a CacheKey, so repeated sweeps over the same cohort
-	// synthesize each user's packets once instead of once per cell. Safe
-	// to share across concurrent runs.
+	// TraceCache, when non-nil, memoizes generated traffic (as encoded
+	// byte slabs) for Source jobs that carry a CacheKey, so repeated
+	// sweeps over the same cohort synthesize each user's packets once
+	// instead of twice per job per cell. Safe to share across concurrent
+	// runs; generation is single-flight per key.
 	TraceCache *TraceCache
 	// Budget, when non-nil, bounds this run's worker goroutines against a
 	// shared machine-wide token pool. The run's FIRST worker spawns
@@ -150,11 +151,14 @@ type Job struct {
 	// one from the cohort's canonical encoding. Empty disables caching for
 	// this job.
 	CacheKey string
-	// PolicyKey, when non-empty on a non-FitTrace job, lets workers reuse
-	// one constructed policy pair per (PolicyKey, Profile) across jobs,
-	// relying on the engine's per-run policy Reset. The key must determine
-	// the factories' output completely (the registry's canonical spec
-	// encoding qualifies). Empty constructs fresh policies per job.
+	// PolicyKey, when non-empty, lets workers reuse one constructed policy
+	// pair across jobs, relying on the engine's per-run policy Reset. The
+	// key must determine the factories' output completely up to the trace
+	// and profile (the registry's canonical spec encoding qualifies).
+	// Non-FitTrace jobs reuse per (PolicyKey, Profile); FitTrace jobs
+	// additionally need a CacheKey pinning the fit trace's identity and
+	// then reuse per (PolicyKey, CacheKey, Profile) — the fit-output
+	// memoization. Empty constructs fresh policies per job.
 	PolicyKey string
 }
 
@@ -219,6 +223,12 @@ type workerState struct {
 	// 2N. Two slots because a job's baseline and policy outcomes are alive
 	// simultaneously during the fold.
 	base, main sim.Result
+
+	// bytes is the worker's reusable slab decoder: cached-trace replays
+	// Reset it onto the shared slab instead of allocating a source per
+	// replay. Each replay finishes before the next Reset, so one cursor
+	// per worker suffices.
+	bytes trace.BytesSource
 }
 
 // slots returns the Result pair replays should write into, or nils when
@@ -257,9 +267,15 @@ func (ws *workerState) runSrc(slot *sim.Result, src trace.Source, prof power.Pro
 
 // policyCacheKey identifies a reusable policy pair. The profile is part of
 // the key (not just its name) because factories close over profile values
-// and callers may sweep parameterized profiles sharing a name.
+// and callers may sweep parameterized profiles sharing a name. fit is the
+// job's trace cache key for trace-fitted schemes (empty otherwise): a
+// fitted policy is a pure function of (scheme, trace, profile), so adding
+// the trace's identity to the key lets workers memoize fit outputs —
+// each worker fits a (scheme, user) pair once per sweep instead of once
+// per cell.
 type policyCacheKey struct {
 	key  string
+	fit  string
 	prof power.Profile
 }
 
@@ -281,22 +297,32 @@ var workerPool = sync.Pool{New: func() any {
 }}
 
 // policyPair returns the job's constructed policy pair, reusing the
-// worker's cache when the job allows it (PolicyKey set, not trace-fitted).
-func (ws *workerState) policyPair(job *Job, fit trace.Trace) (policy.DemotePolicy, policy.ActivePolicy, error) {
-	cacheable := job.PolicyKey != "" && !job.FitTrace
-	ck := policyCacheKey{key: job.PolicyKey, prof: job.Profile}
+// worker's cache when the key is sound: PolicyKey set, and — for
+// trace-fitted schemes — a fit-trace identity (ck.fit) that pins which
+// trace the policies were fitted to. fit supplies the trace handed to
+// the factories and is invoked only on a cache miss (nil means no
+// trace), so a memoized fit skips even the trace materialization.
+func (ws *workerState) policyPair(job *Job, ck policyCacheKey, fit func() (trace.Trace, error)) (policy.DemotePolicy, policy.ActivePolicy, error) {
+	cacheable := ck.key != "" && (!job.FitTrace || ck.fit != "")
 	if cacheable {
 		if p, ok := ws.policies[ck]; ok {
 			return p.demote, p.active, nil
 		}
 	}
-	demote, err := job.Demote(fit, job.Profile)
+	var ft trace.Trace
+	if fit != nil {
+		var err error
+		if ft, err = fit(); err != nil {
+			return nil, nil, err
+		}
+	}
+	demote, err := job.Demote(ft, job.Profile)
 	if err != nil {
 		return nil, nil, err
 	}
 	var active policy.ActivePolicy
 	if job.Active != nil {
-		if active, err = job.Active(fit, job.Profile); err != nil {
+		if active, err = job.Active(ft, job.Profile); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -623,7 +649,9 @@ func runJob(job *Job, index int, ws *workerState, tc *TraceCache, reuse bool) (O
 		}
 		out.Baseline = base
 	}
-	demote, active, err := ws.policyPair(job, tr)
+	demote, active, err := ws.policyPair(job,
+		policyCacheKey{key: job.PolicyKey, prof: job.Profile},
+		func() (trace.Trace, error) { return tr, nil })
 	if err != nil {
 		return out, err
 	}
@@ -635,37 +663,53 @@ func runJob(job *Job, index int, ws *workerState, tc *TraceCache, reuse bool) (O
 	return out, nil
 }
 
-// runJobCached replays a cacheable Source job from the trace cache,
-// collecting and memoizing the source on miss. Policy factories keep the
-// streaming path's semantics — nil trace unless FitTrace — so a job
-// behaves identically whether or not its trace happened to be cached.
+// runJobCached replays a cacheable Source job from the trace cache: the
+// first toucher of the job's key streams the generator through the
+// rrcstream codec into a shared byte slab (single-flight — concurrent
+// cells wait rather than duplicate the generation) and every replay
+// decodes zero-copy out of those bytes. The codec round-trips exactly
+// and sim.Run(Source) is byte-identical on the same packets, so results
+// match the streaming path bit for bit. Policy factories keep the
+// streaming path's semantics — nil trace unless FitTrace, in which case
+// the fit trace materializes from the slab (not from a fresh generation)
+// and the fitted pair is memoized per worker under (scheme, trace,
+// profile).
 func runJobCached(job *Job, index int, ws *workerState, tc *TraceCache, reuse bool) (Outcome, error) {
 	out := Outcome{Index: index, Job: job}
-	tr, ok := tc.Get(job.CacheKey)
-	if !ok {
-		var err error
-		if tr, err = trace.Collect(job.Source(job.Seed)); err != nil {
-			return out, fmt.Errorf("collecting source: %w", err)
-		}
-		tc.Put(job.CacheKey, tr)
+	slab, err := tc.Slab(job.CacheKey, func() trace.Source { return job.Source(job.Seed) })
+	if err != nil {
+		return out, fmt.Errorf("memoizing source: %w", err)
 	}
-	var fit trace.Trace
+	ck := policyCacheKey{key: job.PolicyKey, prof: job.Profile}
+	var fit func() (trace.Trace, error)
 	if job.FitTrace {
-		fit = tr
+		ck.fit = job.CacheKey
+		fit = func() (trace.Trace, error) {
+			if err := ws.bytes.Reset(slab); err != nil {
+				return nil, err
+			}
+			return trace.Collect(&ws.bytes)
+		}
 	}
-	demote, active, err := ws.policyPair(job, fit)
+	demote, active, err := ws.policyPair(job, ck, fit)
 	if err != nil {
 		return out, err
 	}
 	baseSlot, mainSlot := ws.slots(reuse)
 	if job.Baseline {
-		base, err := ws.runTrace(baseSlot, tr, job.Profile, policy.StatusQuo{}, nil, job.Opts)
+		if err := ws.bytes.Reset(slab); err != nil {
+			return out, err
+		}
+		base, err := ws.runSrc(baseSlot, &ws.bytes, job.Profile, policy.StatusQuo{}, nil, job.Opts)
 		if err != nil {
 			return out, fmt.Errorf("baseline: %w", err)
 		}
 		out.Baseline = base
 	}
-	res, err := ws.runTrace(mainSlot, tr, job.Profile, demote, active, job.Opts)
+	if err := ws.bytes.Reset(slab); err != nil {
+		return out, err
+	}
+	res, err := ws.runSrc(mainSlot, &ws.bytes, job.Profile, demote, active, job.Opts)
 	if err != nil {
 		return out, err
 	}
@@ -705,16 +749,20 @@ func runJobStreaming(job *Job, index int, ws *workerState, reuse bool) (Outcome,
 }
 
 // fitPolicies constructs a streaming job's policy pair. For FitTrace jobs
-// the source is collected here so the fit-pass trace is a local that
-// becomes unreachable — and collectable — as soon as construction
-// returns, before any replay allocates its lookahead.
+// the source is collected inside the fit supplier so the fit-pass trace
+// is a local that becomes unreachable — and collectable — as soon as
+// construction returns, before any replay allocates its lookahead.
 func fitPolicies(job *Job, ws *workerState) (policy.DemotePolicy, policy.ActivePolicy, error) {
-	var fit trace.Trace
+	ck := policyCacheKey{key: job.PolicyKey, prof: job.Profile}
+	var fit func() (trace.Trace, error)
 	if job.FitTrace {
-		var err error
-		if fit, err = trace.Collect(job.Source(job.Seed)); err != nil {
-			return nil, nil, fmt.Errorf("collecting source for fit: %w", err)
+		fit = func() (trace.Trace, error) {
+			tr, err := trace.Collect(job.Source(job.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("collecting source for fit: %w", err)
+			}
+			return tr, nil
 		}
 	}
-	return ws.policyPair(job, fit)
+	return ws.policyPair(job, ck, fit)
 }

@@ -137,11 +137,12 @@ func ResolveScheme(reg *policy.Registry, ss SchemeSpec) (ResolvedScheme, error) 
 			return a.Schema.NewActive(a.Params, tr, prof)
 		}
 	}
-	// Registry-built factories are pure functions of the canonical spec and
-	// the profile, so non-fitted schemes advertise a policy reuse key.
-	if !s.FitTrace {
-		s.PolicyKey = d.Canonical + "|" + a.Canonical
-	}
+	// Registry-built factories are pure functions of the canonical spec,
+	// the fit trace and the profile, so every registry scheme advertises a
+	// policy reuse key: non-fitted schemes reuse per (key, profile),
+	// trace-fitted ones per (key, trace cache key, profile) — the workers'
+	// fit-output memoization.
+	s.PolicyKey = d.Canonical + "|" + a.Canonical
 	return ResolvedScheme{
 		Scheme:    s,
 		Label:     label,

@@ -1,83 +1,160 @@
 package fleet
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/trace"
 )
 
-// TraceCache memoizes materialized traces across fleet runs, keyed by a
-// caller-chosen string that must capture everything the packets depend on
-// (generator config and seed — Cohort.Jobs derives one from the cohort's
-// canonical encoding). Grid sweeps replay the same cohort against every
-// (scheme, profile) cell; without the cache each cell re-synthesizes its
-// users' traffic from the seed, and generation — RNG setup, the reorder
-// buffer, the diurnal mask — dominates the cost of short-trace cells. With
-// it, generation runs once per user and every later cell replays the
-// memoized slice (replaying a materialized trace is byte-identical to
-// streaming the same seed, so results are unchanged).
+// TraceCache memoizes generated cohort traffic across fleet runs as
+// rrcstream-encoded byte slabs, keyed by a caller-chosen string that must
+// capture everything the packets depend on (generator config and seed —
+// Cohort.Jobs derives one from the cohort's canonical encoding). Grid
+// sweeps replay the same cohort against every (scheme, profile) cell;
+// without the cache each replay re-synthesizes its user's traffic from
+// the seed, and generation — RNG setup, the reorder buffer, the diurnal
+// mask — dominates the cost of short-trace cells. With it, generation
+// runs once per key per cache lifetime: the first toucher streams the
+// generator through the codec into a compact slab (2-5 bytes per packet
+// versus the 24-byte in-memory Packet), and every later replay decodes
+// straight out of the shared bytes via trace.BytesSource. The codec
+// round-trips exactly (Generate = Collect(Stream) is bit-stable), so
+// cached and uncached replays are byte-identical.
 //
-// Capacity is bounded in *packets*, not entries, since traces vary wildly
-// in length; eviction is FIFO — sweeps touch seeds in a stable order, so
-// recency adds nothing. A nil *TraceCache disables caching everywhere it
-// is consulted.
+// Generation is single-flight: concurrent callers of one key wait for the
+// first caller's generation instead of duplicating it, so N cells racing
+// over a shared cohort still synthesize each user once. Waiting is safe
+// under the worker budget — a generating worker needs no further tokens
+// to finish, so a waiter blocked while holding its own token can never be
+// part of a cycle (see Slab).
+//
+// Capacity is a byte budget over retained slabs, evicted LRU; an entry
+// mid-generation holds no budget and is never evicted. A slab larger than
+// the whole budget is returned to its generator but not retained. A nil
+// *TraceCache disables caching everywhere it is consulted.
 type TraceCache struct {
-	mu      sync.Mutex
-	cap     int // max total packets held
-	total   int
-	entries map[string]trace.Trace
-	order   []string // insertion order, for FIFO eviction
+	mu     sync.Mutex
+	budget int64
+	total  int64
+	// entries holds ready slabs and in-flight generations; lru orders only
+	// the ready ones (front = coldest).
+	entries map[string]*traceEntry
+	lru     *list.List
+
+	hits, misses, evictions uint64
 }
 
-// NewTraceCache returns a cache bounded to maxPackets total packets;
-// maxPackets <= 0 returns nil (caching disabled).
-func NewTraceCache(maxPackets int) *TraceCache {
-	if maxPackets <= 0 {
+// traceEntry is one cached (or generating) slab. done closes once slab
+// and err are final; both are immutable afterwards. elem is the entry's
+// LRU position, nil while generating or once dropped.
+type traceEntry struct {
+	key  string
+	done chan struct{}
+	slab []byte
+	err  error
+	elem *list.Element
+}
+
+// TraceCacheStats is a point-in-time snapshot of the cache gauges.
+// Misses count generations actually run (single-flight waiters count as
+// hits: they reused another caller's generation); Bytes and Entries
+// cover retained slabs only.
+type TraceCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// NewTraceCache returns a cache bounded to maxBytes of retained slab
+// bytes; maxBytes <= 0 returns nil (caching disabled).
+func NewTraceCache(maxBytes int64) *TraceCache {
+	if maxBytes <= 0 {
 		return nil
 	}
-	return &TraceCache{cap: maxPackets, entries: map[string]trace.Trace{}}
-}
-
-// Get returns the cached trace for key. The returned slice is shared:
-// callers must treat it as read-only.
-func (c *TraceCache) Get(key string) (trace.Trace, bool) {
-	if c == nil {
-		return nil, false
+	return &TraceCache{
+		budget:  maxBytes,
+		entries: map[string]*traceEntry{},
+		lru:     list.New(),
 	}
-	c.mu.Lock()
-	tr, ok := c.entries[key]
-	c.mu.Unlock()
-	return tr, ok
 }
 
-// Put stores a trace under key, evicting oldest entries as needed. Traces
-// longer than the whole capacity are not stored.
-func (c *TraceCache) Put(key string, tr trace.Trace) {
-	if c == nil || len(tr) > c.cap {
-		return
+// Slab returns the encoded trace for key, generating it exactly once per
+// cache lifetime: on a miss the calling goroutine drains gen() through
+// the rrcstream codec while concurrent callers of the same key block
+// until the slab (or the generation error) is final. The returned bytes
+// are shared and must be treated as read-only; replay them with
+// trace.BytesSource.
+//
+// Deadlock-freedom under a worker budget: generation runs entirely on the
+// calling goroutine and acquires nothing — no budget tokens, no cache
+// lock while generating — so a generator always finishes and waiters
+// always wake, even when every waiter holds a token the generator could
+// be presumed to want. Generation errors are returned to every waiter
+// but never cached: the failing entry is dropped, so a later caller
+// retries.
+func (c *TraceCache) Slab(key string, gen func() trace.Source) ([]byte, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToBack(e.elem)
+		}
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.slab, e.err
+	}
+	e := &traceEntry{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	slab, err := trace.EncodeStream(gen())
+	e.slab, e.err = slab, err
+
+	c.mu.Lock()
+	if err != nil || int64(len(slab)) > c.budget {
+		delete(c.entries, key)
+	} else {
+		e.elem = c.lru.PushBack(e)
+		c.total += int64(len(slab))
+		for c.total > c.budget {
+			oldest := c.lru.Remove(c.lru.Front()).(*traceEntry)
+			oldest.elem = nil
+			delete(c.entries, oldest.key)
+			c.total -= int64(len(oldest.slab))
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return slab, err
+}
+
+// Stats snapshots the cache gauges. A nil cache reports zeros.
+func (c *TraceCache) Stats() TraceCacheStats {
+	if c == nil {
+		return TraceCacheStats{}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
-		return
+	return TraceCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Bytes:     c.total,
 	}
-	for c.total+len(tr) > c.cap && len(c.order) > 0 {
-		old := c.order[0]
-		c.order = c.order[1:]
-		c.total -= len(c.entries[old])
-		delete(c.entries, old)
-	}
-	c.entries[key] = tr
-	c.order = append(c.order, key)
-	c.total += len(tr)
 }
 
-// Len reports the number of cached traces (for tests and introspection).
+// Len reports the number of retained slabs (for tests and introspection).
 func (c *TraceCache) Len() int {
 	if c == nil {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.lru.Len()
 }

@@ -43,6 +43,56 @@ func BenchmarkGridSweep(b *testing.B) {
 	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(cells*b.N), "allocs/cell")
 }
 
+// BenchmarkGridSweepSharedCohort measures cohort trace memoization: 6
+// schemes sweep one shared 4-user diurnal cohort, so the uncached run
+// re-synthesizes each user's traffic for every replay (twice per job —
+// baseline and scheme — plus a materialization for the trace-fitted
+// scheme) while the cached run generates each user once into an encoded
+// slab and decodes every later replay straight out of the shared bytes.
+// cached/uncached cells/sec is the memoization headline; results are
+// byte-identical either way (TestTraceCacheEquivalence).
+func BenchmarkGridSweepSharedCohort(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		bytes int64
+	}{
+		{"cached", 0},    // default budget
+		{"uncached", -1}, // disabled
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			m := NewManager(Config{Runners: 1, CacheSize: -1, CellCacheSize: -1,
+				TraceCacheBytes: bc.bytes})
+			defer m.Close()
+			spec := BenchSharedCohortGridSpec()
+			const cells = BenchSharedCohortGridCells
+
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job, err := m.Submit(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				<-job.Done()
+				if err := job.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if len(job.Result().Cells) != cells {
+					b.Fatalf("grid produced %d cells", len(job.Result().Cells))
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(cells*b.N)/elapsed.Seconds(), "cells/sec")
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(cells*b.N), "allocs/cell")
+		})
+	}
+}
+
 // BenchmarkGridSweepWide measures cell-level scheduling on a wide grid: 32
 // small cells whose replays are short enough that dispatch, budget handoff
 // and ordered collection are a visible share of the work. The seq

@@ -60,3 +60,34 @@ func BenchWideGridSpec() Spec {
 
 // BenchWideGridCells is BenchWideGridSpec's cell count.
 const BenchWideGridCells = 32
+
+// BenchSharedCohortGridSpec is the trace-memoization benchmark: many
+// schemes sweeping one shared cohort (6 schemes × 1 profile × 1 cohort =
+// 6 cells of 4 diurnal users × 30 minutes), so the same per-user traffic
+// would be synthesized once per replay without the trace cache — the
+// diurnal mask and the reorder buffer make generation the dominant
+// per-cell cost. BenchmarkGridSweepSharedCohort runs it with the cohort
+// trace cache enabled and disabled; the ratio is the generate-once,
+// replay-everywhere headline. One trace-fitted scheme (95iat) rides along
+// so the fit-from-slab path is measured too.
+func BenchSharedCohortGridSpec() Spec {
+	return Spec{Seed: 1, Shards: 2,
+		Schemes: []fleet.SchemeSpec{
+			{Policy: policy.Spec{Name: "statusquo"}},
+			{Policy: policy.Spec{Name: "makeidle"}},
+			{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "2s"}}},
+			{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "5s"}}},
+			{Policy: policy.Spec{Name: "fixedtail", Params: map[string]any{"wait": "10s"}}},
+			{Policy: policy.Spec{Name: "95iat"}},
+		},
+		Profiles: []power.ProfileSpec{
+			{Name: "verizon-3g"},
+		},
+		Cohorts: []fleet.CohortSpec{
+			{Name: "study-3g", Params: map[string]any{"users": 4, "duration": "30m"}},
+		},
+	}
+}
+
+// BenchSharedCohortGridCells is BenchSharedCohortGridSpec's cell count.
+const BenchSharedCohortGridCells = 6

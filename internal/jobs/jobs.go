@@ -273,13 +273,15 @@ type Config struct {
 	// deterministic). The caller owns the store's lifecycle; close it
 	// after Close.
 	Store *store.Store
-	// TraceCachePackets bounds the shared trace cache (in packets) that
-	// memoizes cohort traffic across a grid's cells, so a sweep
-	// synthesizes each user's trace once instead of once per cell
-	// (default 1M packets, roughly 24 MB; negative disables). Results are
-	// unchanged — replaying a materialized trace is byte-identical to
-	// streaming the same seed.
-	TraceCachePackets int
+	// TraceCacheBytes budgets the shared trace cache (in bytes of
+	// rrcstream-encoded slab, LRU eviction) that memoizes generated
+	// cohort traffic across cells, jobs and runners, so a sweep
+	// synthesizes each user's trace once — single-flight across
+	// concurrent cells — instead of once per replay (default 32 MiB,
+	// roughly 10M packets encoded; negative disables). Results are
+	// unchanged: the codec round-trips bit-exactly and replaying the
+	// slab is byte-identical to streaming the same seed.
+	TraceCacheBytes int64
 
 	// runFleet overrides the fleet call in tests; nil means the real one.
 	runFleet runFleetFunc
@@ -301,8 +303,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxRecords <= 0 {
 		c.MaxRecords = 1024
 	}
-	if c.TraceCachePackets == 0 {
-		c.TraceCachePackets = 1 << 20
+	if c.TraceCacheBytes == 0 {
+		c.TraceCacheBytes = 32 << 20
 	}
 	if c.runFleet == nil {
 		c.runFleet = fleet.RunSummaryLazyProgress
@@ -329,9 +331,11 @@ type Manager struct {
 	cache   *lruCache[*Result]
 	cells   *lruCache[*CellResult]
 
-	// traces memoizes cohort traffic across cells and jobs (nil when
-	// disabled). It has its own internal lock — the fleet's workers
-	// consult it directly, outside mu.
+	// traces memoizes cohort traffic as encoded slabs across cells, jobs
+	// and runners (nil when disabled). It has its own internal lock — the
+	// fleet's workers consult it directly, outside mu — and its own
+	// single-flight, so concurrently dispatched cells of one cohort share
+	// one generation.
 	traces *fleet.TraceCache
 
 	// axes memoizes resolved grid-axis values across Submits (own lock;
@@ -363,7 +367,7 @@ func NewManager(cfg Config) *Manager {
 		jobs:   make(map[string]*Job),
 		cache:  newLRUCache[*Result](cfg.CacheSize),
 		cells:  newLRUCache[*CellResult](cfg.CellCacheSize),
-		traces: fleet.NewTraceCache(cfg.TraceCachePackets),
+		traces: fleet.NewTraceCache(cfg.TraceCacheBytes),
 		axes:   newAxisCache(),
 		budget: fleet.NewBudget(cfg.Workers),
 	}
@@ -661,6 +665,11 @@ func (m *Manager) Cell(key string) (*CellResult, bool) {
 // the fleet (cache- and store-served cells excluded) — the resume
 // tests' frontier counter and a health gauge.
 func (m *Manager) CellsExecuted() uint64 { return m.cellsRun.Load() }
+
+// TraceCacheStats snapshots the trace cache's gauges (zeros when the
+// cache is disabled) — hit/miss/eviction counters and retained slab
+// bytes for the health endpoint.
+func (m *Manager) TraceCacheStats() fleet.TraceCacheStats { return m.traces.Stats() }
 
 // StoreStats snapshots the durable store's gauges; ok is false when the
 // manager runs without a store.

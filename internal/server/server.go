@@ -165,14 +165,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	traces := s.manager.TraceCacheStats()
 	body := map[string]any{
-		"status":          "ok",
-		"jobs":            s.manager.Len(),
-		"queue_depth":     s.manager.QueueDepth(),
-		"cache_len":       s.manager.CacheLen(),
-		"cell_cache_len":  s.manager.CellCacheLen(),
-		"cells_executed":  s.manager.CellsExecuted(),
-		"cells_in_flight": s.manager.CellsInFlight(),
+		"status":                "ok",
+		"jobs":                  s.manager.Len(),
+		"queue_depth":           s.manager.QueueDepth(),
+		"cache_len":             s.manager.CacheLen(),
+		"cell_cache_len":        s.manager.CellCacheLen(),
+		"cells_executed":        s.manager.CellsExecuted(),
+		"cells_in_flight":       s.manager.CellsInFlight(),
+		"trace_cache_hits":      traces.Hits,
+		"trace_cache_misses":    traces.Misses,
+		"trace_cache_bytes":     traces.Bytes,
+		"trace_cache_evictions": traces.Evictions,
 	}
 	if stats, ok := s.manager.StoreStats(); ok {
 		body["store"] = stats

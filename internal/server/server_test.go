@@ -267,3 +267,52 @@ func TestErrorsAndValidation(t *testing.T) {
 		t.Fatalf("healthz: %d %s", code, hb)
 	}
 }
+
+// TestHealthzTraceCacheGauges pins the trace-cache health gauges: after a
+// grid whose cells share a cohort, /healthz must report the cache's
+// generations (misses), replays served from slabs (hits) and retained
+// bytes — nonzero each — plus the eviction counter.
+func TestHealthzTraceCacheGauges(t *testing.T) {
+	ts, m := newTestServer(t)
+	spec := `{"seed": 31, "duration": "2m", "shards": 2,
+		"schemes": [{"policy": {"name": "makeidle"}},
+		            {"policy": {"name": "fixedtail", "params": {"wait": "2s"}}}],
+		"profiles": [{"name": "verizon-3g"}],
+		"cohorts": [{"name": "study-3g", "params": {"users": 2, "duration": "2m"}}]}`
+	st, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	waitDone(t, m, st.ID)
+
+	hb, code := getBody(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, hb)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(hb, &health); err != nil {
+		t.Fatalf("healthz body: %v\n%s", err, hb)
+	}
+	num := func(key string) float64 {
+		t.Helper()
+		v, ok := health[key].(float64)
+		if !ok {
+			t.Fatalf("healthz missing numeric %q:\n%s", key, hb)
+		}
+		return v
+	}
+	// 2 cells × 2 users consult the cache once per job: one generation per
+	// user, the rest replay from the retained slabs.
+	if got := num("trace_cache_misses"); got != 2 {
+		t.Fatalf("trace_cache_misses = %v, want 2 (one generation per user)", got)
+	}
+	if got := num("trace_cache_hits"); got != 2 {
+		t.Fatalf("trace_cache_hits = %v, want 2", got)
+	}
+	if got := num("trace_cache_bytes"); got <= 0 {
+		t.Fatalf("trace_cache_bytes = %v, want > 0", got)
+	}
+	if got := num("trace_cache_evictions"); got != 0 {
+		t.Fatalf("trace_cache_evictions = %v, want 0", got)
+	}
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// drain pulls every packet out of a Source, returning the packets, the
+// terminal error (nil on clean EOF) and the index at which it occurred.
+func drain(src Source) (Trace, int, error) {
+	var tr Trace
+	for {
+		p, ok, err := src.Next()
+		if err != nil {
+			return tr, len(tr), err
+		}
+		if !ok {
+			return tr, len(tr), nil
+		}
+		tr = append(tr, p)
+	}
+}
+
+func TestEncodeStreamMatchesWriteStream(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 3, 500} {
+		tr := randomValidTrace(r, n)
+		var want bytes.Buffer
+		if err := WriteStream(&want, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := EncodeStream(tr.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("n=%d: EncodeStream bytes differ from WriteStream", n)
+		}
+	}
+}
+
+func TestBytesSourceRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for _, n := range []int{0, 1, 3, 500} {
+		tr := randomValidTrace(r, n)
+		slab, err := EncodeStream(tr.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewBytesSource(slab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := drain(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(tr) || (n > 0 && !reflect.DeepEqual(got, tr)) {
+			t.Fatalf("n=%d: BytesSource replay differs from the original trace", n)
+		}
+		// A drained source keeps reporting clean EOF, like every Source.
+		if _, ok, err := src.Next(); ok || err != nil {
+			t.Fatalf("n=%d: Next after EOF: ok=%v err=%v", n, ok, err)
+		}
+	}
+}
+
+func TestBytesSourceReset(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	a := randomValidTrace(r, 40)
+	b := randomValidTrace(r, 7)
+	slabA, err := EncodeStream(a.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slabB, err := EncodeStream(b.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src BytesSource
+	// One value replays slab A, then slab B, then slab A again — the reuse
+	// pattern workers depend on — with no state leaking between slabs.
+	for i, want := range []Trace{a, b, a} {
+		var slab []byte
+		if reflect.DeepEqual(want, b) {
+			slab = slabB
+		} else {
+			slab = slabA
+		}
+		if err := src.Reset(slab); err != nil {
+			t.Fatalf("reset %d: %v", i, err)
+		}
+		got, _, err := drain(&src)
+		if err != nil {
+			t.Fatalf("reset %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("reset %d: replay differs", i)
+		}
+	}
+	// Reset mid-stream rewinds: reading half of A then resetting must
+	// reproduce A in full.
+	if err := src.Reset(slabA); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(a)/2; i++ {
+		if _, ok, err := src.Next(); !ok || err != nil {
+			t.Fatalf("mid-stream read %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := src.Reset(slabA); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := drain(&src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatal("replay after mid-stream Reset differs")
+	}
+}
+
+func TestBytesSourceBadInput(t *testing.T) {
+	if _, err := NewBytesSource(nil); !errors.Is(err, ErrNotStream) {
+		t.Fatalf("nil slab: %v", err)
+	}
+	if _, err := NewBytesSource([]byte("RRC")); !errors.Is(err, ErrNotStream) {
+		t.Fatalf("short slab: %v", err)
+	}
+	if _, err := NewBytesSource([]byte("NOTASTRM garbage")); !errors.Is(err, ErrNotStream) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// A failed Reset must not clobber the source's current slab.
+	tr := Trace{{T: time.Second, Dir: In, Size: 9}}
+	slab, err := EncodeStream(tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src BytesSource
+	if err := src.Reset(slab); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Reset([]byte("xx")); !errors.Is(err, ErrNotStream) {
+		t.Fatalf("bad reset: %v", err)
+	}
+	got, _, err := drain(&src)
+	if err != nil || !reflect.DeepEqual(got, tr) {
+		t.Fatalf("replay after failed Reset: %v %v", got, err)
+	}
+	// A failing source stays failed: truncate a valid slab mid-frame and
+	// the error must repeat on every subsequent Next.
+	bad := slab[:len(slab)-1]
+	fsrc, err := NewBytesSource(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, first := drain(fsrc)
+	if first == nil {
+		t.Fatal("truncated slab decoded cleanly")
+	}
+	if _, ok, again := fsrc.Next(); ok || again == nil {
+		t.Fatalf("Next after error: ok=%v err=%v", ok, again)
+	}
+}
+
+// FuzzBytesSource holds BytesSource to StreamReader's behaviour on
+// arbitrary bytes: both decoders must yield the identical packet sequence
+// and agree on whether the input is clean or corrupt — and neither may
+// panic. This is the property the trace cache leans on: replaying a cached
+// slab is indistinguishable from re-reading the stream that produced it.
+func FuzzBytesSource(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RRCSTRM1"))
+	seedTrace := Trace{
+		{T: 0, Dir: Out, Size: 100},
+		{T: time.Second, Dir: In, Size: 1400},
+		{T: 2 * time.Second, Dir: Out, Size: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, seedTrace); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()-1])
+	f.Add(append(append([]byte(nil), buf.Bytes()...), 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bsrc, berr := NewBytesSource(data)
+		rsrc, rerr := NewStreamReader(bytes.NewReader(data))
+		if (berr == nil) != (rerr == nil) {
+			t.Fatalf("constructor disagreement: bytes=%v reader=%v", berr, rerr)
+		}
+		if berr != nil {
+			if !errors.Is(berr, ErrNotStream) || !errors.Is(rerr, ErrNotStream) {
+				t.Fatalf("non-magic constructor error: bytes=%v reader=%v", berr, rerr)
+			}
+			return
+		}
+		btr, bidx, berr2 := drain(bsrc)
+		rtr, ridx, rerr2 := drain(rsrc)
+		if (berr2 == nil) != (rerr2 == nil) || bidx != ridx {
+			t.Fatalf("decode disagreement at %d/%d: bytes=%v reader=%v",
+				bidx, ridx, berr2, rerr2)
+		}
+		if len(btr) != len(rtr) || (len(btr) > 0 && !reflect.DeepEqual(btr, rtr)) {
+			t.Fatalf("packet disagreement: %d vs %d packets", len(btr), len(rtr))
+		}
+		if berr2 == nil {
+			if err := btr.Validate(); err != nil {
+				t.Fatalf("clean decode yielded invalid trace: %v", err)
+			}
+		}
+	})
+}
